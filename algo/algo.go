@@ -1,0 +1,36 @@
+// Package algo provides the six ordered graph algorithms the paper
+// evaluates (Section 6.1) — ∆-stepping SSSP, weighted BFS, point-to-point
+// shortest paths, A* search, k-core decomposition, and approximate set
+// cover — implemented against the graphit public API, plus the unordered
+// baselines (Bellman-Ford, unordered k-core) used for Figure 1 and the
+// sequential reference implementations used to verify results.
+//
+// Every ordered algorithm takes a graphit.Schedule, so the full scheduling
+// space of the paper (eager with/without bucket fusion, lazy, lazy with
+// constant-sum reduction, ∆ coarsening, push/pull) applies to each.
+package algo
+
+import (
+	"fmt"
+
+	"graphit"
+)
+
+// checkWeighted returns an error if g lacks weights.
+func checkWeighted(g *graphit.Graph) error {
+	if !g.Weighted() {
+		return fmt.Errorf("algo: graph is unweighted; load or generate it with weights")
+	}
+	return nil
+}
+
+// initDist allocates a distance/priority vector with every vertex
+// unreached except src, which gets 0.
+func initDist(n int, src graphit.VertexID) []int64 {
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = graphit.Unreached
+	}
+	dist[src] = 0
+	return dist
+}

@@ -1,0 +1,128 @@
+package algo
+
+import (
+	"testing"
+
+	"graphit"
+)
+
+func roadGraph(t *testing.T) *graphit.Graph {
+	t.Helper()
+	g, err := graphit.RoadGrid(graphit.RoadOptions{
+		Rows: 50, Cols: 50, DeleteFrac: 0.12, DiagFrac: 0.08, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAStarMatchesDijkstraExactSchedules(t *testing.T) {
+	g := roadGraph(t)
+	pairs := [][2]graphit.VertexID{
+		{0, graphit.VertexID(g.NumVertices() - 1)},
+		{17, 2040},
+		{49, 2450},
+	}
+	for _, p := range pairs {
+		want, err := Dijkstra(g, p[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With ∆=1 the consistent Euclidean heuristic makes A* exact.
+		for _, sname := range []string{"eager_with_fusion", "eager_no_fusion", "lazy"} {
+			res, err := AStar(g, p[0], p[1], graphit.DefaultSchedule().ConfigApplyPriorityUpdate(sname))
+			if err != nil {
+				t.Fatalf("%s: %v", sname, err)
+			}
+			if res.Dist[p[1]] != want[p[1]] {
+				t.Errorf("%s: A*(%d→%d) = %d, want %d", sname, p[0], p[1], res.Dist[p[1]], want[p[1]])
+			}
+		}
+	}
+}
+
+func TestAStarCoarsenedStaysValidPath(t *testing.T) {
+	g := roadGraph(t)
+	src, dst := graphit.VertexID(3), graphit.VertexID(2470)
+	want, err := Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AStar(g, src, dst, graphit.DefaultSchedule().ConfigApplyPriorityUpdateDelta(1<<8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarsening tolerates small priority inversions (paper §2); the
+	// result must still be a real path, hence never shorter than optimal.
+	if res.Dist[dst] < want[dst] {
+		t.Fatalf("A* found impossible distance %d < optimal %d", res.Dist[dst], want[dst])
+	}
+	if res.Dist[dst] == graphit.Unreached && want[dst] != graphit.Unreached {
+		t.Fatalf("A* missed an existing path")
+	}
+}
+
+func TestAStarVisitsFewerVerticesThanSSSP(t *testing.T) {
+	g := roadGraph(t)
+	// A nearby target: A*'s directed search should process far fewer
+	// vertices than full SSSP (why the paper's A* rows are fastest).
+	src, dst := graphit.VertexID(0), graphit.VertexID(5*50+5)
+	full, err := SSSP(g, src, graphit.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	astar, err := AStar(g, src, dst, graphit.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if astar.Stats.Processed >= full.Stats.Processed {
+		t.Errorf("A* processed %d vertices, full SSSP %d; expected a directed-search saving",
+			astar.Stats.Processed, full.Stats.Processed)
+	}
+}
+
+func TestAStarRequiresCoordinates(t *testing.T) {
+	g, err := graphit.RMAT(graphit.DefaultRMAT(6, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AStar(g, 0, 5, graphit.DefaultSchedule()); err == nil {
+		t.Fatal("expected error for A* without coordinates")
+	}
+}
+
+func TestAStarApproxFindsValidDistance(t *testing.T) {
+	g := roadGraph(t)
+	src, dst := graphit.VertexID(7), graphit.VertexID(1200)
+	want, err := Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AStarApprox(g, src, dst, graphit.DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[dst] < want[dst] {
+		t.Fatalf("approx A* distance %d < optimal %d", res.Dist[dst], want[dst])
+	}
+	if res.Dist[dst] == graphit.Unreached {
+		t.Fatal("approx A* missed the target")
+	}
+}
+
+func TestPPSPApproxFindsValidDistance(t *testing.T) {
+	g := roadGraph(t)
+	src, dst := graphit.VertexID(7), graphit.VertexID(1200)
+	want, err := Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PPSPApprox(g, src, dst, graphit.DefaultSchedule().ConfigApplyPriorityUpdateDelta(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[dst] < want[dst] {
+		t.Fatalf("approx PPSP distance %d < optimal %d", res.Dist[dst], want[dst])
+	}
+}

@@ -1,0 +1,62 @@
+package algo
+
+import (
+	"fmt"
+
+	"graphit"
+)
+
+// KCoreResult carries the output of k-core decomposition.
+type KCoreResult struct {
+	// Coreness[v] is the largest k such that v belongs to a k-core
+	// (paper §6.1's peeling procedure).
+	Coreness []int64
+	Stats    graphit.Stats
+}
+
+// KCore computes the coreness of every vertex of a symmetric graph by the
+// bucketed peeling procedure (paper §6.1): vertices are bucketed by induced
+// degree; processing bucket k finalizes its vertices with coreness k and
+// decrements their neighbors' induced degrees, clamped at k
+// (updatePrioritySum with min_threshold, paper Table 1).
+//
+// k-core tolerates no priority inversion, so the schedule must not coarsen
+// priorities (∆ must be 1; paper §2). The lazy_constant_sum schedule
+// enables the histogram reduction of paper Figure 10.
+func KCore(g *graphit.Graph, sched graphit.Schedule) (*KCoreResult, error) {
+	if !g.Symmetric() {
+		return nil, fmt.Errorf("algo: k-core requires a symmetrized graph")
+	}
+	cfg, err := sched.Config()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Delta > 1 {
+		return nil, fmt.Errorf("algo: k-core does not allow priority coarsening (∆=%d)", cfg.Delta)
+	}
+	n := g.NumVertices()
+	deg := make([]int64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int64(g.OutDegree(graphit.VertexID(v)))
+	}
+	op := &graphit.Ordered{
+		G:     g,
+		Prio:  deg,
+		Order: graphit.LowerFirst,
+		// The UDF from paper Figure 10 (top): decrement the neighbor's
+		// priority by 1, but not below the current core k.
+		Apply: func(s, d graphit.VertexID, w graphit.Weight, q *graphit.Queue) {
+			q.UpdatePrioritySum(d, -1, q.GetCurrentPriority())
+		},
+		// The compiler's constant-sum analysis extracts these for the
+		// histogram schedule (paper §5.1).
+		SumConst:          -1,
+		SumFloorIsCurrent: true,
+		FinalizeOnPop:     true,
+	}
+	st, err := graphit.RunOrdered(op, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &KCoreResult{Coreness: deg, Stats: st}, nil
+}

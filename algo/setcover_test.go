@@ -1,0 +1,117 @@
+package algo
+
+import (
+	"fmt"
+	"testing"
+
+	"graphit"
+)
+
+func TestSetCoverCoversUniverse(t *testing.T) {
+	for gname, g := range symGraphs(t) {
+		for _, nb := range []int{128, 8} {
+			t.Run(fmt.Sprintf("%s/window%d", gname, nb), func(t *testing.T) {
+				res, err := SetCover(g, graphit.DefaultSchedule().ConfigNumBuckets(nb))
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := g.NumVertices()
+				// Validity: every element is covered, and covered by a set
+				// that actually contains it and is in the cover.
+				for e := 0; e < n; e++ {
+					s := res.CoveredBy[e]
+					if s < 0 {
+						t.Fatalf("element %d uncovered", e)
+					}
+					if !res.Chosen[s] {
+						t.Fatalf("element %d covered by unchosen set %d", e, s)
+					}
+					if !setContains(g, uint32(s), uint32(e)) {
+						t.Fatalf("set %d does not contain element %d", s, e)
+					}
+				}
+				if res.NumChosen == 0 || res.NumChosen > n {
+					t.Fatalf("implausible cover size %d", res.NumChosen)
+				}
+			})
+		}
+	}
+}
+
+// setContains reports whether set s covers element e (s == e or e ∈ N(s)).
+func setContains(g *graphit.Graph, s, e uint32) bool {
+	if s == e {
+		return true
+	}
+	for _, u := range g.OutNeigh(s) {
+		if u == e {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSetCoverNearGreedyQuality(t *testing.T) {
+	for gname, g := range symGraphs(t) {
+		res, err := SetCover(g, graphit.DefaultSchedule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, greedy, err := GreedySetCover(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The bucketed nearly-independent algorithm commits sets covering
+		// at least half the bucket's value, so its cost should stay within
+		// a small constant factor of sequential greedy.
+		if res.NumChosen > 4*greedy {
+			t.Errorf("%s: parallel cover %d sets vs greedy %d (> 4x)", gname, res.NumChosen, greedy)
+		}
+		t.Logf("%s: parallel=%d greedy=%d rounds=%d", gname, res.NumChosen, greedy, res.Stats.Rounds)
+	}
+}
+
+func TestGreedySetCoverIsValid(t *testing.T) {
+	g := symGraphs(t)["rmat"]
+	chosen, num, err := GreedySetCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	covered := make([]bool, n)
+	cnt := 0
+	for s := 0; s < n; s++ {
+		if !chosen[s] {
+			continue
+		}
+		cnt++
+		if !covered[s] {
+			covered[s] = true
+		}
+		for _, e := range g.OutNeigh(uint32(s)) {
+			covered[e] = true
+		}
+	}
+	if cnt != num {
+		t.Fatalf("reported %d chosen, counted %d", num, cnt)
+	}
+	for e := 0; e < n; e++ {
+		if !covered[e] {
+			t.Fatalf("greedy left element %d uncovered", e)
+		}
+	}
+}
+
+func TestSetCoverRejectsCoarseningAndDirected(t *testing.T) {
+	g := symGraphs(t)["rmat"]
+	if _, err := SetCover(g, graphit.DefaultSchedule().ConfigApplyPriorityUpdateDelta(2)); err == nil {
+		t.Error("expected error for set cover with ∆ > 1")
+	}
+	dg, err := graphit.RMAT(graphit.DefaultRMAT(6, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SetCover(dg, graphit.DefaultSchedule()); err == nil {
+		t.Error("expected error for set cover on a directed graph")
+	}
+}

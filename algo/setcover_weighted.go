@@ -1,0 +1,239 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"graphit"
+	"graphit/internal/atomicutil"
+	"graphit/internal/bucket"
+	"graphit/internal/parallel"
+)
+
+// ratioPrec is the fixed-point precision of cost-per-element priorities in
+// WeightedSetCover: priority = uncovered × ratioPrec / cost.
+const ratioPrec = 64
+
+// WeightedSetCover generalizes SetCover to per-set costs, the extension the
+// paper notes the algorithm supports (§6.1: "the algorithm used easily
+// generalizes to the weighted case"). Sets are bucketed by their
+// *cost-effectiveness* — the number of still-uncovered elements they cover
+// per unit cost, in fixed-point — and processed from the most effective
+// bucket, with the same reservation/commit rounds as the unweighted
+// version.
+//
+// costs[v] is the cost of set v and must be positive. The schedule's ∆
+// must be 1 (no coarsening), as for SetCover.
+func WeightedSetCover(g *graphit.Graph, costs []int64, sched graphit.Schedule) (*SetCoverResult, error) {
+	if !g.Symmetric() {
+		return nil, fmt.Errorf("algo: set cover requires a symmetrized graph")
+	}
+	cfg, err := sched.Config()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Delta > 1 {
+		return nil, fmt.Errorf("algo: set cover does not allow priority coarsening (∆=%d)", cfg.Delta)
+	}
+	n := g.NumVertices()
+	if len(costs) != n {
+		return nil, fmt.Errorf("algo: %d costs for %d sets", len(costs), n)
+	}
+	for v, c := range costs {
+		if c <= 0 {
+			return nil, fmt.Errorf("algo: set %d has non-positive cost %d", v, c)
+		}
+	}
+
+	const unreserved = int64(math.MaxInt64)
+	const uncoveredMark = int64(-1)
+	coveredBy := make([]int64, n)
+	reserve := make([]int64, n)
+	uncov := make([]int64, n) // # uncovered elements each set covers
+	prio := make([]int64, n)  // fixed-point cost-effectiveness
+	chosen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		coveredBy[v] = uncoveredMark
+		reserve[v] = unreserved
+		uncov[v] = int64(g.OutDegree(graphit.VertexID(v))) + 1
+		prio[v] = uncov[v] * ratioPrec / costs[v]
+	}
+
+	bktOf := func(v uint32) int64 {
+		if p := prio[v]; p > 0 {
+			return p
+		}
+		return bucket.NullBkt
+	}
+	lz := bucket.NewLazy(n, bucket.Decreasing, cfg.NumBuckets, bktOf)
+
+	elementsOf := func(v uint32, f func(e uint32)) {
+		f(v)
+		for _, e := range g.OutNeigh(v) {
+			f(e)
+		}
+	}
+	recount := func(s uint32) int64 {
+		var c int64
+		elementsOf(s, func(e uint32) {
+			if atomicutil.Load(&coveredBy[e]) == uncoveredMark {
+				c++
+			}
+		})
+		return c
+	}
+
+	var st graphit.Stats
+	for {
+		bid, sets := lz.Next()
+		if bid == bucket.NullBkt {
+			break
+		}
+		st.Rounds++
+		// Phase 1: reservation (identical to the unweighted version).
+		parallel.ForChunks(len(sets), cfg.Grain, func(lo, hi, _ int) {
+			for _, s := range sets[lo:hi] {
+				elementsOf(s, func(e uint32) {
+					if atomicutil.Load(&coveredBy[e]) == uncoveredMark {
+						atomicutil.WriteMin(&reserve[e], int64(s))
+					}
+				})
+			}
+		})
+		// Phase 2: a set commits if the elements it *won* still give at
+		// least half the bucket's cost-effectiveness.
+		updated := make([][]uint32, parallel.Workers())
+		parallel.ForChunks(len(sets), cfg.Grain, func(lo, hi, worker int) {
+			for _, s := range sets[lo:hi] {
+				var won int64
+				elementsOf(s, func(e uint32) {
+					if atomicutil.Load(&coveredBy[e]) == uncoveredMark &&
+						atomicutil.Load(&reserve[e]) == int64(s) {
+						won++
+					}
+				})
+				wonRatio := won * ratioPrec / costs[s]
+				out := &updated[worker]
+				if wonRatio >= (bid+1)/2 && won > 0 {
+					chosen[s] = true
+					elementsOf(s, func(e uint32) {
+						if atomicutil.Load(&reserve[e]) == int64(s) {
+							atomicutil.Store(&coveredBy[e], int64(s))
+						}
+					})
+					prio[s] = 0
+				} else {
+					c := recount(s)
+					uncov[s] = c
+					prio[s] = c * ratioPrec / costs[s]
+					if c > 0 && prio[s] == 0 {
+						// Cost so high the ratio truncates to zero: such a
+						// set only matters for elements nothing else
+						// covers; keep it live in the lowest bucket.
+						prio[s] = 1
+					}
+					if prio[s] > 0 {
+						*out = append(*out, s)
+					}
+				}
+			}
+		})
+		// Phase 3: release reservations.
+		parallel.ForChunks(len(sets), cfg.Grain, func(lo, hi, _ int) {
+			for _, s := range sets[lo:hi] {
+				elementsOf(s, func(e uint32) {
+					atomicutil.Store(&reserve[e], unreserved)
+				})
+			}
+		})
+		st.GlobalSyncs += 3
+		var upd []uint32
+		for _, u := range updated {
+			upd = append(upd, u...)
+		}
+		lz.UpdateBuckets(upd)
+	}
+
+	num := 0
+	for _, c := range chosen {
+		if c {
+			num++
+		}
+	}
+	st.BucketInserts = lz.Inserts
+	st.WindowAdvances = lz.Rebuckets
+	return &SetCoverResult{
+		Chosen:    chosen,
+		CoveredBy: coveredBy,
+		NumChosen: num,
+		Stats:     st,
+	}, nil
+}
+
+// CoverCost sums the costs of the chosen sets.
+func CoverCost(res *SetCoverResult, costs []int64) int64 {
+	var total int64
+	for v, c := range res.Chosen {
+		if c {
+			total += costs[v]
+		}
+	}
+	return total
+}
+
+// GreedyWeightedSetCover is the sequential cost-effectiveness greedy used
+// as the quality yardstick for WeightedSetCover.
+func GreedyWeightedSetCover(g *graphit.Graph, costs []int64) ([]bool, int64, error) {
+	if !g.Symmetric() {
+		return nil, 0, fmt.Errorf("algo: set cover requires a symmetrized graph")
+	}
+	n := g.NumVertices()
+	covered := make([]bool, n)
+	chosen := make([]bool, n)
+	numCovered := 0
+	var totalCost int64
+	recount := func(s uint32) int64 {
+		var c int64
+		if !covered[s] {
+			c++
+		}
+		for _, e := range g.OutNeigh(s) {
+			if !covered[e] {
+				c++
+			}
+		}
+		return c
+	}
+	for numCovered < n {
+		best, bestRatio := -1, float64(-1)
+		for s := 0; s < n; s++ {
+			if chosen[s] {
+				continue
+			}
+			c := recount(uint32(s))
+			if c == 0 {
+				continue
+			}
+			r := float64(c) / float64(costs[s])
+			if r > bestRatio {
+				best, bestRatio = s, r
+			}
+		}
+		if best < 0 {
+			return nil, 0, fmt.Errorf("algo: greedy stuck with %d uncovered", n-numCovered)
+		}
+		chosen[best] = true
+		totalCost += costs[best]
+		mark := func(e uint32) {
+			if !covered[e] {
+				covered[e] = true
+				numCovered++
+			}
+		}
+		mark(uint32(best))
+		for _, e := range g.OutNeigh(uint32(best)) {
+			mark(e)
+		}
+	}
+	return chosen, totalCost, nil
+}

@@ -1,0 +1,77 @@
+package algo
+
+import (
+	"graphit"
+)
+
+// SSSPResult carries the output of a shortest-path style run.
+type SSSPResult struct {
+	// Dist[v] is the shortest distance from the source to v, or
+	// graphit.Unreached if v is unreachable.
+	Dist []int64
+	// Stats are the engine's execution counters.
+	Stats graphit.Stats
+}
+
+// SSSP computes single-source shortest paths with ∆-stepping (paper Figures
+// 3 and 5–7): vertices are bucketed by floor(dist/∆) and processed in
+// bucket order; the schedule selects eager/lazy bucketing, bucket fusion,
+// ∆, and traversal direction. It is the library form of the DSL program in
+// paper Figure 3.
+func SSSP(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	if err := checkWeighted(g); err != nil {
+		return nil, err
+	}
+	dist := initDist(g.NumVertices(), src)
+	op := &graphit.Ordered{
+		G:     g,
+		Prio:  dist,
+		Order: graphit.LowerFirst,
+		// The UDF from paper Figure 3, lines 7–10: compute the relaxed
+		// distance and lower dst's priority to it.
+		Apply: func(s, d graphit.VertexID, w graphit.Weight, q *graphit.Queue) {
+			q.UpdatePriorityMin(d, q.Priority(s)+int64(w))
+		},
+		Sources: []graphit.VertexID{src},
+	}
+	st, err := graphit.RunOrdered(op, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{Dist: dist, Stats: st}, nil
+}
+
+// WBFS computes weighted breadth-first search: ∆-stepping specialized to
+// ∆=1 for graphs with small positive integer weights (paper §6.1). Any ∆
+// in the schedule is overridden.
+func WBFS(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	return SSSP(g, src, sched.ConfigApplyPriorityUpdateDelta(1))
+}
+
+// PPSP computes a point-to-point shortest path with ∆-stepping plus early
+// termination: the run halts on entering a bucket whose priority is at
+// least the best distance already found for dst (paper §6.1).
+func PPSP(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	if err := checkWeighted(g); err != nil {
+		return nil, err
+	}
+	dist := initDist(g.NumVertices(), src)
+	op := &graphit.Ordered{
+		G:     g,
+		Prio:  dist,
+		Order: graphit.LowerFirst,
+		Apply: func(s, d graphit.VertexID, w graphit.Weight, q *graphit.Queue) {
+			q.UpdatePriorityMin(d, q.Priority(s)+int64(w))
+		},
+		Sources: []graphit.VertexID{src},
+		Stop: func(cur int64) bool {
+			best := graphit.AtomicLoad(&dist[dst])
+			return best != graphit.Unreached && cur >= best
+		},
+	}
+	st, err := graphit.RunOrdered(op, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{Dist: dist, Stats: st}, nil
+}

@@ -1,0 +1,118 @@
+package algo
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"graphit"
+	"graphit/internal/atomicutil"
+	"graphit/internal/parallel"
+)
+
+// BellmanFord computes single-source shortest paths with the unordered
+// frontier-based Bellman-Ford algorithm, the Ligra / unordered-GraphIt
+// baseline of the paper's Figure 1 and Table 4: every round relaxes all
+// out-edges of the entire active frontier regardless of priority,
+// performing redundant work that ∆-stepping avoids.
+func BellmanFord(g *graphit.Graph, src graphit.VertexID) (*SSSPResult, error) {
+	if err := checkWeighted(g); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	dist := initDist(n, src)
+	dedup := atomicutil.NewFlags(n)
+	frontier := []uint32{src}
+	var st graphit.Stats
+	w := parallel.Workers()
+	outs := make([][]uint32, w)
+
+	for len(frontier) > 0 {
+		st.Rounds++
+		st.GlobalSyncs++
+		var relax int64
+		parallel.ForChunks(len(frontier), 0, func(lo, hi, worker int) {
+			var local int64
+			for _, s := range frontier[lo:hi] {
+				ds := atomicutil.Load(&dist[s])
+				neigh := g.OutNeigh(s)
+				wts := g.OutWts(s)
+				for i, d := range neigh {
+					local++
+					if atomicutil.WriteMin(&dist[d], ds+int64(wts[i])) && dedup.TrySet(d) {
+						outs[worker] = append(outs[worker], d)
+					}
+				}
+			}
+			atomicAdd(&relax, local)
+		})
+		st.Relaxations += relax
+		var next []uint32
+		for i := range outs {
+			next = append(next, outs[i]...)
+			outs[i] = outs[i][:0]
+		}
+		dedup.ResetList(next)
+		st.Processed += int64(len(frontier))
+		frontier = next
+	}
+	return &SSSPResult{Dist: dist, Stats: st}, nil
+}
+
+// UnorderedKCore computes coreness with the unordered peeling baseline
+// (Figure 1): for each successive k it repeatedly scans all remaining
+// vertices for those with induced degree <= k, without any bucketing, so
+// every peel level pays a full-vertex-set scan.
+func UnorderedKCore(g *graphit.Graph) (*KCoreResult, error) {
+	if !g.Symmetric() {
+		return nil, fmt.Errorf("algo: k-core requires a symmetrized graph")
+	}
+	n := g.NumVertices()
+	deg := make([]int64, n)
+	alive := make([]bool, n)
+	maxDeg := int64(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int64(g.OutDegree(graphit.VertexID(v)))
+		alive[v] = true
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	core := make([]int64, n)
+	var st graphit.Stats
+	remaining := n
+	for k := int64(0); k <= maxDeg && remaining > 0; k++ {
+		for {
+			st.Rounds++
+			st.GlobalSyncs++
+			// Full scan: collect alive vertices with degree <= k.
+			ids := parallel.IotaU32(n)
+			st.Relaxations += int64(n) // scan cost: one check per vertex
+			peel := parallel.PackU32(ids, func(i int) bool {
+				return alive[i] && deg[i] <= k
+			})
+			if len(peel) == 0 {
+				break
+			}
+			for _, v := range peel {
+				alive[v] = false
+				core[v] = k
+			}
+			parallel.ForChunks(len(peel), 0, func(lo, hi, _ int) {
+				for _, v := range peel[lo:hi] {
+					for _, d := range g.OutNeigh(v) {
+						if alive[d] {
+							atomicAdd(&deg[d], -1)
+						}
+					}
+				}
+			})
+			remaining -= len(peel)
+			st.Processed += int64(len(peel))
+		}
+	}
+	return &KCoreResult{Coreness: core, Stats: st}, nil
+}
+
+func atomicAdd(p *int64, v int64) {
+	atomic.AddInt64(p, v)
+}

@@ -1,0 +1,59 @@
+package algo
+
+import (
+	"testing"
+
+	"graphit"
+)
+
+func TestWidestPathMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		src := graphit.VertexID(2)
+		want, err := RefWidestPath(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules := map[string]graphit.Schedule{
+			"lazy_push": graphit.DefaultSchedule().ConfigApplyPriorityUpdate("lazy"),
+			"lazy_pull": graphit.DefaultSchedule().ConfigApplyPriorityUpdate("lazy").ConfigApplyDirection("DensePull"),
+			"lazy_win8": graphit.DefaultSchedule().ConfigApplyPriorityUpdate("lazy").ConfigNumBuckets(8),
+		}
+		for sname, sched := range schedules {
+			got, err := WidestPath(g, src, sched)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, sname, err)
+			}
+			for v := range want {
+				if got.Capacity[v] != want[v] {
+					t.Fatalf("%s/%s: capacity[%d] = %d, want %d",
+						gname, sname, v, got.Capacity[v], want[v])
+				}
+			}
+			if got.Stats.Rounds == 0 {
+				t.Errorf("%s/%s: no rounds", gname, sname)
+			}
+		}
+	}
+}
+
+func TestWidestPathRejectsEagerSchedules(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	if _, err := WidestPath(g, 0, graphit.DefaultSchedule()); err == nil {
+		t.Fatal("eager schedule must be rejected for higher_first queues")
+	}
+}
+
+func TestWidestPathSourceCapacity(t *testing.T) {
+	g := testGraphs(t)["road"]
+	src := graphit.VertexID(5)
+	res, err := WidestPath(g, src, graphit.DefaultSchedule().ConfigApplyPriorityUpdate("lazy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reachable capacity is bounded by the source's.
+	for v, c := range res.Capacity {
+		if c != graphit.NullMax && c > res.Capacity[src] {
+			t.Fatalf("capacity[%d] = %d exceeds source %d", v, c, res.Capacity[src])
+		}
+	}
+}

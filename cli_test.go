@@ -1,0 +1,173 @@
+package graphit_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the four command-line tools and drives them
+// through a realistic session: generate a graph, run algorithms against
+// sequential verification, and push a DSL program through every graphitc
+// mode.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI round-trip builds binaries; skipped in -short mode")
+	}
+	binDir := t.TempDir()
+	dataDir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(binDir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	run := func(bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+	graphgen := build("graphgen")
+	ordered := build("ordered")
+	graphitc := build("graphitc")
+
+	// 1. Generate a road network (.bin) and a social graph (.wel).
+	roadBin := filepath.Join(dataDir, "road.bin")
+	run(graphgen, "-kind", "road", "-rows", "60", "-cols", "60", "-seed", "4", "-o", roadBin)
+	socialWel := filepath.Join(dataDir, "social.wel")
+	run(graphgen, "-kind", "rmat", "-scale", "10", "-edgefactor", "8", "-seed", "4", "-o", socialWel)
+
+	// 2. SSSP with verification against Dijkstra.
+	out := run(ordered, "-algo", "sssp", "-graph", roadBin, "-src", "0",
+		"-strategy", "eager_with_fusion", "-delta", "256", "-verify")
+	if !strings.Contains(out, "verify: OK") {
+		t.Fatalf("sssp verify missing:\n%s", out)
+	}
+	// 3. k-core (lazy constant-sum) with verification.
+	out = run(ordered, "-algo", "kcore", "-graph", socialWel, "-symmetrize",
+		"-strategy", "lazy_constant_sum", "-verify")
+	if !strings.Contains(out, "verify: OK") {
+		t.Fatalf("kcore verify missing:\n%s", out)
+	}
+	// 4. A* on the road network (it has coordinates in the .bin).
+	out = run(ordered, "-algo", "astar", "-graph", roadBin, "-src", "0", "-dst", "3599", "-delta", "64")
+	if !strings.Contains(out, "dist(0 -> 3599)") {
+		t.Fatalf("astar output unexpected:\n%s", out)
+	}
+	// 5. SetCover.
+	out = run(ordered, "-algo", "setcover", "-graph", socialWel, "-symmetrize")
+	if !strings.Contains(out, "cover size") {
+		t.Fatalf("setcover output unexpected:\n%s", out)
+	}
+
+	// 6. graphitc: check, ast, emit, run.
+	ssspGT := filepath.Join("testdata", "dsl", "sssp.gt")
+	if !strings.Contains(run(graphitc, "-check", ssspGT), "OK") {
+		t.Fatal("graphitc -check failed")
+	}
+	if !strings.Contains(run(graphitc, "-ast", ssspGT), "applyUpdatePriority") {
+		t.Fatal("graphitc -ast lost the operator")
+	}
+	if !strings.Contains(run(graphitc, "-emit", ssspGT), "graphit.RunOrdered") {
+		t.Fatal("graphitc -emit did not target the runtime")
+	}
+	schedFile := filepath.Join(dataDir, "sched.txt")
+	if err := os.WriteFile(schedFile, []byte(
+		`program->configApplyPriorityUpdate("s1", "lazy")->configApplyPriorityUpdateDelta("s1", "128");`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(graphitc, "-run", "-graph", roadBin, "-schedule", schedFile, "-stats", ssspGT, "0")
+	if !strings.Contains(out, "stats: rounds=") {
+		t.Fatalf("graphitc -run -stats output unexpected:\n%s", out)
+	}
+	// 7. PPSP DSL program prints the distance; cross-check with ordered.
+	ppspGT := filepath.Join("testdata", "dsl", "ppsp.gt")
+	dslOut := strings.TrimSpace(run(graphitc, "-run", "-graph", roadBin, ppspGT, "0", "1234"))
+	cliOut := run(ordered, "-algo", "ppsp", "-graph", roadBin, "-src", "0", "-dst", "1234", "-delta", "1")
+	if dslOut == "" || !strings.Contains(cliOut, "= "+firstLine(dslOut)) {
+		t.Fatalf("DSL ppsp (%q) and ordered ppsp disagree:\n%s", dslOut, cliOut)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestExamplesRun executes every example main to keep them working as the
+// library evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build binaries; skipped in -short mode")
+	}
+	examples := map[string]string{
+		"quickstart":  "all three implementations agree",
+		"roadnav":     "all methods agree on the shortest travel time",
+		"socialcore":  "broadcast cover",
+		"dslpipeline": "identical distances",
+		"autotune":    "scheduling-language form",
+	}
+	for name, marker := range examples {
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Fatalf("example %s output missing %q:\n%s", name, marker, out)
+			}
+		})
+	}
+}
+
+// TestCLIAutotune drives graphitc's autotuner end to end: the printed
+// schedule must be valid scheduling-language text that graphitc itself can
+// consume on a subsequent run.
+func TestCLIAutotune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	binDir := t.TempDir()
+	dataDir := t.TempDir()
+	graphitc := filepath.Join(binDir, "graphitc")
+	if out, err := exec.Command("go", "build", "-o", graphitc, "./cmd/graphitc").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	graphgen := filepath.Join(binDir, "graphgen")
+	if out, err := exec.Command("go", "build", "-o", graphgen, "./cmd/graphgen").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	roadBin := filepath.Join(dataDir, "road.bin")
+	if out, err := exec.Command(graphgen, "-kind", "road", "-rows", "50", "-cols", "50", "-o", roadBin).CombinedOutput(); err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, out)
+	}
+	out, err := exec.Command(graphitc, "-autotune", "-trials", "8", "-graph", roadBin,
+		filepath.Join("testdata", "dsl", "sssp.gt"), "0").Output()
+	if err != nil {
+		t.Fatalf("autotune: %v", err)
+	}
+	text := string(out)
+	if !strings.Contains(text, "configApplyPriorityUpdate") {
+		t.Fatalf("no schedule emitted:\n%s", text)
+	}
+	schedFile := filepath.Join(dataDir, "tuned.txt")
+	if err := os.WriteFile(schedFile, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out2, err := exec.Command(graphitc, "-run", "-graph", roadBin, "-schedule", schedFile,
+		filepath.Join("testdata", "dsl", "sssp.gt"), "0").CombinedOutput(); err != nil {
+		t.Fatalf("running with the autotuned schedule failed: %v\n%s", err, out2)
+	}
+}

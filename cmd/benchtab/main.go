@@ -1,0 +1,92 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (Section 6) on the synthetic dataset stand-ins, printing the
+// same rows/series the paper reports. See DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	benchtab                       # everything at medium scale
+//	benchtab -exp table6 -scale large
+//	benchtab -exp fig1,fig4,table4
+//	benchtab -workers 1,2,4,8      # the Figure 11 sweep points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphit/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated: fig1, fig4, table4, table5, table6, table7, fig11, delta, autotune")
+		scale   = flag.String("scale", "medium", "small | medium | large")
+		workers = flag.String("workers", "1,2,4,8", "Figure 11 worker sweep")
+	)
+	flag.Parse()
+	s := bench.Scale(*scale)
+	switch s {
+	case bench.ScaleSmall, bench.ScaleMedium, bench.ScaleLarge:
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var ws []int
+	for _, part := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "benchtab: bad worker count %q\n", part)
+			os.Exit(2)
+		}
+		ws = append(ws, w)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string, f func()) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("fig1", func() {
+		t, _ := bench.Fig1(s)
+		fmt.Println(t)
+	})
+	run("fig4", func() {
+		t, _ := bench.Fig4(s)
+		fmt.Println(t)
+	})
+	run("table4", func() { fmt.Println(bench.Table4(s)) })
+	run("table5", func() {
+		t, err := bench.Table5()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return
+		}
+		fmt.Println(t)
+	})
+	run("table6", func() {
+		t, _ := bench.Table6(s)
+		fmt.Println(t)
+	})
+	run("table7", func() { fmt.Println(bench.Table7(s)) })
+	run("fig11", func() { fmt.Println(bench.Fig11(s, ws)) })
+	run("delta", func() { fmt.Println(bench.DeltaSweep(s)) })
+	run("autotune", func() {
+		t, worst := bench.Autotune(s)
+		fmt.Println(t)
+		fmt.Printf("worst autotuned/hand-tuned ratio: %.3f\n", worst)
+	})
+}

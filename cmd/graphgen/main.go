@@ -1,0 +1,93 @@
+// Command graphgen generates the synthetic dataset stand-ins used by the
+// experiments (DESIGN.md §3): R-MAT power-law graphs for the paper's social
+// networks and perturbed-grid road networks (with coordinates and
+// travel-time weights) for its road graphs.
+//
+// Usage:
+//
+//	graphgen -kind rmat -scale 16 -edgefactor 10 -seed 1 -o social.bin
+//	graphgen -kind road -rows 400 -cols 400 -o road.bin
+//	graphgen -kind uniform -n 100000 -edgefactor 8 -o er.wel
+//
+// The output format follows the extension: .bin (fast binary snapshot) or
+// .wel (portable weighted edge list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphit/internal/gen"
+	"graphit/internal/graph"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "rmat", "rmat | road | uniform")
+		scale      = flag.Int("scale", 16, "rmat: |V| = 2^scale")
+		edgeFactor = flag.Int("edgefactor", 10, "rmat/uniform: |E| = edgefactor * |V|")
+		n          = flag.Int("n", 1<<16, "uniform: number of vertices")
+		rows       = flag.Int("rows", 300, "road: grid rows")
+		cols       = flag.Int("cols", 300, "road: grid cols")
+		deleteFrac = flag.Float64("delete", 0.1, "road: fraction of grid edges removed")
+		diagFrac   = flag.Float64("diag", 0.05, "road: fraction of diagonal shortcuts added")
+		maxW       = flag.Int("maxweight", 1000, "rmat/uniform: weights uniform in [1, maxweight)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		symmetrize = flag.Bool("symmetrize", false, "symmetrize the output")
+		out        = flag.String("o", "", "output path (.bin or .wel)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -o output path is required")
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "rmat":
+		opt := gen.DefaultRMAT(*scale, *edgeFactor, *seed)
+		opt.MaxW = int32(*maxW)
+		opt.Symmetrize = *symmetrize
+		g, err = gen.RMAT(opt)
+	case "road":
+		g, err = gen.Road(gen.RoadOptions{
+			Rows: *rows, Cols: *cols,
+			DeleteFrac: *deleteFrac, DiagFrac: *diagFrac, Seed: *seed,
+		})
+	case "uniform":
+		g, err = gen.UniformRandom(*n, *edgeFactor, int32(*maxW), *seed)
+		if err == nil && *symmetrize {
+			g, err = g.Symmetrized()
+		}
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	fatal(err)
+
+	f, err := os.Create(*out)
+	fatal(err)
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(*out, ".bin"):
+		fatal(graph.WriteBinary(f, g))
+	case strings.HasSuffix(*out, ".wel"):
+		for _, e := range g.Edges() {
+			if _, err := fmt.Fprintf(f, "%d %d %d\n", e.Src, e.Dst, e.W); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unsupported output extension (want .bin or .wel): %s", *out))
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: wrote %s to %s\n", g, *out)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Command graphitc is the GraphIt DSL compiler: it parses, type-checks,
+// analyzes, and schedules a .gt program (paper Figures 3 and 8), then
+// either emits Go source (the paper's Figure 9 code generation) or executes
+// the program directly on the ordered runtime.
+//
+// Usage:
+//
+//	graphitc -emit prog.gt [-schedule sched.txt]        # Go source to stdout
+//	graphitc -run prog.gt -graph g.wel [args...]        # execute the plan
+//	graphitc -check prog.gt                             # front end only
+//	graphitc -ast prog.gt                               # pretty-print the AST
+//	graphitc -autotune prog.gt -graph g.wel [args...]   # search for a schedule
+//
+// When running, extra positional arguments become the program's argv
+// (argv[1] is the graph path when -graph is not given).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphit"
+	"graphit/internal/autotune"
+	"graphit/internal/graph"
+	"graphit/internal/lang"
+)
+
+func main() {
+	var (
+		emit      = flag.Bool("emit", false, "emit generated Go source to stdout")
+		run       = flag.Bool("run", false, "execute the program")
+		check     = flag.Bool("check", false, "parse and type-check only")
+		ast       = flag.Bool("ast", false, "pretty-print the parsed AST")
+		tune      = flag.Bool("autotune", false, "search for the best schedule on the given graph and print it")
+		trials    = flag.Int("trials", 40, "autotune: maximum candidate schedules to try")
+		schedFile = flag.String("schedule", "", "file with extra scheduling commands (overrides the program's schedule block)")
+		graphPath = flag.String("graph", "", "graph file (.el/.wel/.gr/.bin); overrides load(argv[1])")
+		symmetric = flag.Bool("symmetrize", false, "symmetrize the loaded graph (k-core/SetCover inputs)")
+		stats     = flag.Bool("stats", false, "print execution counters after -run")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: graphitc [-emit|-run|-check|-ast] prog.gt [program args...]")
+		os.Exit(2)
+	}
+	srcPath := flag.Arg(0)
+	src, err := os.ReadFile(srcPath)
+	fatal(err)
+
+	if *ast {
+		prog, err := lang.Parse(string(src))
+		fatal(err)
+		fmt.Print(prog.String())
+		return
+	}
+
+	plan, err := graphit.CompileDSL(string(src))
+	fatal(err)
+	if *schedFile != "" {
+		text, err := os.ReadFile(*schedFile)
+		fatal(err)
+		fatal(plan.ApplySchedule(string(text)))
+	}
+
+	switch {
+	case *check:
+		fmt.Printf("%s: OK\n", srcPath)
+	case *tune:
+		argv := append([]string{srcPath}, flag.Args()[1:]...)
+		opt := graphit.ExecOptions{Argv: argv}
+		if *graphPath != "" {
+			g, err := graph.LoadFile(*graphPath, graph.BuildOptions{
+				Weighted: true, InEdges: true, Symmetrize: *symmetric,
+			})
+			fatal(err)
+			opt.Graph = g
+			opt.Argv = append([]string{srcPath, *graphPath}, flag.Args()[1:]...)
+		}
+		res, text, err := plan.Autotune(opt, autotune.Options{
+			MaxTrials: *trials, Repeats: 2, Seed: 1,
+		})
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "autotune: best of %d trials runs in %.4fs: %s\n",
+			len(res.Trials), res.Cost.Seconds(), res.Best)
+		fmt.Println(text)
+	case *emit:
+		out, err := plan.EmitGo()
+		fatal(err)
+		fmt.Print(out)
+	case *run:
+		argv := append([]string{srcPath}, flag.Args()[1:]...)
+		opt := graphit.ExecOptions{Argv: argv}
+		if *graphPath != "" {
+			g, err := graph.LoadFile(*graphPath, graph.BuildOptions{
+				Weighted:   true,
+				InEdges:    true,
+				Symmetrize: *symmetric,
+			})
+			fatal(err)
+			opt.Graph = g
+			// Keep argv positions aligned with the paper's convention.
+			opt.Argv = append([]string{srcPath, *graphPath}, flag.Args()[1:]...)
+		}
+		res, err := plan.Execute(opt)
+		fatal(err)
+		for _, line := range res.Printed {
+			fmt.Println(line)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "stats: %s\n", res.Stats)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "graphitc: one of -emit, -run, -check, -ast, -autotune is required")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphitc:", err)
+		os.Exit(1)
+	}
+}

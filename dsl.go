@@ -1,0 +1,38 @@
+package graphit
+
+import (
+	"os"
+
+	"graphit/internal/lang/codegen"
+)
+
+// The DSL facade: compile GraphIt algorithm-language programs (paper
+// Figure 3) with scheduling blocks (Figure 8) into executable plans or
+// generated Go source (Figure 9).
+
+// Plan is a compiled GraphIt program. Obtain one with CompileDSL or
+// CompileDSLFile, optionally refine its schedule with ApplySchedule, then
+// Execute it or EmitGo it.
+type Plan = codegen.Plan
+
+// ExecOptions configure a plan execution (graph, argv, extern bindings).
+type ExecOptions = codegen.ExecOptions
+
+// ExecResult is a plan execution's outcome (vectors, stats, printed lines).
+type ExecResult = codegen.ExecResult
+
+// ExternFunc is a host-bound implementation of a DSL `extern func`.
+type ExternFunc = codegen.ExternFunc
+
+// CompileDSL compiles GraphIt source text: parse, type check, run the
+// paper's program analyses, and resolve the embedded schedule block.
+func CompileDSL(src string) (*Plan, error) { return codegen.Compile(src) }
+
+// CompileDSLFile compiles a .gt file.
+func CompileDSLFile(path string) (*Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return codegen.Compile(string(b))
+}

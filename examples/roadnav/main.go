@@ -1,0 +1,116 @@
+// Roadnav: point-to-point navigation on a synthetic road network — the
+// workload where the paper's bucket fusion optimization shines (Table 6)
+// and where A* beats plain ∆-stepping by searching toward the target.
+//
+// The example generates a large-diameter road grid with coordinates and
+// travel-time weights, then answers one navigation query four ways:
+//
+//  1. full SSSP, eager without fusion (GAPBS's strategy)
+//  2. full SSSP, eager with bucket fusion (the paper's optimization)
+//  3. PPSP with early termination
+//  4. A* with the Euclidean heuristic
+//
+// Run with:
+//
+//	go run ./examples/roadnav
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"graphit"
+	"graphit/algo"
+)
+
+func main() {
+	const side = 250
+	g, err := graphit.RoadGrid(graphit.RoadOptions{
+		Rows: side, Cols: side,
+		DeleteFrac: 0.1, // dead ends and detours
+		DiagFrac:   0.05,
+		Seed:       2020,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("road network: %v (diameter ≈ %d hops)\n", g, 2*side)
+
+	src := graphit.VertexID(0)                    // top-left corner
+	dst := graphit.VertexID(side*side/2 + side/2) // city center
+	delta := int64(1 << 10)                       // road networks want large ∆ (paper §6.2)
+
+	type result struct {
+		name string
+		time time.Duration
+		dist int64
+		st   graphit.Stats
+	}
+	var results []result
+	run := func(name string, f func() (int64, graphit.Stats, error)) {
+		start := time.Now()
+		d, st, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		results = append(results, result{name, time.Since(start), d, st})
+	}
+
+	run("SSSP eager (no fusion)", func() (int64, graphit.Stats, error) {
+		r, err := algo.SSSP(g, src, graphit.DefaultSchedule().
+			ConfigApplyPriorityUpdate("eager_no_fusion").
+			ConfigApplyPriorityUpdateDelta(delta))
+		if err != nil {
+			return 0, graphit.Stats{}, err
+		}
+		return r.Dist[dst], r.Stats, nil
+	})
+	run("SSSP eager + bucket fusion", func() (int64, graphit.Stats, error) {
+		r, err := algo.SSSP(g, src, graphit.DefaultSchedule().
+			ConfigApplyPriorityUpdate("eager_with_fusion").
+			ConfigApplyPriorityUpdateDelta(delta))
+		if err != nil {
+			return 0, graphit.Stats{}, err
+		}
+		return r.Dist[dst], r.Stats, nil
+	})
+	run("PPSP (early termination)", func() (int64, graphit.Stats, error) {
+		r, err := algo.PPSP(g, src, dst, graphit.DefaultSchedule().
+			ConfigApplyPriorityUpdate("eager_with_fusion").
+			ConfigApplyPriorityUpdateDelta(delta))
+		if err != nil {
+			return 0, graphit.Stats{}, err
+		}
+		return r.Dist[dst], r.Stats, nil
+	})
+	run("A* (Euclidean heuristic)", func() (int64, graphit.Stats, error) {
+		r, err := algo.AStar(g, src, dst, graphit.DefaultSchedule().
+			ConfigApplyPriorityUpdate("eager_with_fusion").
+			ConfigApplyPriorityUpdateDelta(delta))
+		if err != nil {
+			return 0, graphit.Stats{}, err
+		}
+		return r.Dist[dst], r.Stats, nil
+	})
+
+	fmt.Printf("\n%-28s %10s %10s %9s %8s %12s\n",
+		"method", "time", "dist", "rounds", "fused", "relaxations")
+	for _, r := range results {
+		fmt.Printf("%-28s %9.1fms %10d %9d %8d %12d\n",
+			r.name, float64(r.time.Microseconds())/1000, r.dist,
+			r.st.Rounds, r.st.FusedRounds, r.st.Relaxations)
+	}
+
+	// All four must agree on the shortest distance (the heuristic is
+	// admissible and coarsening inversions are clamped, so A* and PPSP
+	// terminate with the exact answer here).
+	for _, r := range results[1:] {
+		if r.dist != results[0].dist {
+			log.Fatalf("distance mismatch: %s found %d, %s found %d",
+				results[0].name, results[0].dist, r.name, r.dist)
+		}
+	}
+	fmt.Println("\nall methods agree on the shortest travel time ✓")
+	fmt.Println("note how fusion collapses synchronized rounds, and how PPSP/A* relax far fewer edges")
+}

@@ -1,0 +1,3 @@
+module graphit
+
+go 1.22

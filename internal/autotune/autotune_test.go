@@ -1,0 +1,132 @@
+package autotune
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"graphit/internal/core"
+)
+
+// synthetic cost model: lazy is bad, eager_with_fusion with delta near 2^8
+// is optimal — the tuner must find the basin.
+func syntheticMeasure(cfg core.Config) (time.Duration, error) {
+	cost := 100.0
+	switch cfg.Strategy {
+	case core.EagerWithFusion:
+		cost -= 40
+	case core.EagerNoFusion:
+		cost -= 25
+	case core.Lazy:
+		cost -= 5
+	}
+	// Parabolic delta response around 2^8.
+	exp := 0
+	for d := cfg.Delta; d > 1; d >>= 1 {
+		exp++
+	}
+	diff := float64(exp - 8)
+	cost += diff * diff
+	return time.Duration(cost * float64(time.Millisecond)), nil
+}
+
+func TestTuneFindsBasin(t *testing.T) {
+	res, err := Tune(DefaultSpace(), syntheticMeasure, Options{MaxTrials: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Strategy != core.EagerWithFusion {
+		t.Errorf("best strategy = %v", res.Best.Strategy)
+	}
+	if res.Best.DeltaExp < 5 || res.Best.DeltaExp > 11 {
+		t.Errorf("best delta exp = %d, want near 8", res.Best.DeltaExp)
+	}
+	if len(res.Trials) == 0 || len(res.Trials) > 40 {
+		t.Errorf("trials = %d", len(res.Trials))
+	}
+	// Trials are sorted best-first.
+	for i := 1; i < len(res.Trials); i++ {
+		a, b := res.Trials[i-1], res.Trials[i]
+		if a.Err == nil && b.Err == nil && a.Cost > b.Cost {
+			t.Fatal("trials not sorted by cost")
+		}
+	}
+}
+
+func TestTuneDeterministicPerSeed(t *testing.T) {
+	a, err := Tune(DefaultSpace(), syntheticMeasure, Options{MaxTrials: 25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(DefaultSpace(), syntheticMeasure, Options{MaxTrials: 25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best {
+		t.Errorf("same seed, different winners: %v vs %v", a.Best, b.Best)
+	}
+}
+
+func TestTuneSkipsFailingCandidates(t *testing.T) {
+	measure := func(cfg core.Config) (time.Duration, error) {
+		if cfg.Strategy != core.Lazy {
+			return 0, fmt.Errorf("unsupported")
+		}
+		return time.Millisecond, nil
+	}
+	res, err := Tune(DefaultSpace(), measure, Options{MaxTrials: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Strategy != core.Lazy {
+		t.Errorf("best = %v, want the only working strategy", res.Best.Strategy)
+	}
+}
+
+func TestTuneAllFailing(t *testing.T) {
+	measure := func(core.Config) (time.Duration, error) {
+		return 0, fmt.Errorf("nope")
+	}
+	if _, err := Tune(DefaultSpace(), measure, Options{MaxTrials: 10, Seed: 3}); err == nil {
+		t.Fatal("expected an error when every candidate fails")
+	}
+}
+
+func TestTuneRespectsBudget(t *testing.T) {
+	calls := 0
+	measure := func(core.Config) (time.Duration, error) {
+		calls++
+		time.Sleep(2 * time.Millisecond)
+		return time.Millisecond, nil
+	}
+	_, err := Tune(DefaultSpace(), measure, Options{MaxTrials: 1000, Budget: 20 * time.Millisecond, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 100 {
+		t.Errorf("budget ignored: %d measurements", calls)
+	}
+}
+
+func TestConstantSumGating(t *testing.T) {
+	space := DefaultSpace()
+	space.AllowConstantSum = true
+	sawCS := false
+	measure := func(cfg core.Config) (time.Duration, error) {
+		if cfg.Strategy == core.LazyConstantSum {
+			sawCS = true
+			return time.Millisecond, nil
+		}
+		return 10 * time.Millisecond, nil
+	}
+	res, err := Tune(space, measure, Options{MaxTrials: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawCS {
+		t.Error("constant-sum strategy never tried despite being allowed")
+	}
+	if res.Best.Strategy != core.LazyConstantSum {
+		t.Errorf("best = %v", res.Best.Strategy)
+	}
+}

@@ -1,0 +1,267 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 6) on this repository's
+// synthetic dataset stand-ins. cmd/benchtab drives it from the command
+// line; the root bench_test.go exposes one testing.B benchmark per
+// table/figure.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"graphit/internal/gen"
+	"graphit/internal/graph"
+)
+
+// Scale selects dataset sizes. The paper's graphs span 1.2M–3.9B edges;
+// this repository defaults to laptop-scale stand-ins whose *structure*
+// (degree skew, diameter) matches each class, which is what the relative
+// results depend on.
+type Scale string
+
+const (
+	// ScaleSmall is for tests and quick runs (seconds).
+	ScaleSmall Scale = "small"
+	// ScaleMedium is the default benchmarking scale (tens of seconds).
+	ScaleMedium Scale = "medium"
+	// ScaleLarge stresses the engines (minutes).
+	ScaleLarge Scale = "large"
+)
+
+// Dataset is one named graph with its paper counterpart.
+type Dataset struct {
+	// Name is the stand-in name, e.g. "LJ-sim".
+	Name string
+	// PaperName is the dataset it substitutes (Table 3).
+	PaperName string
+	// Class is "social" or "road".
+	Class string
+	Graph *graph.Graph
+	// BestDeltaExp is the hand-tuned ∆ exponent for ∆-stepping (paper
+	// §6.2: social 1–100, road 2^13–2^17; scaled-down graphs want
+	// correspondingly smaller road deltas).
+	BestDeltaExp int
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Dataset{}
+)
+
+// rmatScale returns (scale, edgeFactor) per Scale for a social stand-in.
+func rmatSize(s Scale, heavy bool) (int, int) {
+	switch s {
+	case ScaleSmall:
+		if heavy {
+			return 12, 16
+		}
+		return 12, 8
+	case ScaleLarge:
+		if heavy {
+			return 18, 24
+		}
+		return 18, 12
+	default:
+		if heavy {
+			return 15, 20
+		}
+		return 15, 10
+	}
+}
+
+func roadSize(s Scale) int {
+	switch s {
+	case ScaleSmall:
+		return 100
+	case ScaleLarge:
+		return 900
+	default:
+		return 350
+	}
+}
+
+// Social returns the core social-network stand-ins used by the headline
+// comparisons (directed, weights [1,1000)).
+func Social(s Scale) []*Dataset {
+	return []*Dataset{
+		socialDS("LJ-sim", "LiveJournal", s, false, 101),
+		socialDS("TW-sim", "Twitter", s, true, 202),
+	}
+}
+
+// SocialAll returns the full social/web roster of paper Table 3: OK and FT
+// stand-ins are denser, WB-sim uses web-graph R-MAT skew.
+func SocialAll(s Scale) []*Dataset {
+	return append(Social(s),
+		socialDS("OK-sim", "Orkut", s, true, 404),
+		socialDS("FT-sim", "Friendster", s, true, 505),
+		webDS("WB-sim", "WebGraph", s, 606),
+	)
+}
+
+// Road returns the headline road-network stand-in (symmetric, travel-time
+// weights, coordinates for A*).
+func Road(s Scale) []*Dataset {
+	return []*Dataset{roadDS("RD-sim", "RoadUSA", s, 303, 1.0)}
+}
+
+// RoadAll returns the full road roster of paper Table 3: Germany (~half of
+// RoadUSA's vertices) and Massachusetts (small).
+func RoadAll(s Scale) []*Dataset {
+	return append(Road(s),
+		roadDS("GE-sim", "Germany", s, 707, 0.7),
+		roadDS("MA-sim", "Massachusetts", s, 808, 0.25),
+	)
+}
+
+// All returns the headline social + road stand-ins.
+func All(s Scale) []*Dataset {
+	return append(Social(s), Road(s)...)
+}
+
+// Everything returns the full Table 3 roster.
+func Everything(s Scale) []*Dataset {
+	return append(SocialAll(s), RoadAll(s)...)
+}
+
+// webDS builds a web-graph stand-in: stronger R-MAT skew (larger A
+// quadrant) than the social defaults, matching web graphs' deeper
+// power-law tails.
+func webDS(name, paper string, s Scale, seed int64) *Dataset {
+	key := fmt.Sprintf("%s/%s", name, s)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if d, ok := cache[key]; ok {
+		return d
+	}
+	sc, ef := rmatSize(s, true)
+	opt := gen.RMATOptions{
+		Scale: sc, EdgeFac: ef,
+		A: 0.65, B: 0.15, C: 0.15,
+		Seed: seed, MaxW: 1000, InEdges: true,
+	}
+	g, err := gen.RMAT(opt)
+	if err != nil {
+		panic(err)
+	}
+	d := &Dataset{
+		Name: name, PaperName: paper, Class: "social", Graph: g,
+		BestDeltaExp: 4,
+	}
+	cache[key] = d
+	return d
+}
+
+func socialDS(name, paper string, s Scale, heavy bool, seed int64) *Dataset {
+	key := fmt.Sprintf("%s/%s", name, s)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if d, ok := cache[key]; ok {
+		return d
+	}
+	sc, ef := rmatSize(s, heavy)
+	g, err := gen.RMAT(gen.DefaultRMAT(sc, ef, seed))
+	if err != nil {
+		panic(err)
+	}
+	d := &Dataset{
+		Name: name, PaperName: paper, Class: "social", Graph: g,
+		// Social networks want small deltas (paper: 1–100).
+		BestDeltaExp: 4,
+	}
+	cache[key] = d
+	return d
+}
+
+func roadDS(name, paper string, s Scale, seed int64, sizeFrac float64) *Dataset {
+	key := fmt.Sprintf("%s/%s", name, s)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if d, ok := cache[key]; ok {
+		return d
+	}
+	side := int(float64(roadSize(s)) * sizeFrac)
+	if side < 20 {
+		side = 20
+	}
+	g, err := gen.Road(gen.RoadOptions{
+		Rows: side, Cols: side, DeleteFrac: 0.1, DiagFrac: 0.05, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	d := &Dataset{
+		Name: name, PaperName: paper, Class: "road", Graph: g,
+		// Road networks want large deltas (paper: 2^13–2^17 at city/continent
+		// scale; the grid stand-ins peak around 2^10–2^13).
+		BestDeltaExp: 11,
+	}
+	cache[key] = d
+	return d
+}
+
+// Symmetrized returns the dataset's symmetric graph (cached), as the paper
+// symmetrizes inputs for k-core and SetCover.
+func (d *Dataset) Symmetrized() *graph.Graph {
+	key := d.Name + "/sym/" + fmt.Sprint(d.Graph.NumVertices())
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := cache[key]; ok {
+		return c.Graph
+	}
+	if d.Graph.Symmetric() {
+		cache[key] = d
+		return d.Graph
+	}
+	sg, err := d.Graph.Symmetrized()
+	if err != nil {
+		panic(err)
+	}
+	cache[key] = &Dataset{Graph: sg}
+	return sg
+}
+
+// LogWeighted returns a copy of the dataset's graph with weights in
+// [1, log n), the wBFS convention (paper Table 4's † graphs). The copy is
+// cached; the original is untouched.
+func (d *Dataset) LogWeighted() *graph.Graph {
+	key := d.Name + "/logw"
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := cache[key]; ok {
+		return c.Graph
+	}
+	edges := d.Graph.Edges()
+	g, err := graph.Build(edges, graph.BuildOptions{
+		NumVertices: d.Graph.NumVertices(),
+		Weighted:    true,
+		InEdges:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	gen.LogWeights(g, 42)
+	cache[key] = &Dataset{Graph: g}
+	return g
+}
+
+// table6Datasets mirrors paper Table 6's graph selection (TW, FT, WB, RD).
+func table6Datasets(s Scale) []*Dataset {
+	return []*Dataset{
+		socialDS("TW-sim", "Twitter", s, true, 202),
+		socialDS("FT-sim", "Friendster", s, true, 505),
+		webDS("WB-sim", "WebGraph", s, 606),
+		roadDS("RD-sim", "RoadUSA", s, 303, 1.0),
+	}
+}
+
+// table7Datasets mirrors paper Table 7's selection (LJ, TW, FT, WB, RD).
+func table7Datasets(s Scale) []*Dataset {
+	return []*Dataset{
+		socialDS("LJ-sim", "LiveJournal", s, false, 101),
+		socialDS("TW-sim", "Twitter", s, true, 202),
+		socialDS("FT-sim", "Friendster", s, true, 505),
+		webDS("WB-sim", "WebGraph", s, 606),
+		roadDS("RD-sim", "RoadUSA", s, 303, 1.0),
+	}
+}

@@ -1,0 +1,45 @@
+// Package bucket implements the two bucketing data structures that the
+// paper's priority-based extension unifies (paper §3):
+//
+//   - Lazy: a Julienne-style bucket structure with a materialized window of
+//     open buckets plus an overflow bucket, updated in bulk once per round
+//     from a deduplicated buffer (paper Figure 5).
+//   - LocalBins: GAPBS-style thread-local bins used by the eager engine,
+//     updated immediately when a priority changes (paper Figure 6), and the
+//     substrate on which bucket fusion operates (paper Figure 7).
+//
+// Bucket identifiers are coarsened priorities: bkt = floor(priority / ∆)
+// when priority coarsening is enabled, or the raw priority otherwise. The
+// structures store vertex ids only; the authoritative priority lives in the
+// user's priority vector, which is consulted to filter stale entries on
+// extraction (the paper's optimized interface that replaced Julienne's
+// lambda calls, §5.1).
+package bucket
+
+import "math"
+
+// NullBkt marks a vertex that is in no bucket (the paper's null priority ∅).
+const NullBkt = int64(math.MaxInt64)
+
+// Order is the processing order of buckets.
+type Order int
+
+const (
+	// Increasing processes the smallest bucket first (lower_first queues:
+	// SSSP, wBFS, PPSP, A*, k-core).
+	Increasing Order = iota
+	// Decreasing processes the largest bucket first (higher_first queues:
+	// SetCover's cost-per-element buckets).
+	Decreasing
+)
+
+func (o Order) String() string {
+	if o == Decreasing {
+		return "decreasing"
+	}
+	return "increasing"
+}
+
+// BktFunc reports the current bucket of a vertex, or NullBkt if the vertex
+// should not appear in any bucket (finalized or never activated).
+type BktFunc func(v uint32) int64

@@ -1,0 +1,71 @@
+package bucket
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the bucketing substrates: the per-operation costs
+// these measure are the constants behind the paper's lazy-vs-eager
+// tradeoff (§3).
+
+func BenchmarkLazyInsertPopCycle(b *testing.B) {
+	const n = 1 << 14
+	prio := make([]int64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range prio {
+		prio[i] = int64(rng.Intn(1024))
+	}
+	bktOf := func(v uint32) int64 { return prio[v] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := NewLazy(n, Increasing, 128, bktOf)
+		for {
+			bid, verts := l.Next()
+			if bid == NullBkt {
+				break
+			}
+			_ = verts
+		}
+	}
+	b.ReportMetric(float64(n), "vertices")
+}
+
+func BenchmarkLazyUpdateBuckets(b *testing.B) {
+	const n = 1 << 14
+	prio := make([]int64, n)
+	for i := range prio {
+		prio[i] = int64(i % 997)
+	}
+	l := NewLazy(n, Increasing, 128, func(v uint32) int64 { return prio[v] })
+	batch := make([]uint32, 256)
+	for i := range batch {
+		batch[i] = uint32(i * 13 % n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.UpdateBuckets(batch)
+	}
+}
+
+func BenchmarkLocalBinsInsert(b *testing.B) {
+	lb := &LocalBins{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lb.Insert(int64(i%512), uint32(i))
+		if i%(1<<16) == 0 {
+			lb.Reset()
+		}
+	}
+}
+
+func BenchmarkLocalBinsMinNonEmpty(b *testing.B) {
+	lb := &LocalBins{}
+	for i := 0; i < 1024; i += 37 {
+		lb.Insert(int64(i), uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lb.MinNonEmpty(int64(i % 1024))
+	}
+}

@@ -1,0 +1,70 @@
+package bucket
+
+// LocalBins is one worker's thread-local bucket array for the eager engine,
+// mirroring the `vector<vector<uint>> local_bins` of the paper's generated
+// eager code (Figure 9(c)). Bins are indexed directly by bucket id (eager
+// ordering is Increasing only, matching GAPBS) and grown on demand.
+//
+// A LocalBins is owned by exactly one worker; no synchronization is needed
+// for Insert. The eager engine coordinates workers only at round barriers
+// and when copying bins into the shared global frontier.
+type LocalBins struct {
+	bins [][]uint32
+	// Inserts counts bucket insertions by this worker. Unlike the lazy
+	// approach, the eager approach may insert the same vertex several times
+	// per round (paper §3.2); this counter exposes that cost.
+	Inserts int64
+}
+
+// Insert appends v to bin b, growing the bin array as needed.
+func (lb *LocalBins) Insert(b int64, v uint32) {
+	if b < 0 {
+		b = 0
+	}
+	for int64(len(lb.bins)) <= b {
+		lb.bins = append(lb.bins, nil)
+	}
+	lb.bins[b] = append(lb.bins[b], v)
+	lb.Inserts++
+}
+
+// MinNonEmpty returns the smallest bin id >= from that is non-empty, or
+// NullBkt if none. Each worker proposes this value at the end of a round and
+// the engine takes the global minimum (paper Figure 6, line 8).
+func (lb *LocalBins) MinNonEmpty(from int64) int64 {
+	if from < 0 {
+		from = 0
+	}
+	for b := from; b < int64(len(lb.bins)); b++ {
+		if len(lb.bins[b]) > 0 {
+			return b
+		}
+	}
+	return NullBkt
+}
+
+// Take removes and returns bin b's contents (nil if empty or out of range).
+func (lb *LocalBins) Take(b int64) []uint32 {
+	if b < 0 || b >= int64(len(lb.bins)) {
+		return nil
+	}
+	out := lb.bins[b]
+	lb.bins[b] = nil
+	return out
+}
+
+// Len returns the size of bin b without removing it.
+func (lb *LocalBins) Len(b int64) int {
+	if b < 0 || b >= int64(len(lb.bins)) {
+		return 0
+	}
+	return len(lb.bins[b])
+}
+
+// Reset clears all bins (for structure reuse across runs).
+func (lb *LocalBins) Reset() {
+	for i := range lb.bins {
+		lb.bins[i] = nil
+	}
+	lb.Inserts = 0
+}

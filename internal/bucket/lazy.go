@@ -1,0 +1,225 @@
+package bucket
+
+// Lazy is a Julienne-style bucket structure. Only NumOpen buckets are
+// materialized at a time; vertices whose bucket lies outside the current
+// window are kept in a single overflow bucket and re-bucketed when the
+// window advances (paper §5.1). All updates happen through UpdateBuckets,
+// once per vertex per round (the "lazy bucket update" approach, Figure 5).
+//
+// Lazy is not safe for concurrent use; the lazy engine performs its parallel
+// work in the edge-map phase and calls UpdateBuckets from a single
+// goroutine, exactly as the generated code in paper Figure 9(a) does after
+// its parallel_for.
+type Lazy struct {
+	order   Order
+	numOpen int
+	bktOf   BktFunc
+
+	open [][]uint32 // open[i] holds bucket id base ± i (sign per order)
+	over []uint32   // overflow bucket
+	base int64      // bucket id of open[0]
+	cur  int        // index into open of the next candidate bucket
+
+	// started is set by the first Next call; before that, updates may
+	// freely re-bucket vertices anywhere (initialization order).
+	started bool
+
+	// A vertex can accumulate one stale copy per re-bucketing; epoch-based
+	// deduplication guarantees each vertex appears at most once per
+	// extracted bucket and once per redistributed overflow, even when old
+	// copies collapse into the same bucket after a window advance.
+	epoch    []uint64
+	curEpoch uint64
+
+	// Stats.
+	Inserts    int64 // total bucket insertions (incl. overflow)
+	Rebuckets  int64 // overflow re-distribution passes
+	Inversions int64 // updates that landed before the current bucket
+}
+
+// NewLazy creates a lazy bucket structure over vertices [0, n) with the
+// given extraction order and number of materialized buckets. Every vertex
+// whose bktOf is non-null is placed in a bucket. numOpen <= 0 selects
+// Julienne's default of 128 open buckets.
+func NewLazy(n int, order Order, numOpen int, bktOf BktFunc) *Lazy {
+	if numOpen <= 0 {
+		numOpen = 128
+	}
+	l := &Lazy{
+		order:   order,
+		numOpen: numOpen,
+		bktOf:   bktOf,
+		open:    make([][]uint32, numOpen),
+		epoch:   make([]uint64, n),
+	}
+	// Find the initial window base: the extreme bucket value present.
+	base := NullBkt
+	for v := 0; v < n; v++ {
+		b := bktOf(uint32(v))
+		if b == NullBkt {
+			continue
+		}
+		if base == NullBkt || l.before(b, base) {
+			base = b
+		}
+	}
+	l.base = base
+	for v := 0; v < n; v++ {
+		b := bktOf(uint32(v))
+		if b == NullBkt {
+			continue
+		}
+		l.place(uint32(v), b)
+	}
+	return l
+}
+
+// before reports whether bucket a is processed strictly before bucket b.
+func (l *Lazy) before(a, b int64) bool {
+	if l.order == Increasing {
+		return a < b
+	}
+	return a > b
+}
+
+// slot returns the window index of bucket b relative to base, or -1 if b is
+// outside the window.
+func (l *Lazy) slot(b int64) int {
+	var d int64
+	if l.order == Increasing {
+		d = b - l.base
+	} else {
+		d = l.base - b
+	}
+	if d < 0 || d >= int64(l.numOpen) {
+		return -1
+	}
+	return int(d)
+}
+
+// place inserts v into the bucket for id b (window or overflow).
+//
+// Updates that land before the bucket currently being processed are
+// priority inversions (only possible for workloads that violate the
+// paper's monotonicity contract, e.g. an inconsistent A* heuristic). They
+// are routed to the overflow bucket: the next window advance re-buckets
+// them at their true priority, so they are processed (possibly out of
+// order) rather than lost.
+func (l *Lazy) place(v uint32, b int64) {
+	l.Inserts++
+	if l.base == NullBkt {
+		// Window was empty; open it at b.
+		l.base, l.cur = b, 0
+	}
+	s := l.slot(b)
+	if s >= 0 && (!l.started || s >= l.cur) {
+		l.open[s] = append(l.open[s], v)
+		return
+	}
+	if l.started && l.before(b, l.currentID()) {
+		l.Inversions++
+	}
+	l.over = append(l.over, v)
+}
+
+// currentID returns the bucket id at the current window cursor.
+func (l *Lazy) currentID() int64 {
+	if l.order == Increasing {
+		return l.base + int64(l.cur)
+	}
+	return l.base - int64(l.cur)
+}
+
+// SetBktFunc replaces the bucket function consulted by UpdateBuckets, Next,
+// and window advances. Engines that restrict initial bucketing to a source
+// set install the unrestricted function after construction.
+func (l *Lazy) SetBktFunc(f BktFunc) { l.bktOf = f }
+
+// UpdateBuckets re-buckets each vertex in ids according to bktOf. Callers
+// must have deduplicated ids (at most one occurrence per vertex); stale
+// copies from earlier rounds are tolerated and filtered on extraction.
+func (l *Lazy) UpdateBuckets(ids []uint32) {
+	for _, v := range ids {
+		if b := l.bktOf(v); b != NullBkt {
+			l.place(v, b)
+		}
+	}
+}
+
+// Next extracts the next non-empty bucket in priority order, filtering stale
+// entries (vertices whose current bucket no longer matches). It returns the
+// bucket id and its vertices, or (NullBkt, nil) when no buckets remain. The
+// returned slice is owned by the caller.
+func (l *Lazy) Next() (int64, []uint32) {
+	l.started = true
+	for {
+		for ; l.cur < l.numOpen; l.cur++ {
+			bid := l.currentID()
+			bkt := l.open[l.cur]
+			if len(bkt) == 0 {
+				continue
+			}
+			l.open[l.cur] = nil
+			// Filter stale entries and duplicate copies in place.
+			l.curEpoch++
+			live := bkt[:0]
+			for _, v := range bkt {
+				if l.bktOf(v) == bid && l.epoch[v] != l.curEpoch {
+					l.epoch[v] = l.curEpoch
+					live = append(live, v)
+				}
+			}
+			if len(live) > 0 {
+				return bid, live
+			}
+		}
+		if !l.advanceWindow() {
+			return NullBkt, nil
+		}
+	}
+}
+
+// advanceWindow re-buckets the overflow into a fresh window. It returns
+// false when the structure is exhausted.
+func (l *Lazy) advanceWindow() bool {
+	if len(l.over) == 0 {
+		return false
+	}
+	l.Rebuckets++
+	// New base: the extreme live bucket id in the overflow. Duplicate
+	// copies of a vertex are dropped here — they all map to the same
+	// bucket now, so keeping one is enough.
+	next := NullBkt
+	l.curEpoch++
+	live := l.over[:0]
+	for _, v := range l.over {
+		b := l.bktOf(v)
+		if b == NullBkt || l.epoch[v] == l.curEpoch {
+			continue
+		}
+		l.epoch[v] = l.curEpoch
+		live = append(live, v)
+		if next == NullBkt || l.before(b, next) {
+			next = b
+		}
+	}
+	over := live
+	l.over = nil
+	if next == NullBkt {
+		return false
+	}
+	l.base, l.cur = next, 0
+	for _, v := range over {
+		b := l.bktOf(v)
+		if s := l.slot(b); s >= 0 {
+			l.open[s] = append(l.open[s], v)
+		} else {
+			l.over = append(l.over, v)
+		}
+	}
+	return true
+}
+
+// CurrentBucket returns the id of the bucket most recently returned by Next
+// (the bucket the engine is processing). Valid only between Next calls.
+func (l *Lazy) CurrentBucket() int64 { return l.currentID() }

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"graphit/internal/atomicutil"
+	"graphit/internal/bucket"
+	"graphit/internal/parallel"
+)
+
+// runEager executes the operator with eager bucket updates (paper Figure 6)
+// and, for EagerWithFusion, the bucket fusion optimization (Figure 7).
+//
+// The execution mirrors the paper's generated OpenMP code (Figure 9(c)):
+// a parallel region in which every worker repeatedly (1) drains dynamic
+// chunks of the shared global frontier, relaxing edges into its thread-local
+// bins, (2) optionally fuses rounds on its current local bin, (3) proposes
+// the next bucket, and (4) after a barrier, copies its local bin for the
+// chosen bucket into the new shared frontier.
+func (o *Ordered) runEager() (Stats, error) {
+	fusion := o.Cfg.Strategy == EagerWithFusion
+	if fusion && o.Cfg.Direction == DensePull {
+		return Stats{}, fmt.Errorf("core: bucket fusion requires SparsePush traversal")
+	}
+	n := o.G.NumVertices()
+	if o.FinalizeOnPop {
+		o.fin = atomicutil.NewFlags(n)
+	}
+
+	// Initial active set and bucket assignment.
+	active := o.initialActive()
+	if len(active) == 0 {
+		return Stats{}, nil
+	}
+	curBin := bucket.NullBkt
+	for _, v := range active {
+		if b := o.bucketOf(o.Prio[v]); b < curBin {
+			curBin = b
+		}
+	}
+
+	w := o.Cfg.Workers
+	if w <= 0 {
+		w = parallel.Workers()
+	}
+	grain := o.Cfg.Grain
+	if grain <= 0 {
+		grain = parallel.DefaultGrain
+	}
+
+	bins := make([]*bucket.LocalBins, w)
+	for i := range bins {
+		bins[i] = &bucket.LocalBins{}
+	}
+	var frontier []uint32
+	for i, v := range active {
+		if b := o.bucketOf(o.Prio[v]); b == curBin {
+			frontier = append(frontier, v)
+		} else {
+			// Pre-distribute the rest round-robin across workers' bins.
+			bins[i%w].Insert(b, v)
+		}
+	}
+
+	if o.Stop != nil && o.Stop(curBin*o.Cfg.Delta) {
+		return Stats{}, nil
+	}
+
+	s := &eagerShared{
+		frontier: frontier,
+		sizes:    make([]int64, w),
+		offsets:  make([]int64, w+1),
+		stats:    Stats{Rounds: 1},
+	}
+	s.nextBin.Store(bucket.NullBkt)
+	barrier := parallel.NewBarrier(w)
+
+	var pull *pullState
+	if o.Cfg.Direction == DensePull {
+		pull = newPullState(o, n)
+		pull.markFrontier(s.frontier, curBin)
+	} else if o.FinalizeOnPop {
+		// Push mode finalizes at pop time inside processVertex.
+	}
+	if o.OnRound != nil {
+		o.OnRound(1, curBin, len(s.frontier))
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(worker int) {
+			defer wg.Done()
+			o.eagerWorker(worker, w, grain, curBin, fusion, bins[worker], s, pull, barrier)
+		}(wk)
+	}
+	wg.Wait()
+
+	st := s.stats
+	for _, b := range bins {
+		st.BucketInserts += b.Inserts
+	}
+	return st, nil
+}
+
+// eagerShared is the state shared by all eager workers.
+type eagerShared struct {
+	frontier []uint32
+	cursor   atomic.Int64 // dynamic chunk cursor into frontier
+	nextBin  atomic.Int64
+	sizes    []int64
+	offsets  []int64
+	stopped  atomic.Bool
+	stats    Stats // global counters, updated by worker 0 at barriers
+	statsMu  sync.Mutex
+}
+
+// foldUpdater accumulates a worker's per-round counters into the shared stats.
+func (s *eagerShared) foldUpdater(u *Updater, fused int64) {
+	s.statsMu.Lock()
+	s.stats.Relaxations += u.relaxations
+	s.stats.Inversions += u.inversions
+	s.stats.Processed += u.processed
+	s.stats.FusedRounds += fused
+	s.statsMu.Unlock()
+	u.relaxations, u.inversions, u.processed = 0, 0, 0
+}
+
+// pullState is the extra state for DensePull traversal: a dense frontier map.
+type pullState struct {
+	o      *Ordered
+	inFron []uint32
+	old    []uint32 // previous frontier, for clearing
+}
+
+func newPullState(o *Ordered, n int) *pullState {
+	return &pullState{o: o, inFron: make([]uint32, n)}
+}
+
+// markFrontier sets the dense bits for frontier members that pass the stale
+// filter (and finalizes them when FinalizeOnPop). Called serially between
+// rounds, or split across workers.
+func (p *pullState) markFrontier(frontier []uint32, curBin int64) {
+	o := p.o
+	for _, v := range frontier {
+		if o.bucketOf(atomicutil.Load(&o.Prio[v])) != curBin {
+			continue
+		}
+		if o.fin != nil && !o.fin.TrySet(v) {
+			continue
+		}
+		atomic.StoreUint32(&p.inFron[v], 1)
+	}
+	p.old = frontier
+}
+
+func (p *pullState) clearRange(lo, hi int) {
+	for _, v := range p.old[lo:hi] {
+		atomic.StoreUint32(&p.inFron[v], 0)
+	}
+}
+
+// eagerWorker is one worker's round loop.
+func (o *Ordered) eagerWorker(worker, w, grain int, curBin int64, fusion bool,
+	myBins *bucket.LocalBins, s *eagerShared, pull *pullState, barrier *parallel.Barrier) {
+
+	u := &Updater{
+		o:       o,
+		atomics: pull == nil,
+		bins:    myBins,
+	}
+	n := o.G.NumVertices()
+
+	for {
+		u.curBin = curBin
+		u.curPrio = curBin * o.Cfg.Delta
+		var fused int64
+
+		// Phase 1: drain the shared frontier in dynamic chunks.
+		if pull == nil {
+			fsize := len(s.frontier)
+			for {
+				lo := int(s.cursor.Add(int64(grain))) - grain
+				if lo >= fsize {
+					break
+				}
+				hi := lo + grain
+				if hi > fsize {
+					hi = fsize
+				}
+				for _, v := range s.frontier[lo:hi] {
+					o.processPush(v, curBin, u)
+				}
+			}
+			// Phase 1b: bucket fusion (paper Figure 7, lines 14–21): keep
+			// processing this worker's current bin locally while it stays
+			// below the threshold, without any global synchronization.
+			if fusion {
+				for {
+					sz := myBins.Len(curBin)
+					if sz == 0 || sz > o.Cfg.FusionThreshold {
+						break
+					}
+					mine := myBins.Take(curBin)
+					fused++
+					for _, v := range mine {
+						o.processPush(v, curBin, u)
+					}
+				}
+			}
+		} else {
+			// DensePull: every worker scans dynamic chunks of all vertices,
+			// pulling from in-neighbors that are in the dense frontier.
+			for {
+				lo := int(s.cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					break
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for v := lo; v < hi; v++ {
+					o.processPull(uint32(v), pull, u)
+				}
+			}
+		}
+
+		// Phase 2: propose the next bucket (paper Figure 6, line 8).
+		if p := myBins.MinNonEmpty(curBin); p != bucket.NullBkt {
+			atomicMinInt64(&s.nextBin, p)
+		}
+		s.foldUpdater(u, fused)
+		barrier.Wait() // B1: all proposals in; frontier fully processed.
+
+		nb := s.nextBin.Load()
+		if nb == bucket.NullBkt {
+			return
+		}
+		if o.Stop != nil && o.Stop(nb*o.Cfg.Delta) {
+			// Stop is a pure function of state that is stable between
+			// barriers, so every worker takes this branch consistently.
+			return
+		}
+		if pull != nil {
+			// Clear the old dense frontier cooperatively.
+			per := (len(pull.old) + w - 1) / w
+			lo, hi := worker*per, (worker+1)*per
+			if lo > len(pull.old) {
+				lo = len(pull.old)
+			}
+			if hi > len(pull.old) {
+				hi = len(pull.old)
+			}
+			pull.clearRange(lo, hi)
+		}
+		mine := myBins.Take(nb)
+		s.sizes[worker] = int64(len(mine))
+		barrier.Wait() // B2: sizes published, old frontier cleared.
+
+		if worker == 0 {
+			var total int64
+			for i, sz := range s.sizes {
+				s.offsets[i] = total
+				total += sz
+			}
+			s.offsets[w] = total
+			s.frontier = make([]uint32, total)
+			s.cursor.Store(0)
+			s.nextBin.Store(bucket.NullBkt)
+			s.stats.Rounds++
+			s.stats.GlobalSyncs += 4
+			if o.OnRound != nil {
+				o.OnRound(s.stats.Rounds, nb, int(total))
+			}
+		}
+		barrier.Wait() // B3: new frontier allocated, counters reset.
+
+		copy(s.frontier[s.offsets[worker]:s.offsets[worker+1]], mine)
+		curBin = nb
+		barrier.Wait() // B4: frontier contents complete.
+
+		if pull != nil {
+			// Re-mark the dense frontier cooperatively over the new list.
+			per := (len(s.frontier) + w - 1) / w
+			lo, hi := worker*per, (worker+1)*per
+			if lo > len(s.frontier) {
+				lo = len(s.frontier)
+			}
+			if hi > len(s.frontier) {
+				hi = len(s.frontier)
+			}
+			pull.markSlice(s.frontier[lo:hi], curBin)
+			barrier.Wait() // B5 (pull only): dense frontier ready.
+			if worker == 0 {
+				pull.old = s.frontier
+				s.stats.GlobalSyncs++
+			}
+			barrier.Wait() // B6 (pull only): old-list swap visible.
+		}
+	}
+}
+
+// markSlice is markFrontier over a sub-slice (cooperative marking).
+func (p *pullState) markSlice(frontier []uint32, curBin int64) {
+	o := p.o
+	for _, v := range frontier {
+		if o.bucketOf(atomicutil.Load(&o.Prio[v])) != curBin {
+			continue
+		}
+		if o.fin != nil && !o.fin.TrySet(v) {
+			continue
+		}
+		atomic.StoreUint32(&p.inFron[v], 1)
+	}
+}
+
+// processPush applies the UDF to the out-edges of v if v still belongs to
+// the current bucket (GAPBS's stale-entry filter) and, under FinalizeOnPop,
+// has not already been processed.
+func (o *Ordered) processPush(v uint32, curBin int64, u *Updater) {
+	b := o.bucketOf(atomicutil.Load(&o.Prio[v]))
+	if b == bucket.NullBkt || b < curBin {
+		return // stale: already handled in an earlier bucket
+	}
+	if o.fin != nil && !o.fin.TrySet(v) {
+		return // already finalized (k-core processes each vertex once)
+	}
+	u.processed++
+	g := o.G
+	neigh := g.OutNeigh(v)
+	wts := g.OutWts(v)
+	for i, d := range neigh {
+		var wt int32
+		if wts != nil {
+			wt = wts[i]
+		}
+		u.relaxations++
+		o.Apply(v, d, wt, u)
+	}
+}
+
+// processPull applies the UDF to the in-edges of v that originate in the
+// dense frontier. v is owned by exactly one worker this round, so its
+// priority updates need no atomics.
+func (o *Ordered) processPull(v uint32, pull *pullState, u *Updater) {
+	if o.fin != nil && o.fin.IsSet(v) {
+		return // finalized vertices accept no further updates
+	}
+	g := o.G
+	neigh := g.InNeighbors(v)
+	wts := g.InWeights(v)
+	touched := false
+	for i, src := range neigh {
+		if atomic.LoadUint32(&pull.inFron[src]) == 0 {
+			continue
+		}
+		var wt int32
+		if wts != nil {
+			wt = wts[i]
+		}
+		u.relaxations++
+		o.Apply(src, v, wt, u)
+		touched = true
+	}
+	if touched {
+		u.processed++
+	}
+}
+
+// initialActive returns the initial active vertex set: Sources if given,
+// otherwise every vertex with a non-null priority.
+func (o *Ordered) initialActive() []uint32 {
+	if o.Sources != nil {
+		null := o.nullPrio()
+		act := make([]uint32, 0, len(o.Sources))
+		for _, v := range o.Sources {
+			if o.Prio[v] != null {
+				act = append(act, v)
+			}
+		}
+		return act
+	}
+	null := o.nullPrio()
+	var act []uint32
+	for v, p := range o.Prio {
+		if p != null {
+			act = append(act, uint32(v))
+		}
+	}
+	return act
+}
+
+// atomicMinInt64 lowers *p to v if v is smaller.
+func atomicMinInt64(p *atomic.Int64, v int64) {
+	for {
+		old := p.Load()
+		if v >= old {
+			return
+		}
+		if p.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+
+	"graphit/internal/atomicutil"
+	"graphit/internal/bucket"
+	"graphit/internal/histogram"
+	"graphit/internal/parallel"
+)
+
+// runLazy executes the operator with lazy bucket updates (paper Figure 5):
+// each round extracts the next bucket, applies the edge UDF over the
+// frontier collecting changed vertices into a deduplicated buffer, and then
+// performs a single bulk bucket update. Under LazyConstantSum the per-edge
+// updates are replaced by histogram counting plus one transformed-UDF
+// application per touched vertex (paper Figure 10).
+func (o *Ordered) runLazy() (Stats, error) {
+	if o.Cfg.Workers > 0 {
+		prev := parallel.SetWorkers(o.Cfg.Workers)
+		defer parallel.SetWorkers(prev)
+	}
+	n := o.G.NumVertices()
+	if o.FinalizeOnPop {
+		o.fin = atomicutil.NewFlags(n)
+	}
+
+	// bktOf consults the authoritative priority vector, so stale bucket
+	// entries are filtered on extraction (§5.1's optimized interface).
+	bktOf := func(v uint32) int64 {
+		if o.fin != nil && o.fin.IsSet(v) {
+			return bucket.NullBkt
+		}
+		return o.bucketOf(atomicutil.Load(&o.Prio[v]))
+	}
+	// Initial bucketing is restricted to Sources when given.
+	initBkt := bktOf
+	if o.Sources != nil {
+		mask := make([]bool, n)
+		for _, v := range o.Sources {
+			mask[v] = true
+		}
+		initBkt = func(v uint32) int64 {
+			if !mask[v] {
+				return bucket.NullBkt
+			}
+			return bktOf(v)
+		}
+	}
+	lz := bucket.NewLazy(n, o.Order, o.Cfg.NumBuckets, initBkt)
+	// After construction, re-bucketing must consult priorities for every
+	// vertex, not just the initial sources.
+	lz.SetBktFunc(bktOf)
+
+	w := parallel.Workers()
+	updaters := make([]*Updater, w)
+	for i := range updaters {
+		updaters[i] = &Updater{o: o, atomics: true}
+	}
+	var dedup *atomicutil.Flags
+	if !o.Cfg.NoDedup {
+		dedup = atomicutil.NewFlags(n)
+	}
+	var hist *histogram.Counter
+	if o.Cfg.Strategy == LazyConstantSum {
+		hist = histogram.New(n)
+	}
+	var inFron, nextMap []bool
+	if o.Cfg.Direction != SparsePush {
+		inFron = make([]bool, n)
+		nextMap = make([]bool, n)
+	}
+	// setDirection configures the per-worker updaters for one round's
+	// traversal direction (fixed for SparsePush/DensePull, per-round under
+	// Hybrid).
+	setDirection := func(pull bool) {
+		for _, u := range updaters {
+			if pull {
+				u.atomics, u.next, u.dedup = false, nextMap, nil
+			} else {
+				u.atomics, u.next, u.dedup = true, nil, dedup
+			}
+		}
+	}
+	// Hybrid threshold: pull when the frontier's out-edge volume exceeds
+	// |E|/20 (Ligra's heuristic, used by Julienne's direction optimizer).
+	pullThreshold := int64(o.G.NumEdges()) / 20
+
+	var st Stats
+	fold := func() {
+		for _, u := range updaters {
+			st.Relaxations += u.relaxations
+			st.Inversions += u.inversions
+			st.Processed += u.processed
+			u.relaxations, u.inversions, u.processed = 0, 0, 0
+		}
+	}
+
+	for {
+		bid, verts := lz.Next()
+		if bid == bucket.NullBkt {
+			break
+		}
+		curPrio := bid * o.Cfg.Delta
+		if o.Stop != nil && o.Stop(curPrio) {
+			break
+		}
+		st.Rounds++
+		if o.OnRound != nil {
+			o.OnRound(st.Rounds, bid, len(verts))
+		}
+		if o.fin != nil {
+			// Finalize dequeued vertices first so intra-bucket updates to
+			// them are rejected (k-core: coreness is fixed at dequeue).
+			for _, v := range verts {
+				o.fin.TrySet(v)
+			}
+		}
+		for _, u := range updaters {
+			u.curBin, u.curPrio = bid, curPrio
+		}
+
+		var updated []uint32
+		switch {
+		case o.Cfg.Strategy == LazyConstantSum:
+			updated = o.lazyConstantSumRound(verts, curPrio, hist, updaters, &st)
+		default:
+			pull := o.Cfg.Direction == DensePull
+			if o.Cfg.Direction == Hybrid {
+				// The direction optimizer's per-round decision — and its
+				// cost, an out-degree sum over the frontier, the overhead
+				// the paper calls out in Julienne's SSSP (§6.2).
+				pull = o.G.TotalOutDegree(verts)+int64(len(verts)) > pullThreshold
+			}
+			setDirection(pull)
+			if pull {
+				st.PullRounds++
+				updated = o.lazyPullRound(verts, inFron, nextMap, updaters)
+			} else {
+				updated = o.lazyPushRound(verts, updaters)
+				if dedup != nil {
+					dedup.ResetList(updated)
+				}
+			}
+		}
+		fold()
+		// One global synchronization per round: the buffer reduction plus
+		// bulkUpdateBuckets (paper Figure 5, lines 12–13).
+		st.GlobalSyncs++
+		lz.UpdateBuckets(updated)
+	}
+	fold()
+	st.BucketInserts += lz.Inserts
+	st.WindowAdvances += lz.Rebuckets
+	st.Inversions += lz.Inversions
+	return st, nil
+}
+
+// lazyPushRound applies the UDF over the out-edges of the frontier with
+// atomic updates, collecting changed vertices once each (CAS dedup) into
+// per-worker buffers (the outEdges buffer of paper Figure 9(a)).
+func (o *Ordered) lazyPushRound(verts []uint32, updaters []*Updater) []uint32 {
+	g := o.G
+	parallel.ForChunks(len(verts), o.Cfg.Grain, func(lo, hi, worker int) {
+		u := updaters[worker]
+		for _, v := range verts[lo:hi] {
+			u.processed++
+			neigh := g.OutNeigh(v)
+			wts := g.OutWts(v)
+			for i, d := range neigh {
+				var wt int32
+				if wts != nil {
+					wt = wts[i]
+				}
+				u.relaxations++
+				o.Apply(v, d, wt, u)
+			}
+		}
+	})
+	var total int
+	for _, u := range updaters {
+		total += len(u.out)
+	}
+	updated := make([]uint32, 0, total)
+	for _, u := range updaters {
+		updated = append(updated, u.out...)
+		u.out = u.out[:0]
+	}
+	return updated
+}
+
+// lazyPullRound applies the UDF over the in-edges of all vertices against a
+// dense frontier; destination updates need no atomics (paper Figure 9(b)).
+func (o *Ordered) lazyPullRound(verts []uint32, inFron, nextMap []bool, updaters []*Updater) []uint32 {
+	g := o.G
+	n := g.NumVertices()
+	for _, v := range verts {
+		inFron[v] = true
+	}
+	parallel.ForChunks(n, o.Cfg.Grain, func(lo, hi, worker int) {
+		u := updaters[worker]
+		for v := lo; v < hi; v++ {
+			d := uint32(v)
+			if o.fin != nil && o.fin.IsSet(d) {
+				continue
+			}
+			neigh := g.InNeighbors(d)
+			wts := g.InWeights(d)
+			touched := false
+			for i, s := range neigh {
+				if !inFron[s] {
+					continue
+				}
+				var wt int32
+				if wts != nil {
+					wt = wts[i]
+				}
+				u.relaxations++
+				o.Apply(s, d, wt, u)
+				touched = true
+			}
+			if touched {
+				u.processed++
+			}
+		}
+	})
+	ids := parallel.IotaU32(n)
+	updated := parallel.PackU32(ids, func(i int) bool { return nextMap[i] })
+	for _, v := range verts {
+		inFron[v] = false
+	}
+	for _, v := range updated {
+		nextMap[v] = false
+	}
+	return updated
+}
+
+// lazyConstantSumRound implements the histogram reduction (paper Figure 10):
+// count updates per destination over the frontier's out-edges, then apply
+// the compiler-transformed UDF once per touched vertex.
+func (o *Ordered) lazyConstantSumRound(verts []uint32, curPrio int64,
+	hist *histogram.Counter, updaters []*Updater, st *Stats) []uint32 {
+
+	g := o.G
+	parallel.ForChunks(len(verts), o.Cfg.Grain, func(lo, hi, worker int) {
+		u := updaters[worker]
+		for _, v := range verts[lo:hi] {
+			u.processed++
+			for _, d := range g.OutNeigh(v) {
+				u.relaxations++
+				if o.fin != nil && o.fin.IsSet(d) {
+					continue
+				}
+				hist.Add(d)
+			}
+		}
+	})
+	floor := int64(math.MinInt64 + 1)
+	if o.SumFloorIsCurrent {
+		floor = curPrio
+	}
+	updated := make([]uint32, 0, hist.Touched())
+	hist.Drain(func(v uint32, count int64) {
+		if o.fin != nil && o.fin.IsSet(v) {
+			return
+		}
+		p := o.Prio[v]
+		if p == o.nullPrio() {
+			return
+		}
+		// Transformed UDF (Figure 10 bottom): only vertices strictly after
+		// the current priority move; the result is clamped at the floor.
+		if o.Order == bucket.Increasing && p <= curPrio {
+			return
+		}
+		if o.Order == bucket.Decreasing && p >= curPrio {
+			return
+		}
+		next := p + o.SumConst*count
+		if o.Order == bucket.Increasing && next < floor {
+			next = floor
+		}
+		if next == p {
+			return
+		}
+		o.Prio[v] = next
+		updated = append(updated, v)
+	})
+	return updated
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"graphit/internal/atomicutil"
+	"graphit/internal/bucket"
+	"graphit/internal/histogram"
+	"graphit/internal/parallel"
+)
+
+// Manual is the step-wise execution mode behind the public PriorityQueue
+// API: the user drives the while loop themselves (paper Figure 3, lines
+// 17–21), dequeuing ready sets and applying edge functions one round at a
+// time. Manual mode always uses lazy bucketing — the eager transformation
+// is only legal when the compiler (or RunOrdered) owns the whole loop and
+// can verify the bucket has no other uses (paper §5.2).
+type Manual struct {
+	o        *Ordered
+	lz       *bucket.Lazy
+	dedup    *atomicutil.Flags
+	updaters []*Updater
+	hist     *histogram.Counter
+	inFron   []bool
+	nextMap  []bool
+
+	curBkt   int64
+	frontier []uint32
+	popped   bool
+	st       Stats
+}
+
+// NewManual validates the operator and prepares step-wise execution.
+func NewManual(o *Ordered) (*Manual, error) {
+	o.Cfg.normalize()
+	switch o.Cfg.Strategy {
+	case EagerWithFusion, EagerNoFusion:
+		return nil, fmt.Errorf("core: manual (user-driven) loops require a lazy schedule; " +
+			"the eager transformation applies only when the runtime owns the loop")
+	}
+	if o.Cfg.Direction == Hybrid {
+		return nil, fmt.Errorf("core: manual loops use a fixed direction; choose SparsePush or DensePull")
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	n := o.G.NumVertices()
+	if o.FinalizeOnPop {
+		o.fin = atomicutil.NewFlags(n)
+	}
+	bktOf := func(v uint32) int64 {
+		if o.fin != nil && o.fin.IsSet(v) {
+			return bucket.NullBkt
+		}
+		return o.bucketOf(atomicutil.Load(&o.Prio[v]))
+	}
+	initBkt := bktOf
+	if o.Sources != nil {
+		mask := make([]bool, n)
+		for _, v := range o.Sources {
+			mask[v] = true
+		}
+		initBkt = func(v uint32) int64 {
+			if !mask[v] {
+				return bucket.NullBkt
+			}
+			return bktOf(v)
+		}
+	}
+	m := &Manual{
+		o:     o,
+		lz:    bucket.NewLazy(n, o.Order, o.Cfg.NumBuckets, initBkt),
+		dedup: atomicutil.NewFlags(n),
+	}
+	m.lz.SetBktFunc(bktOf)
+	w := parallel.Workers()
+	m.updaters = make([]*Updater, w)
+	for i := range m.updaters {
+		m.updaters[i] = &Updater{o: o, atomics: true, dedup: m.dedup}
+	}
+	if o.Cfg.Strategy == LazyConstantSum {
+		m.hist = histogram.New(n)
+	}
+	if o.Cfg.Direction == DensePull {
+		m.inFron = make([]bool, n)
+		m.nextMap = make([]bool, n)
+		for _, u := range m.updaters {
+			u.atomics = false
+			u.next = m.nextMap
+		}
+	}
+	return m, nil
+}
+
+// ensurePopped extracts the next ready set if none is pending.
+func (m *Manual) ensurePopped() {
+	if m.popped {
+		return
+	}
+	m.curBkt, m.frontier = m.lz.Next()
+	m.popped = true
+}
+
+// Finished reports whether any bucket remains (pq.finished()).
+func (m *Manual) Finished() bool {
+	m.ensurePopped()
+	return m.curBkt == bucket.NullBkt
+}
+
+// GetCurrentPriority returns the priority of the ready bucket
+// (pq.getCurrentPriority()).
+func (m *Manual) GetCurrentPriority() int64 {
+	m.ensurePopped()
+	return m.curBkt * m.o.Cfg.Delta
+}
+
+// FinishedVertex reports whether v has been finalized.
+func (m *Manual) FinishedVertex(v uint32) bool {
+	return m.o.fin != nil && m.o.fin.IsSet(v)
+}
+
+// DequeueReadySet returns the vertices ready to be processed
+// (pq.dequeueReadySet()). It returns nil when the queue is finished. The
+// returned slice is owned by the caller until the next ApplyUpdatePriority.
+func (m *Manual) DequeueReadySet() []uint32 {
+	m.ensurePopped()
+	if m.curBkt == bucket.NullBkt {
+		return nil
+	}
+	if m.o.fin != nil {
+		for _, v := range m.frontier {
+			m.o.fin.TrySet(v)
+		}
+	}
+	return m.frontier
+}
+
+// ApplyUpdatePriority applies f to every out-edge of frontier under the
+// queue's lazy schedule and bulk-updates the buckets — one round of
+// `edges.from(bucket).applyUpdatePriority(f)`.
+func (m *Manual) ApplyUpdatePriority(frontier []uint32, f EdgeFunc) {
+	o := m.o
+	if f == nil {
+		f = o.Apply
+	}
+	o.Apply = f
+	m.st.Rounds++
+	curPrio := m.curBkt * o.Cfg.Delta
+	for _, u := range m.updaters {
+		u.curBin, u.curPrio = m.curBkt, curPrio
+	}
+	var updated []uint32
+	switch {
+	case o.Cfg.Strategy == LazyConstantSum:
+		updated = o.lazyConstantSumRound(frontier, curPrio, m.hist, m.updaters, &m.st)
+	case o.Cfg.Direction == DensePull:
+		updated = o.lazyPullRound(frontier, m.inFron, m.nextMap, m.updaters)
+	default:
+		updated = o.lazyPushRound(frontier, m.updaters)
+		m.dedup.ResetList(updated)
+	}
+	for _, u := range m.updaters {
+		m.st.Relaxations += u.relaxations
+		m.st.Inversions += u.inversions
+		m.st.Processed += u.processed
+		u.relaxations, u.inversions, u.processed = 0, 0, 0
+	}
+	m.st.GlobalSyncs++
+	m.lz.UpdateBuckets(updated)
+	m.popped = false
+	m.frontier = nil
+}
+
+// Stats returns counters accumulated so far.
+func (m *Manual) Stats() Stats {
+	st := m.st
+	st.BucketInserts = m.lz.Inserts
+	st.WindowAdvances = m.lz.Rebuckets
+	return st
+}

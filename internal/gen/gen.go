@@ -1,0 +1,222 @@
+// Package gen generates the synthetic stand-ins for the paper's datasets
+// (Table 3). The paper's social/web graphs (LiveJournal, Orkut, Twitter,
+// Friendster, WebGraph) are replaced by R-MAT power-law graphs, and its road
+// networks (Massachusetts, Germany, RoadUSA) by perturbed grid networks with
+// planar coordinates and Euclidean integer weights.
+//
+// The substitution preserves the two structural properties the paper's
+// evaluation hinges on: social graphs have low diameter and skewed degrees
+// (few big rounds → lazy/eager tradeoffs, little fusion opportunity), while
+// road graphs have huge diameter and bounded degree (tens of thousands of
+// tiny rounds → bucket fusion wins, Table 6).
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"graphit/internal/graph"
+)
+
+// RMATOptions parameterize an R-MAT/Kronecker generator.
+type RMATOptions struct {
+	Scale      int     // |V| = 2^Scale
+	EdgeFac    int     // |E| = EdgeFac * |V| (directed edges before dedup)
+	A, B, C    float64 // R-MAT quadrant probabilities (D = 1-A-B-C)
+	Seed       int64
+	MaxW       int32 // weights uniform in [1, MaxW); 0 means unweighted
+	InEdges    bool
+	Symmetrize bool
+}
+
+// DefaultRMAT are the Graph500 R-MAT parameters (A=0.57,B=0.19,C=0.19) used
+// as stand-ins for the social networks.
+func DefaultRMAT(scale, edgeFac int, seed int64) RMATOptions {
+	return RMATOptions{
+		Scale: scale, EdgeFac: edgeFac,
+		A: 0.57, B: 0.19, C: 0.19,
+		Seed: seed, MaxW: 1000, InEdges: true,
+	}
+}
+
+// RMAT builds an R-MAT graph.
+func RMAT(opt RMATOptions) (*graph.Graph, error) {
+	n := 1 << opt.Scale
+	m := opt.EdgeFac * n
+	rng := rand.New(rand.NewSource(opt.Seed))
+	edges := make([]graph.Edge, 0, m)
+	ab := opt.A + opt.B
+	cNorm := opt.C / (1 - ab)
+	aNorm := opt.A / ab
+	for i := 0; i < m; i++ {
+		src, dst := 0, 0
+		for bit := 1 << (opt.Scale - 1); bit > 0; bit >>= 1 {
+			// Pick a quadrant with noise, as in the Graph500 reference code.
+			if rng.Float64() > ab {
+				src |= bit
+				if rng.Float64() > cNorm {
+					dst |= bit
+				}
+			} else if rng.Float64() > aNorm {
+				dst |= bit
+			}
+		}
+		w := graph.Weight(1)
+		if opt.MaxW > 1 {
+			w = graph.Weight(1 + rng.Int31n(opt.MaxW-1))
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), W: w})
+	}
+	return graph.Build(edges, graph.BuildOptions{
+		NumVertices:      n,
+		Weighted:         opt.MaxW > 0,
+		InEdges:          opt.InEdges,
+		Symmetrize:       opt.Symmetrize,
+		RemoveDuplicates: true,
+		RemoveSelfLoops:  true,
+	})
+}
+
+// UniformRandom builds an Erdős–Rényi style directed multigraph with n
+// vertices and about edgeFac*n edges, weights uniform in [1, maxW).
+func UniformRandom(n, edgeFac int, maxW int32, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m := n * edgeFac
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		w := graph.Weight(1)
+		if maxW > 1 {
+			w = graph.Weight(1 + rng.Int31n(maxW-1))
+		}
+		edges = append(edges, graph.Edge{
+			Src: graph.VertexID(rng.Intn(n)),
+			Dst: graph.VertexID(rng.Intn(n)),
+			W:   w,
+		})
+	}
+	return graph.Build(edges, graph.BuildOptions{
+		NumVertices:      n,
+		Weighted:         maxW > 0,
+		InEdges:          true,
+		RemoveDuplicates: true,
+		RemoveSelfLoops:  true,
+	})
+}
+
+// RoadOptions parameterize the road-network generator.
+type RoadOptions struct {
+	Rows, Cols int
+	// DeleteFrac removes this fraction of grid edges, creating detours and
+	// irregular shortest-path structure (0.0–0.3 is realistic).
+	DeleteFrac float64
+	// DiagFrac adds this fraction of diagonal "highway" shortcuts.
+	DiagFrac float64
+	Seed     int64
+	// Jitter perturbs vertex coordinates by up to this many units to make
+	// Euclidean weights non-uniform.
+	Jitter int32
+}
+
+// Road builds a symmetric road-like network on a Rows×Cols grid with planar
+// coordinates and Euclidean integer weights ("original weights" in the
+// paper's terminology). The resulting diameter is Θ(Rows+Cols).
+func Road(opt RoadOptions) (*graph.Graph, error) {
+	if opt.Jitter == 0 {
+		opt.Jitter = 40
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := opt.Rows * opt.Cols
+	const cell = 100
+	coords := make([]graph.Point, n)
+	for r := 0; r < opt.Rows; r++ {
+		for c := 0; c < opt.Cols; c++ {
+			v := r*opt.Cols + c
+			coords[v] = graph.Point{
+				X: int32(c*cell) + rng.Int31n(2*opt.Jitter+1) - opt.Jitter,
+				Y: int32(r*cell) + rng.Int31n(2*opt.Jitter+1) - opt.Jitter,
+			}
+		}
+	}
+	dist := func(u, v int) graph.Weight {
+		dx := float64(coords[u].X - coords[v].X)
+		dy := float64(coords[u].Y - coords[v].Y)
+		d := math.Sqrt(dx*dx + dy*dy)
+		if d < 1 {
+			d = 1
+		}
+		// Round up so every weight is at least the Euclidean length of its
+		// edge; this keeps A*'s straight-line heuristic admissible (a
+		// floored weight could undercut the heuristic by rounding error).
+		return graph.Weight(math.Ceil(d))
+	}
+	var edges []graph.Edge
+	// Edge weights model travel time: Euclidean length times a road-class
+	// factor (highway/arterial/street/alley). The high weight variance is
+	// what makes unordered Bellman-Ford redundant on road networks, and
+	// every factor is >= 1 so A*'s straight-line heuristic stays
+	// admissible.
+	classes := []graph.Weight{1, 1, 2, 3, 5}
+	addBoth := func(u, v int) {
+		w := dist(u, v) * classes[rng.Intn(len(classes))]
+		edges = append(edges,
+			graph.Edge{Src: graph.VertexID(u), Dst: graph.VertexID(v), W: w},
+			graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(u), W: w})
+	}
+	// Each vertex decides whether to keep its "left" and "up" grid edges.
+	// Connectivity invariant: every vertex except the origin keeps at
+	// least one edge toward a lexicographically smaller vertex, so random
+	// deletions create detours and dead-end streets but never disconnect
+	// the network.
+	for r := 0; r < opt.Rows; r++ {
+		for c := 0; c < opt.Cols; c++ {
+			v := r*opt.Cols + c
+			hasLeft, hasUp := c > 0, r > 0
+			keepLeft := hasLeft && rng.Float64() >= opt.DeleteFrac
+			keepUp := hasUp && rng.Float64() >= opt.DeleteFrac
+			if hasLeft && !hasUp && !keepLeft {
+				keepLeft = true // top row: the left edge is the only way back
+			}
+			if hasUp && !keepLeft && !keepUp {
+				keepUp = true // keep the up edge as the fallback connector
+			}
+			if keepLeft {
+				addBoth(v, v-1)
+			}
+			if keepUp {
+				addBoth(v, v-opt.Cols)
+			}
+			if r > 0 && c > 0 && rng.Float64() < opt.DiagFrac {
+				addBoth(v, v-opt.Cols-1)
+			}
+		}
+	}
+	// Every edge was added in both directions, so symmetrizing only
+	// deduplicates and marks the graph symmetric (k-core/SetCover need it).
+	return graph.Build(edges, graph.BuildOptions{
+		NumVertices:     n,
+		Weighted:        true,
+		InEdges:         true,
+		Symmetrize:      true,
+		RemoveSelfLoops: true,
+		Coords:          coords,
+	})
+}
+
+// LogWeights rewrites g's weights uniformly in [1, log2(n)), the wBFS weight
+// convention from Julienne used in the paper's Table 4 (graphs marked †).
+func LogWeights(g *graph.Graph, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	max := int32(math.Ilogb(float64(g.NumVertices())))
+	if max < 2 {
+		max = 2
+	}
+	for i := range g.Wts {
+		g.Wts[i] = 1 + rng.Int31n(max-1)
+	}
+	// The in-CSR stores copies of the same weights; rebuild it so both
+	// directions agree on every edge's weight.
+	if g.HasInEdges() {
+		g.InOff, g.InNeigh, g.InWts = nil, nil, nil
+		g.EnsureInEdges()
+	}
+}

@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := RMAT(DefaultRMAT(10, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(DefaultRMAT(10, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	c, err := RMAT(DefaultRMAT(10, 8, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() == c.NumEdges() && equalNeigh(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func equalNeigh(a, b interface{ OutNeigh(uint32) []uint32 }) bool {
+	for v := uint32(0); v < 16; v++ {
+		x, y := a.OutNeigh(v), b.OutNeigh(v)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(12, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	maxDeg := g.MaxOutDegree()
+	avg := float64(g.NumEdges()) / float64(n)
+	// Power-law graphs have hubs far above the average degree.
+	if float64(maxDeg) < 10*avg {
+		t.Errorf("max degree %d not skewed vs average %.1f", maxDeg, avg)
+	}
+	if !g.Weighted() || !g.HasInEdges() {
+		t.Error("R-MAT stand-ins must be weighted with in-edges")
+	}
+	maxW := int32(0)
+	for _, w := range g.Wts {
+		if w < 1 {
+			t.Fatal("non-positive weight")
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW >= 1000 {
+		t.Errorf("weight %d outside [1,1000)", maxW)
+	}
+}
+
+func TestRoadProperties(t *testing.T) {
+	g, err := Road(RoadOptions{Rows: 40, Cols: 40, DeleteFrac: 0.1, DiagFrac: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Symmetric() {
+		t.Fatal("road graphs must be symmetric")
+	}
+	if !g.HasCoords() {
+		t.Fatal("road graphs must carry coordinates")
+	}
+	// Bounded degree: grid + diagonals caps at 8ish.
+	if g.MaxOutDegree() > 10 {
+		t.Errorf("road max degree %d too high", g.MaxOutDegree())
+	}
+	// Weights at least the Euclidean length of their edge (A*
+	// admissibility, DESIGN.md).
+	for v := 0; v < g.NumVertices(); v++ {
+		wts := g.OutWts(uint32(v))
+		for i, d := range g.OutNeigh(uint32(v)) {
+			dx := float64(g.Coord[v].X - g.Coord[d].X)
+			dy := float64(g.Coord[v].Y - g.Coord[d].Y)
+			euclid := math.Sqrt(dx*dx + dy*dy)
+			if float64(wts[i]) < euclid {
+				t.Fatalf("edge %d->%d weight %d below euclidean %f (breaks A*)", v, d, wts[i], euclid)
+			}
+		}
+	}
+}
+
+func TestRoadConnectedBackbone(t *testing.T) {
+	g, err := Road(RoadOptions{Rows: 30, Cols: 30, DeleteFrac: 0.25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from 0 must reach every vertex (deletions must not disconnect).
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := []uint32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range g.OutNeigh(v) {
+			if !seen[d] {
+				seen[d] = true
+				count++
+				queue = append(queue, d)
+			}
+		}
+	}
+	if count != n {
+		t.Fatalf("road graph disconnected: reached %d of %d", count, n)
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	g, err := UniformRandom(1000, 8, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 8000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestLogWeightsConsistentAcrossDirections(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(9, 6, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	LogWeights(g, 42)
+	// Every in-edge weight must match the corresponding out-edge weight.
+	for v := 0; v < g.NumVertices(); v++ {
+		iw := g.InWeights(uint32(v))
+		for i, s := range g.InNeighbors(uint32(v)) {
+			found := false
+			wts := g.OutWts(s)
+			for j, d := range g.OutNeigh(s) {
+				if d == uint32(v) && wts[j] == iw[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("in-edge (%d->%d, w=%d) has no matching out-edge", s, v, iw[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed weighted edge used by builders and loaders.
+type Edge struct {
+	Src, Dst VertexID
+	W        Weight
+}
+
+// BuildOptions control CSR construction.
+type BuildOptions struct {
+	// NumVertices forces |V|; 0 means max endpoint + 1.
+	NumVertices int
+	// Symmetrize adds the reverse of every edge (and marks the graph
+	// symmetric). The paper symmetrizes inputs for k-core and SetCover.
+	Symmetrize bool
+	// Weighted keeps edge weights; if false, weights are dropped.
+	Weighted bool
+	// InEdges also builds the transposed CSR (needed for DensePull).
+	InEdges bool
+	// RemoveDuplicates drops parallel edges, keeping the minimum weight.
+	RemoveDuplicates bool
+	// RemoveSelfLoops drops edges with Src == Dst.
+	RemoveSelfLoops bool
+	// Coords attaches per-vertex coordinates (may be nil).
+	Coords []Point
+}
+
+// Build constructs a CSR graph from an edge list. The edge list is consumed
+// (sorted in place).
+func Build(edges []Edge, opt BuildOptions) (*Graph, error) {
+	n := opt.NumVertices
+	for _, e := range edges {
+		if int(e.Src) >= n {
+			n = int(e.Src) + 1
+		}
+		if int(e.Dst) >= n {
+			n = int(e.Dst) + 1
+		}
+	}
+	if opt.NumVertices > 0 && n > opt.NumVertices {
+		return nil, fmt.Errorf("graph: edge endpoint exceeds NumVertices=%d", opt.NumVertices)
+	}
+	if opt.Coords != nil && len(opt.Coords) != n {
+		return nil, fmt.Errorf("graph: %d coords for %d vertices", len(opt.Coords), n)
+	}
+
+	if opt.RemoveSelfLoops {
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	if opt.Symmetrize {
+		rev := make([]Edge, 0, len(edges))
+		for _, e := range edges {
+			rev = append(rev, Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+		}
+		edges = append(edges, rev...)
+		// Symmetrizing introduces duplicates whenever both directions were
+		// already present; always dedup so degrees stay meaningful.
+		opt.RemoveDuplicates = true
+	}
+
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		if edges[i].Dst != edges[j].Dst {
+			return edges[i].Dst < edges[j].Dst
+		}
+		return edges[i].W < edges[j].W
+	})
+	if opt.RemoveDuplicates {
+		kept := edges[:0]
+		for i, e := range edges {
+			if i > 0 && e.Src == kept[len(kept)-1].Src && e.Dst == kept[len(kept)-1].Dst {
+				continue // keep first = minimum weight due to sort order
+			}
+			kept = append(kept, e)
+		}
+		edges = kept
+	}
+
+	g := &Graph{
+		n:         n,
+		m:         len(edges),
+		Off:       make([]int64, n+1),
+		Neigh:     make([]VertexID, len(edges)),
+		symmetric: opt.Symmetrize,
+		Coord:     opt.Coords,
+	}
+	if opt.Weighted {
+		g.Wts = make([]Weight, len(edges))
+	}
+	for _, e := range edges {
+		g.Off[e.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.Off[v+1] += g.Off[v]
+	}
+	for i, e := range edges {
+		g.Neigh[i] = e.Dst
+		if opt.Weighted {
+			g.Wts[i] = e.W
+		}
+		_ = i
+	}
+
+	if opt.InEdges {
+		buildInEdges(g)
+	}
+	return g, nil
+}
+
+// buildInEdges fills the transposed CSR from the out-CSR.
+func buildInEdges(g *Graph) {
+	g.InOff = make([]int64, g.n+1)
+	g.InNeigh = make([]VertexID, g.m)
+	if g.Wts != nil {
+		g.InWts = make([]Weight, g.m)
+	}
+	for _, d := range g.Neigh {
+		g.InOff[d+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		g.InOff[v+1] += g.InOff[v]
+	}
+	cursor := make([]int64, g.n)
+	copy(cursor, g.InOff[:g.n])
+	for s := 0; s < g.n; s++ {
+		for i := g.Off[s]; i < g.Off[s+1]; i++ {
+			d := g.Neigh[i]
+			at := cursor[d]
+			cursor[d]++
+			g.InNeigh[at] = VertexID(s)
+			if g.Wts != nil {
+				g.InWts[at] = g.Wts[i]
+			}
+		}
+	}
+}
+
+// EnsureInEdges builds the pull-direction CSR if absent.
+func (g *Graph) EnsureInEdges() {
+	if g.InOff == nil {
+		buildInEdges(g)
+	}
+}
+
+// Edges reconstructs the edge list of g (out-direction).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for v := 0; v < g.n; v++ {
+		ws := g.OutWts(VertexID(v))
+		for i, d := range g.OutNeigh(VertexID(v)) {
+			var w Weight
+			if ws != nil {
+				w = ws[i]
+			}
+			out = append(out, Edge{Src: VertexID(v), Dst: d, W: w})
+		}
+	}
+	return out
+}
+
+// Symmetrized returns a symmetrized copy of g (with in-edges aliased to the
+// out-edges, as they are identical in a symmetric graph).
+func (g *Graph) Symmetrized() (*Graph, error) {
+	sg, err := Build(g.Edges(), BuildOptions{
+		NumVertices:     g.n,
+		Symmetrize:      true,
+		Weighted:        g.Weighted(),
+		RemoveSelfLoops: true,
+		Coords:          g.Coord,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sg.InOff, sg.InNeigh, sg.InWts = sg.Off, sg.Neigh, sg.Wts
+	return sg, nil
+}

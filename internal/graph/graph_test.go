@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSimple(t *testing.T, opt BuildOptions) *Graph {
+	t.Helper()
+	edges := []Edge{
+		{0, 1, 5}, {0, 2, 3}, {1, 2, 1}, {2, 0, 2}, {2, 2, 9}, // self loop
+		{0, 1, 7}, // duplicate with larger weight
+	}
+	g, err := Build(edges, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasicCSR(t *testing.T) {
+	g := buildSimple(t, BuildOptions{Weighted: true})
+	if g.NumVertices() != 3 || g.NumEdges() != 6 {
+		t.Fatalf("got %v", g)
+	}
+	if g.OutDegree(0) != 3 { // 0->1 (x2), 0->2
+		t.Fatalf("deg(0) = %d", g.OutDegree(0))
+	}
+}
+
+func TestBuildDedupKeepsMinWeight(t *testing.T) {
+	g := buildSimple(t, BuildOptions{Weighted: true, RemoveDuplicates: true, RemoveSelfLoops: true})
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	// The 0->1 duplicate keeps weight 5 (the minimum).
+	neigh, wts := g.OutNeigh(0), g.OutWts(0)
+	for i, d := range neigh {
+		if d == 1 && wts[i] != 5 {
+			t.Fatalf("dedup kept weight %d, want 5", wts[i])
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := buildSimple(t, BuildOptions{Weighted: true, Symmetrize: true, RemoveSelfLoops: true})
+	if !g.Symmetric() {
+		t.Fatal("not marked symmetric")
+	}
+	// Every edge must have its reverse.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.OutNeigh(uint32(v)) {
+			found := false
+			for _, b := range g.OutNeigh(d) {
+				if int(b) == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("missing reverse of %d->%d", v, d)
+			}
+		}
+	}
+}
+
+func TestInEdgesMatchTranspose(t *testing.T) {
+	f := func(raw []Edge) bool {
+		edges := make([]Edge, 0, len(raw))
+		for _, e := range raw {
+			edges = append(edges, Edge{Src: e.Src % 64, Dst: e.Dst % 64, W: e.W%100 + 101})
+		}
+		g, err := Build(edges, BuildOptions{Weighted: true, InEdges: true})
+		if err != nil {
+			return false
+		}
+		// Collect edges from both CSRs and compare as multisets.
+		type trip struct {
+			s, d uint32
+			w    Weight
+		}
+		var out, in []trip
+		for v := 0; v < g.NumVertices(); v++ {
+			wts := g.OutWts(uint32(v))
+			for i, d := range g.OutNeigh(uint32(v)) {
+				out = append(out, trip{uint32(v), d, wts[i]})
+			}
+			iw := g.InWeights(uint32(v))
+			for i, s := range g.InNeighbors(uint32(v)) {
+				in = append(in, trip{s, uint32(v), iw[i]})
+			}
+		}
+		less := func(xs []trip) func(i, j int) bool {
+			return func(i, j int) bool {
+				if xs[i].s != xs[j].s {
+					return xs[i].s < xs[j].s
+				}
+				if xs[i].d != xs[j].d {
+					return xs[i].d < xs[j].d
+				}
+				return xs[i].w < xs[j].w
+			}
+		}
+		sort.Slice(out, less(out))
+		sort.Slice(in, less(in))
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range out {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := buildSimple(t, BuildOptions{Weighted: true, RemoveDuplicates: true})
+	edges := g.Edges()
+	g2, err := Build(edges, BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+		t.Fatalf("round trip changed shape: %v vs %v", g, g2)
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	src := `# comment
+% another comment
+0 1 10
+1 2 20
+
+2 0 30
+`
+	g, err := ReadEdgeList(strings.NewReader(src), true, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if !g.Weighted() {
+		t.Fatal("not weighted")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"0\n", "x y\n", "0 1 z\n"}
+	for _, src := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(src), true, BuildOptions{}); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestReadDIMACS(t *testing.T) {
+	src := `c RoadUSA-style file
+p sp 3 3
+a 1 2 7
+a 2 3 8
+a 3 1 9
+`
+	g, err := ReadDIMACS(strings.NewReader(src), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if g.OutWts(0)[0] != 7 {
+		t.Fatalf("weight = %d", g.OutWts(0)[0])
+	}
+}
+
+func TestReadDIMACSZeroBasedRejected(t *testing.T) {
+	src := "p sp 2 1\na 0 1 5\n"
+	if _, err := ReadDIMACS(strings.NewReader(src), BuildOptions{}); err == nil {
+		t.Fatal("expected 1-based id error")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1, 5}, {1, 2, 3}, {2, 0, 4}}
+	coords := []Point{{0, 0}, {10, 0}, {0, 10}}
+	g, err := Build(edges, BuildOptions{Weighted: true, InEdges: true, Coords: coords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 3 || g2.NumEdges() != 3 || !g2.Weighted() || !g2.HasInEdges() || !g2.HasCoords() {
+		t.Fatalf("round trip lost data: %v", g2)
+	}
+	if g2.Coord[2] != (Point{0, 10}) {
+		t.Fatalf("coords = %v", g2.Coord)
+	}
+	if g2.OutWts(1)[0] != 3 {
+		t.Fatal("weights lost")
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]Edge{{Src: 5, Dst: 0}}, BuildOptions{NumVertices: 3}); err == nil {
+		t.Error("expected endpoint-range error")
+	}
+	if _, err := Build(nil, BuildOptions{NumVertices: 2, Coords: []Point{{0, 0}}}); err == nil {
+		t.Error("expected coords-length error")
+	}
+}
+
+func TestTotalOutDegreeAndMax(t *testing.T) {
+	g := buildSimple(t, BuildOptions{Weighted: true})
+	if got := g.TotalOutDegree([]uint32{0, 1}); got != int64(g.OutDegree(0)+g.OutDegree(1)) {
+		t.Fatalf("TotalOutDegree = %d", got)
+	}
+	if g.MaxOutDegree() != 3 {
+		t.Fatalf("MaxOutDegree = %d", g.MaxOutDegree())
+	}
+}
+
+func TestLoadFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	// Build a reference graph and write it in each format.
+	edges := []Edge{{0, 1, 3}, {1, 2, 4}, {2, 0, 5}}
+	ref, err := Build(append([]Edge(nil), edges...), BuildOptions{Weighted: true, InEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	welPath := filepath.Join(dir, "g.wel")
+	wel := "0 1 3\n1 2 4\n2 0 5\n"
+	if err := os.WriteFile(welPath, []byte(wel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	grPath := filepath.Join(dir, "g.gr")
+	gr := "p sp 3 3\na 1 2 3\na 2 3 4\na 3 1 5\n"
+	if err := os.WriteFile(grPath, []byte(gr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "g.bin")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, ref); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, path := range []string{welPath, grPath, binPath} {
+		g, err := LoadFile(path, BuildOptions{Weighted: true})
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", path, err)
+		}
+		if g.NumVertices() != 3 || g.NumEdges() != 3 {
+			t.Fatalf("LoadFile(%s): got %v", path, g)
+		}
+		if g.OutWts(0)[0] != 3 {
+			t.Fatalf("LoadFile(%s): weight = %d", path, g.OutWts(0)[0])
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.wel"), BuildOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadFile loads a graph from path, dispatching on extension:
+//
+//	.el / .txt  — whitespace edge list "src dst", one edge per line
+//	.wel        — weighted edge list "src dst weight"
+//	.gr         — DIMACS shortest-path format (as RoadUSA is distributed)
+//	.bin        — this repository's binary CSR snapshot (see WriteBinary)
+//
+// Lines starting with '#' or '%' are comments in the text formats.
+func LoadFile(path string, opt BuildOptions) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".bin"):
+		return ReadBinary(f)
+	case strings.HasSuffix(path, ".gr"):
+		return ReadDIMACS(f, opt)
+	case strings.HasSuffix(path, ".wel"):
+		return ReadEdgeList(f, true, opt)
+	default:
+		return ReadEdgeList(f, false, opt)
+	}
+}
+
+// ReadEdgeList parses a text edge list. If weighted, each line is
+// "src dst weight"; otherwise "src dst" (weight defaults to 1).
+func ReadEdgeList(r io.Reader, weighted bool, opt BuildOptions) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		want := 2
+		if weighted {
+			want = 3
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("graph: line %d: want %d fields, got %d", line, want, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+		}
+		w := Weight(1)
+		if weighted {
+			wv, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+			w = Weight(wv)
+		}
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst), W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if weighted {
+		opt.Weighted = true
+	}
+	return Build(edges, opt)
+}
+
+// ReadDIMACS parses the DIMACS 9th-challenge .gr format: "p sp N M" header
+// and "a src dst weight" arcs with 1-based vertex ids.
+func ReadDIMACS(r io.Reader, opt BuildOptions) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	n := 0
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("graph: bad DIMACS header %q", text)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			n = nv
+		case "a":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: bad DIMACS arc %q", text)
+			}
+			src, err1 := strconv.ParseUint(fields[1], 10, 32)
+			dst, err2 := strconv.ParseUint(fields[2], 10, 32)
+			w, err3 := strconv.ParseInt(fields[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: bad DIMACS arc %q", text)
+			}
+			if src == 0 || dst == 0 {
+				return nil, fmt.Errorf("graph: DIMACS ids are 1-based, got %q", text)
+			}
+			edges = append(edges, Edge{Src: VertexID(src - 1), Dst: VertexID(dst - 1), W: Weight(w)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	opt.Weighted = true
+	if opt.NumVertices == 0 {
+		opt.NumVertices = n
+	}
+	return Build(edges, opt)
+}
+
+const binaryMagic = uint64(0x6772474f31303031) // "grGO1001"
+
+// WriteBinary writes a compact little-endian CSR snapshot of g, including
+// in-edges and coordinates when present.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var flags uint64
+	if g.Weighted() {
+		flags |= 1
+	}
+	if g.HasInEdges() {
+		flags |= 2
+	}
+	if g.HasCoords() {
+		flags |= 4
+	}
+	if g.symmetric {
+		flags |= 8
+	}
+	hdr := []uint64{binaryMagic, uint64(g.n), uint64(g.m), flags}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	sections := []any{g.Off, g.Neigh}
+	if g.Weighted() {
+		sections = append(sections, g.Wts)
+	}
+	if g.HasInEdges() {
+		sections = append(sections, g.InOff, g.InNeigh)
+		if g.Weighted() {
+			sections = append(sections, g.InWts)
+		}
+	}
+	if g.HasCoords() {
+		sections = append(sections, g.Coord)
+	}
+	for _, s := range sections {
+		if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a snapshot written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad binary magic %#x", hdr[0])
+	}
+	n, m, flags := int(hdr[1]), int(hdr[2]), hdr[3]
+	g := &Graph{
+		n: n, m: m,
+		Off:       make([]int64, n+1),
+		Neigh:     make([]VertexID, m),
+		symmetric: flags&8 != 0,
+	}
+	read := func(dst any) error { return binary.Read(br, binary.LittleEndian, dst) }
+	if err := read(g.Off); err != nil {
+		return nil, err
+	}
+	if err := read(g.Neigh); err != nil {
+		return nil, err
+	}
+	if flags&1 != 0 {
+		g.Wts = make([]Weight, m)
+		if err := read(g.Wts); err != nil {
+			return nil, err
+		}
+	}
+	if flags&2 != 0 {
+		g.InOff = make([]int64, n+1)
+		g.InNeigh = make([]VertexID, m)
+		if err := read(g.InOff); err != nil {
+			return nil, err
+		}
+		if err := read(g.InNeigh); err != nil {
+			return nil, err
+		}
+		if flags&1 != 0 {
+			g.InWts = make([]Weight, m)
+			if err := read(g.InWts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if flags&4 != 0 {
+		g.Coord = make([]Point, n)
+		if err := read(g.Coord); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

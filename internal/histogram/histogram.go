@@ -1,0 +1,68 @@
+// Package histogram implements the per-round update counting used by the
+// "lazy with constant sum reduction" schedule (paper §5.1, Figure 10).
+//
+// For algorithms whose priority updates are a fixed constant (k-core
+// decrements a neighbor's degree by exactly 1 per incident edge), the lazy
+// engine does not apply each update individually. It instead counts how many
+// updates each vertex receives in a round and applies the transformed
+// user-defined function once per vertex with that count, avoiding contention
+// on high-degree vertices.
+package histogram
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphit/internal/atomicutil"
+)
+
+// Counter accumulates per-vertex update counts for one round.
+type Counter struct {
+	counts  []int64
+	seen    *atomicutil.Flags
+	mu      sync.Mutex
+	touched []uint32
+}
+
+// New returns a counter over vertices [0, n).
+func New(n int) *Counter {
+	return &Counter{
+		counts: make([]int64, n),
+		seen:   atomicutil.NewFlags(n),
+	}
+}
+
+// Add records one update for v. Safe for concurrent use.
+func (c *Counter) Add(v uint32) {
+	atomic.AddInt64(&c.counts[v], 1)
+	if c.seen.TrySet(v) {
+		c.mu.Lock()
+		c.touched = append(c.touched, v)
+		c.mu.Unlock()
+	}
+}
+
+// AddN records n updates for v at once. Safe for concurrent use.
+func (c *Counter) AddN(v uint32, n int64) {
+	atomic.AddInt64(&c.counts[v], n)
+	if c.seen.TrySet(v) {
+		c.mu.Lock()
+		c.touched = append(c.touched, v)
+		c.mu.Unlock()
+	}
+}
+
+// Drain invokes fn for every vertex touched since the last Drain, with its
+// accumulated count, then resets the counter for the next round. Drain is
+// not safe for concurrent use with Add.
+func (c *Counter) Drain(fn func(v uint32, count int64)) {
+	for _, v := range c.touched {
+		fn(v, c.counts[v])
+		c.counts[v] = 0
+		c.seen.Clear(v)
+	}
+	c.touched = c.touched[:0]
+}
+
+// Touched returns the number of distinct vertices updated this round.
+func (c *Counter) Touched() int { return len(c.touched) }

@@ -1,0 +1,89 @@
+package histogram
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountsSequential(t *testing.T) {
+	c := New(10)
+	for i := 0; i < 5; i++ {
+		c.Add(3)
+	}
+	c.Add(7)
+	if c.Touched() != 2 {
+		t.Fatalf("Touched = %d", c.Touched())
+	}
+	got := map[uint32]int64{}
+	c.Drain(func(v uint32, n int64) { got[v] = n })
+	if got[3] != 5 || got[7] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+func TestDrainResets(t *testing.T) {
+	c := New(4)
+	c.Add(1)
+	c.Drain(func(uint32, int64) {})
+	if c.Touched() != 0 {
+		t.Fatal("touched not reset")
+	}
+	c.Add(1)
+	c.Add(1)
+	var n int64
+	c.Drain(func(v uint32, count int64) { n = count })
+	if n != 2 {
+		t.Fatalf("count after reset = %d, want 2 (stale state leaked)", n)
+	}
+}
+
+func TestAddNConcurrentTotals(t *testing.T) {
+	c := New(64)
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(uint32(i % 64))
+			}
+			c.AddN(uint32(w), 5)
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	c.Drain(func(v uint32, n int64) { total += n })
+	want := int64(workers*1000 + workers*5)
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+// Property: Drain reproduces exactly the multiset of Adds.
+func TestCountsMatchReference(t *testing.T) {
+	f := func(vs []uint32) bool {
+		c := New(256)
+		want := map[uint32]int64{}
+		for _, v := range vs {
+			v %= 256
+			c.Add(v)
+			want[v]++
+		}
+		got := map[uint32]int64{}
+		c.Drain(func(v uint32, n int64) { got[v] = n })
+		if len(got) != len(want) {
+			return false
+		}
+		for v, n := range want {
+			if got[v] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

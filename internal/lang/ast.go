@@ -1,0 +1,442 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed GraphIt source file: declarations plus an optional
+// schedule block (paper Figure 8).
+type Program struct {
+	Decls    []Decl
+	Schedule []SchedCall // raw scheduling-language calls, resolved by lang/sched
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	decl()
+	fmt.Stringer
+}
+
+// ElementDecl declares an element type: `element Vertex end`.
+type ElementDecl struct {
+	Name string
+	Pos  Pos
+}
+
+// ConstDecl declares a global: `const dist : vector{Vertex}(int) = INT_MAX;`.
+type ConstDecl struct {
+	Name string
+	Type *TypeExpr
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// FuncDecl declares a function: `func updateEdge(src: Vertex, ...) ... end`.
+// Extern functions have no body and are bound by the host at plan time.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *TypeExpr // nil for none
+	Body   []Stmt
+	Extern bool
+	Pos    Pos
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *TypeExpr
+}
+
+// SchedCall is one scheduling-language call: name("s1", "lazy").
+type SchedCall struct {
+	Name string
+	Args []string
+	Pos  Pos
+}
+
+func (*ElementDecl) decl() {}
+func (*ConstDecl) decl()   {}
+func (*FuncDecl) decl()    {}
+
+// TypeExpr is a syntactic type.
+type TypeExpr struct {
+	// Kind is one of "int", "bool", "float", "string", an element name, or
+	// the parameterized kinds below.
+	Kind string
+	// Element is the element parameter of vector{V}, vertexset{V},
+	// edgeset{E}(V,V,...), priority_queue{V}.
+	Element string
+	// Value is the value type of vector{V}(T) / priority_queue{V}(T).
+	Value *TypeExpr
+	// EdgeEndpoints and EdgeWeight describe edgeset{E}(Src,Dst[,W]).
+	EdgeEndpoints [2]string
+	EdgeWeight    *TypeExpr // nil for unweighted
+	Pos           Pos
+}
+
+// Stmt is a statement.
+type Stmt interface {
+	stmt()
+	fmt.Stringer
+}
+
+// VarDeclStmt: `var new_dist : int = dist[src] + weight;`.
+type VarDeclStmt struct {
+	Name string
+	Type *TypeExpr
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// AssignStmt: `dist[v] = e;`, `x += e;`, `x min= e;`.
+type AssignStmt struct {
+	LHS Expr // IdentExpr or IndexExpr
+	Op  Kind // Assign, PlusAssign, MinAssign
+	RHS Expr
+	Pos Pos
+}
+
+// ExprStmt: an expression in statement position (method calls).
+type ExprStmt struct {
+	E   Expr
+	Pos Pos
+}
+
+// WhileStmt: `while (cond) ... end`.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Pos  Pos
+}
+
+// IfStmt: `if cond ... else ... end`.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Pos  Pos
+}
+
+// LabeledStmt: `#s1# stmt` — the scheduling language's anchor.
+type LabeledStmt struct {
+	Label string
+	S     Stmt
+	Pos   Pos
+}
+
+// DeleteStmt: `delete bucket;`.
+type DeleteStmt struct {
+	Name string
+	Pos  Pos
+}
+
+// ReturnStmt: `return e;`.
+type ReturnStmt struct {
+	E   Expr // may be nil
+	Pos Pos
+}
+
+// PrintStmt: `print e;`.
+type PrintStmt struct {
+	E   Expr
+	Pos Pos
+}
+
+func (*VarDeclStmt) stmt() {}
+func (*AssignStmt) stmt()  {}
+func (*ExprStmt) stmt()    {}
+func (*WhileStmt) stmt()   {}
+func (*IfStmt) stmt()      {}
+func (*LabeledStmt) stmt() {}
+func (*DeleteStmt) stmt()  {}
+func (*ReturnStmt) stmt()  {}
+func (*PrintStmt) stmt()   {}
+
+// Expr is an expression.
+type Expr interface {
+	expr()
+	fmt.Stringer
+	Position() Pos
+}
+
+// IdentExpr is a name reference.
+type IdentExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// IntLit is an integer literal (INT_MAX parses as an IdentExpr and is
+// resolved by the type checker).
+type IntLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	Value float64
+	Pos   Pos
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value string
+	Pos   Pos
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value bool
+	Pos   Pos
+}
+
+// IndexExpr: `dist[src]`, `argv[1]`.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Pos   Pos
+}
+
+// CallExpr: `atoi(x)`, `load(path)`, `updateEdge(...)`.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Pos  Pos
+}
+
+// MethodCallExpr: `pq.updatePriorityMin(dst, a, b)`,
+// `edges.from(bucket).applyUpdatePriority(f)` (chained via Recv).
+type MethodCallExpr struct {
+	Recv   Expr
+	Method string
+	Args   []Expr
+	Pos    Pos
+}
+
+// BinaryExpr: `a + b`, `x == y`, ...
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+// UnaryExpr: `-x`, `!b`.
+type UnaryExpr struct {
+	Op  Kind
+	X   Expr
+	Pos Pos
+}
+
+// NewPQExpr: `new priority_queue{Vertex}(int)(coarsen, dir, vec, start)`.
+type NewPQExpr struct {
+	Element string
+	Value   *TypeExpr
+	Args    []Expr
+	Pos     Pos
+}
+
+func (*IdentExpr) expr()      {}
+func (*IntLit) expr()         {}
+func (*FloatLit) expr()       {}
+func (*StringLit) expr()      {}
+func (*BoolLit) expr()        {}
+func (*IndexExpr) expr()      {}
+func (*CallExpr) expr()       {}
+func (*MethodCallExpr) expr() {}
+func (*BinaryExpr) expr()     {}
+func (*UnaryExpr) expr()      {}
+func (*NewPQExpr) expr()      {}
+
+// Position implementations.
+func (e *IdentExpr) Position() Pos      { return e.Pos }
+func (e *IntLit) Position() Pos         { return e.Pos }
+func (e *FloatLit) Position() Pos       { return e.Pos }
+func (e *StringLit) Position() Pos      { return e.Pos }
+func (e *BoolLit) Position() Pos        { return e.Pos }
+func (e *IndexExpr) Position() Pos      { return e.Pos }
+func (e *CallExpr) Position() Pos       { return e.Pos }
+func (e *MethodCallExpr) Position() Pos { return e.Pos }
+func (e *BinaryExpr) Position() Pos     { return e.Pos }
+func (e *UnaryExpr) Position() Pos      { return e.Pos }
+func (e *NewPQExpr) Position() Pos      { return e.Pos }
+
+// ---- Printing (round-trippable) ----
+
+func (t *TypeExpr) String() string {
+	switch t.Kind {
+	case "vector":
+		return fmt.Sprintf("vector{%s}(%s)", t.Element, t.Value)
+	case "vertexset":
+		return fmt.Sprintf("vertexset{%s}", t.Element)
+	case "priority_queue":
+		return fmt.Sprintf("priority_queue{%s}(%s)", t.Element, t.Value)
+	case "edgeset":
+		w := ""
+		if t.EdgeWeight != nil {
+			w = ", " + t.EdgeWeight.String()
+		}
+		return fmt.Sprintf("edgeset{%s}(%s, %s%s)", t.Element, t.EdgeEndpoints[0], t.EdgeEndpoints[1], w)
+	default:
+		return t.Kind
+	}
+}
+
+func (d *ElementDecl) String() string { return fmt.Sprintf("element %s end", d.Name) }
+
+func (d *ConstDecl) String() string {
+	if d.Init != nil {
+		return fmt.Sprintf("const %s : %s = %s;", d.Name, d.Type, d.Init)
+	}
+	return fmt.Sprintf("const %s : %s;", d.Name, d.Type)
+}
+
+func (d *FuncDecl) String() string {
+	var sb strings.Builder
+	if d.Extern {
+		sb.WriteString("extern ")
+	}
+	fmt.Fprintf(&sb, "func %s(", d.Name)
+	for i, p := range d.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s : %s", p.Name, p.Type)
+	}
+	sb.WriteString(")")
+	if d.Ret != nil {
+		fmt.Fprintf(&sb, " : %s", d.Ret)
+	}
+	if d.Extern {
+		sb.WriteString(";")
+		return sb.String()
+	}
+	sb.WriteString("\n")
+	writeBlock(&sb, d.Body, 1)
+	sb.WriteString("end")
+	return sb.String()
+}
+
+func writeBlock(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		for _, line := range strings.Split(s.String(), "\n") {
+			sb.WriteString(ind)
+			sb.WriteString(line)
+			sb.WriteString("\n")
+		}
+	}
+}
+
+func (s *VarDeclStmt) String() string {
+	if s.Init != nil {
+		return fmt.Sprintf("var %s : %s = %s;", s.Name, s.Type, s.Init)
+	}
+	return fmt.Sprintf("var %s : %s;", s.Name, s.Type)
+}
+
+func (s *AssignStmt) String() string {
+	op := map[Kind]string{Assign: "=", PlusAssign: "+=", MinAssign: "min="}[s.Op]
+	return fmt.Sprintf("%s %s %s;", s.LHS, op, s.RHS)
+}
+
+func (s *ExprStmt) String() string { return s.E.String() + ";" }
+
+func (s *WhileStmt) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "while (%s)\n", s.Cond)
+	writeBlock(&sb, s.Body, 1)
+	sb.WriteString("end")
+	return sb.String()
+}
+
+func (s *IfStmt) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "if %s\n", s.Cond)
+	writeBlock(&sb, s.Then, 1)
+	if s.Else != nil {
+		sb.WriteString("else\n")
+		writeBlock(&sb, s.Else, 1)
+	}
+	sb.WriteString("end")
+	return sb.String()
+}
+
+func (s *LabeledStmt) String() string { return fmt.Sprintf("#%s# %s", s.Label, s.S) }
+func (s *DeleteStmt) String() string  { return fmt.Sprintf("delete %s;", s.Name) }
+
+func (s *ReturnStmt) String() string {
+	if s.E != nil {
+		return fmt.Sprintf("return %s;", s.E)
+	}
+	return "return;"
+}
+
+func (s *PrintStmt) String() string { return fmt.Sprintf("print %s;", s.E) }
+
+func (e *IdentExpr) String() string { return e.Name }
+func (e *IntLit) String() string    { return fmt.Sprintf("%d", e.Value) }
+func (e *FloatLit) String() string  { return fmt.Sprintf("%g", e.Value) }
+func (e *StringLit) String() string { return fmt.Sprintf("%q", e.Value) }
+
+func (e *BoolLit) String() string {
+	if e.Value {
+		return "true"
+	}
+	return "false"
+}
+
+func (e *IndexExpr) String() string { return fmt.Sprintf("%s[%s]", e.X, e.Index) }
+
+func (e *CallExpr) String() string {
+	return fmt.Sprintf("%s(%s)", e.Fn, joinExprs(e.Args))
+}
+
+func (e *MethodCallExpr) String() string {
+	return fmt.Sprintf("%s.%s(%s)", e.Recv, e.Method, joinExprs(e.Args))
+}
+
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func (e *UnaryExpr) String() string {
+	return fmt.Sprintf("%s%s", e.Op, e.X)
+}
+
+func (e *NewPQExpr) String() string {
+	return fmt.Sprintf("new priority_queue{%s}(%s)(%s)", e.Element, e.Value, joinExprs(e.Args))
+}
+
+func joinExprs(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the whole program (round-trippable through the parser).
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, d := range p.Decls {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+	}
+	if len(p.Schedule) > 0 {
+		sb.WriteString("schedule:\nprogram")
+		for _, c := range p.Schedule {
+			fmt.Fprintf(&sb, "->%s(", c.Name)
+			for i, a := range c.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%q", a)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,108 @@
+package codegen
+
+import (
+	"fmt"
+
+	"graphit/internal/atomicutil"
+	"graphit/internal/bucket"
+	"graphit/internal/core"
+	"graphit/internal/lang"
+	"graphit/internal/parallel"
+)
+
+// runExternLoop executes an extern-driven ordered loop (the escape hatch
+// the paper's SetCover uses): each round dequeues a bucket and applies
+// host-bound extern functions to its vertices under lazy bucketing.
+//
+//   - applyExtern(f): f(v) is called for every dequeued vertex (parallel;
+//     the host function must be safe for concurrent use).
+//   - applyExternReduce(f): f(v) returns the vertex's new priority; changed
+//     vertices are re-bucketed (INT_MIN / INT_MAX mark removal).
+func (env *execEnv) runExternLoop() (core.Stats, error) {
+	pq := env.plan.Checked.PQ
+	prio := env.vectors[pq.PriorityVector]
+	if pq.AllowCoarsening {
+		return core.Stats{}, fmt.Errorf("codegen: extern-driven loops do not support priority coarsening")
+	}
+	order := bucket.Increasing
+	null := core.Unreached
+	if !pq.LowerFirst {
+		order = bucket.Decreasing
+		null = core.NullMax
+	}
+	bktOf := func(v uint32) int64 {
+		if p := prio[v]; p != null {
+			return p
+		}
+		return bucket.NullBkt
+	}
+	lz := bucket.NewLazy(len(prio), order, 128, bktOf)
+
+	// Resolve the extern binding for each loop statement once.
+	type phase struct {
+		fn     ExternFunc
+		name   string
+		reduce bool
+	}
+	var phases []phase
+	for _, s := range env.plan.Analysis.Loop.While.Body[1:] {
+		if ls, ok := s.(*lang.LabeledStmt); ok {
+			s = ls.S
+		}
+		es, ok := s.(*lang.ExprStmt)
+		if !ok {
+			continue // delete bucket
+		}
+		mc := es.E.(*lang.MethodCallExpr)
+		name := mc.Args[0].(*lang.IdentExpr).Name
+		fn := env.externs[name]
+		if fn == nil {
+			return core.Stats{}, fmt.Errorf("codegen: extern func %q is not bound", name)
+		}
+		phases = append(phases, phase{fn: fn, name: name, reduce: mc.Method == "applyExternReduce"})
+	}
+
+	var st core.Stats
+	w := parallel.Workers()
+	for {
+		bid, verts := lz.Next()
+		if bid == bucket.NullBkt {
+			break
+		}
+		st.Rounds++
+		var updated []uint32
+		for _, ph := range phases {
+			if !ph.reduce {
+				parallel.ForChunks(len(verts), 0, func(lo, hi, _ int) {
+					for _, v := range verts[lo:hi] {
+						ph.fn(int64(v))
+					}
+				})
+				st.GlobalSyncs++
+				continue
+			}
+			outs := make([][]uint32, w)
+			parallel.ForChunks(len(verts), 0, func(lo, hi, worker int) {
+				for _, v := range verts[lo:hi] {
+					np := ph.fn(int64(v))
+					if np == atomicutil.Load(&prio[v]) {
+						continue
+					}
+					atomicutil.Store(&prio[v], np)
+					if np != null {
+						outs[worker] = append(outs[worker], v)
+					}
+				}
+			})
+			for _, o := range outs {
+				updated = append(updated, o...)
+			}
+			st.GlobalSyncs++
+		}
+		st.Processed += int64(len(verts))
+		lz.UpdateBuckets(updated)
+	}
+	st.BucketInserts = lz.Inserts
+	st.WindowAdvances = lz.Rebuckets
+	return st, nil
+}

@@ -1,0 +1,413 @@
+package codegen
+
+import (
+	"fmt"
+
+	"graphit/internal/lang"
+)
+
+// Statement and expression emission for the Go back end.
+
+func (e *goEmitter) goMainStmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.VarDeclStmt:
+		if s.Init == nil {
+			e.pf("var %s int64", s.Name)
+			return nil
+		}
+		init, err := e.goExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		e.pf("%s := %s", s.Name, init)
+		return nil
+	case *lang.AssignStmt:
+		return e.goAssign(s, false)
+	case *lang.PrintStmt:
+		x, err := e.goExpr(s.E)
+		if err != nil {
+			return err
+		}
+		e.pf("fmt.Println(%s)", x)
+		return nil
+	case *lang.DeleteStmt:
+		return nil
+	case *lang.ExprStmt:
+		x, err := e.goExpr(s.E)
+		if err != nil {
+			return err
+		}
+		e.pf("_ = %s", x)
+		return nil
+	case *lang.IfStmt:
+		return e.goIf(s, e.goMainStmt)
+	case *lang.LabeledStmt:
+		return e.goMainStmt(s.S)
+	}
+	return fmt.Errorf("codegen: unsupported main statement %T", s)
+}
+
+func (e *goEmitter) goUDFStmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.VarDeclStmt:
+		if s.Init == nil {
+			e.pf("var %s int64", s.Name)
+			return nil
+		}
+		init, err := e.goExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		e.pf("%s := %s", s.Name, init)
+		return nil
+	case *lang.AssignStmt:
+		return e.goAssign(s, true)
+	case *lang.ExprStmt:
+		x, err := e.goExpr(s.E)
+		if err != nil {
+			return err
+		}
+		e.pf("_ = %s", x)
+		return nil
+	case *lang.IfStmt:
+		return e.goIf(s, e.goUDFStmt)
+	case *lang.WhileStmt:
+		cond, err := e.goBoolExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		e.pf("for %s {", cond)
+		e.ind++
+		for _, inner := range s.Body {
+			if err := e.goUDFStmt(inner); err != nil {
+				return err
+			}
+		}
+		e.ind--
+		e.pf("}")
+		return nil
+	case *lang.ReturnStmt:
+		if s.E == nil {
+			e.pf("return")
+			return nil
+		}
+		x, err := e.goExpr(s.E)
+		if err != nil {
+			return err
+		}
+		e.pf("return %s", x)
+		return nil
+	case *lang.LabeledStmt:
+		return e.goUDFStmt(s.S)
+	}
+	return fmt.Errorf("codegen: unsupported UDF statement %T", s)
+}
+
+func (e *goEmitter) goIf(s *lang.IfStmt, stmtFn func(lang.Stmt) error) error {
+	cond, err := e.goBoolExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	e.pf("if %s {", cond)
+	e.ind++
+	for _, inner := range s.Then {
+		if err := stmtFn(inner); err != nil {
+			return err
+		}
+	}
+	e.ind--
+	if s.Else != nil {
+		e.pf("} else {")
+		e.ind++
+		for _, inner := range s.Else {
+			if err := stmtFn(inner); err != nil {
+				return err
+			}
+		}
+		e.ind--
+	}
+	e.pf("}")
+	return nil
+}
+
+// goAssign renders an assignment. Inside UDFs (parallel context) vector
+// writes get the schedule's atomicity: atomic under SparsePush, plain under
+// DensePull — the §5.1 compiler decision.
+func (e *goEmitter) goAssign(s *lang.AssignStmt, inUDF bool) error {
+	// Structural special cases first — their right-hand sides are not
+	// ordinary expressions.
+	if lhs, ok := s.LHS.(*lang.IdentExpr); ok {
+		if e.plan.Checked.PQNamed(lhs.Name) {
+			e.pf("// priority queue construction lowered into the Ordered operator below")
+			return nil
+		}
+		if mc, ok2 := s.RHS.(*lang.MethodCallExpr); ok2 && mc.Method == "getOutDegrees" {
+			e.pf("for i := range %s { %s[i] = int64(g.OutDegree(graphit.VertexID(i))) }", lhs.Name, lhs.Name)
+			return nil
+		}
+	}
+	rhs, err := e.goExpr(s.RHS)
+	if err != nil {
+		return err
+	}
+	switch lhs := s.LHS.(type) {
+	case *lang.IdentExpr:
+		if g := e.plan.Checked.Globals[lhs.Name]; g != nil && g.Type.Kind == "vector" {
+			e.pf("for i := range %s { %s[i] = %s }", lhs.Name, lhs.Name, rhs)
+			return nil
+		}
+		switch s.Op {
+		case lang.Assign:
+			e.pf("%s = %s", lhs.Name, rhs)
+		case lang.PlusAssign:
+			e.pf("%s += %s", lhs.Name, rhs)
+		case lang.MinAssign:
+			e.pf("if %s < %s { %s = %s }", rhs, lhs.Name, lhs.Name, rhs)
+		}
+		return nil
+	case *lang.IndexExpr:
+		vec, ok := lhs.X.(*lang.IdentExpr)
+		if !ok {
+			return fmt.Errorf("codegen: unsupported assignment target %s", lhs)
+		}
+		idx, err := e.goExpr(lhs.Index)
+		if err != nil {
+			return err
+		}
+		target := fmt.Sprintf("%s[%s]", vec.Name, idx)
+		atomic := inUDF && !e.pull
+		switch s.Op {
+		case lang.Assign:
+			if atomic {
+				e.pf("graphit.AtomicStore(&%s, %s)", target, rhs)
+			} else {
+				e.pf("%s = %s", target, rhs)
+			}
+		case lang.PlusAssign:
+			if atomic {
+				e.pf("graphit.AtomicAdd(&%s, %s)", target, rhs)
+			} else {
+				e.pf("%s += %s", target, rhs)
+			}
+		case lang.MinAssign:
+			if atomic {
+				e.pf("graphit.WriteMin(&%s, %s)", target, rhs)
+			} else {
+				e.pf("if %s < %s { %s = %s }", rhs, target, target, rhs)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("codegen: unsupported assignment target")
+}
+
+// goExpr renders an expression as int64-valued Go.
+func (e *goEmitter) goExpr(x lang.Expr) (string, error) {
+	switch x := x.(type) {
+	case *lang.IntLit:
+		return fmt.Sprintf("%d", x.Value), nil
+	case *lang.BoolLit:
+		if x.Value {
+			return "true", nil
+		}
+		return "false", nil
+	case *lang.StringLit:
+		return fmt.Sprintf("%q", x.Value), nil
+	case *lang.IdentExpr:
+		switch x.Name {
+		case "INT_MAX":
+			return "graphit.Unreached", nil
+		case "INT_MIN":
+			return "graphit.NullMax", nil
+		}
+		if e.udf != nil && e.isVertexParam(x.Name) {
+			// Vertex parameters are graphit.VertexID in the closure
+			// signature; widen for arithmetic contexts.
+			return x.Name, nil
+		}
+		if e.udf != nil && x.Name == e.udf.WeightName {
+			return fmt.Sprintf("int64(%s)", x.Name), nil
+		}
+		return x.Name, nil
+	case *lang.UnaryExpr:
+		inner, err := e.goExpr(x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == lang.Minus {
+			return "-" + inner, nil
+		}
+		return "!" + inner, nil
+	case *lang.BinaryExpr:
+		l, err := e.goExpr(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := e.goExpr(x.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", l, goOp(x.Op), r), nil
+	case *lang.IndexExpr:
+		return e.goIndex(x)
+	case *lang.CallExpr:
+		return e.goCall(x)
+	case *lang.MethodCallExpr:
+		return e.goMethod(x)
+	}
+	return "", fmt.Errorf("codegen: unsupported expression %T", x)
+}
+
+// goBoolExpr renders a condition.
+func (e *goEmitter) goBoolExpr(x lang.Expr) (string, error) {
+	return e.goExpr(x)
+}
+
+func (e *goEmitter) isVertexParam(name string) bool {
+	return e.udf != nil && (name == e.udf.SrcName || name == e.udf.DstName)
+}
+
+func (e *goEmitter) goIndex(x *lang.IndexExpr) (string, error) {
+	id, ok := x.X.(*lang.IdentExpr)
+	if !ok {
+		return "", fmt.Errorf("codegen: unsupported index base %s", x.X)
+	}
+	if id.Name == "argv" {
+		i, err := e.goExpr(x.Index)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("os.Args[%s]", i), nil
+	}
+	idx, err := e.goExpr(x.Index)
+	if err != nil {
+		return "", err
+	}
+	ref := fmt.Sprintf("%s[%s]", id.Name, idx)
+	if e.udf == nil {
+		return ref, nil
+	}
+	// Inside the UDF: reads of the priority vector go through the Queue's
+	// atomic accessor; other vectors get atomic loads under SparsePush.
+	if e.plan.Checked.PQ != nil && id.Name == e.plan.Checked.PQ.PriorityVector {
+		return fmt.Sprintf("q.Priority(%s)", idx), nil
+	}
+	if e.pull {
+		return ref, nil
+	}
+	return fmt.Sprintf("graphit.AtomicLoad(&%s)", ref), nil
+}
+
+func (e *goEmitter) goCall(x *lang.CallExpr) (string, error) {
+	args := make([]string, len(x.Args))
+	for i, a := range x.Args {
+		s, err := e.goExpr(a)
+		if err != nil {
+			return "", err
+		}
+		args[i] = s
+	}
+	switch x.Fn {
+	case "atoi":
+		return fmt.Sprintf("atoi(%s)", args[0]), nil
+	case "to_vertex":
+		return fmt.Sprintf("graphit.VertexID(%s)", args[0]), nil
+	}
+	if fd := e.plan.Checked.Funcs[x.Fn]; fd != nil && fd.Extern {
+		return fmt.Sprintf("%s(%s)", x.Fn, joinStrs(args)), nil
+	}
+	return fmt.Sprintf("%s(%s)", x.Fn, joinStrs(args)), nil
+}
+
+func (e *goEmitter) goMethod(x *lang.MethodCallExpr) (string, error) {
+	recv, ok := x.Recv.(*lang.IdentExpr)
+	if !ok || !e.plan.Checked.PQNamed(recv.Name) {
+		return "", fmt.Errorf("codegen: unsupported method call %s", x)
+	}
+	if e.udf == nil {
+		return "", fmt.Errorf("codegen: priority-queue operator %s outside an edge function", x.Method)
+	}
+	switch x.Method {
+	case "getCurrentPriority":
+		return "q.GetCurrentPriority()", nil
+	case "finishedVertex":
+		a, err := e.goExpr(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("q.FinishedVertex(graphit.VertexID(%s))", a), nil
+	case "updatePriorityMin", "updatePriorityMax":
+		v, err := e.goExpr(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		nv, err := e.goExpr(x.Args[len(x.Args)-1])
+		if err != nil {
+			return "", err
+		}
+		m := "UpdatePriorityMin"
+		if x.Method == "updatePriorityMax" {
+			m = "UpdatePriorityMax"
+		}
+		return fmt.Sprintf("q.%s(%s, %s)", m, v, nv), nil
+	case "updatePrioritySum":
+		v, err := e.goExpr(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		d, err := e.goExpr(x.Args[1])
+		if err != nil {
+			return "", err
+		}
+		floor := "graphit.NullMax + 1"
+		if len(x.Args) == 3 {
+			floor, err = e.goExpr(x.Args[2])
+			if err != nil {
+				return "", err
+			}
+		}
+		return fmt.Sprintf("q.UpdatePrioritySum(%s, %s, %s)", v, d, floor), nil
+	}
+	return "", fmt.Errorf("codegen: unsupported priority-queue method %q", x.Method)
+}
+
+func goOp(k lang.Kind) string {
+	switch k {
+	case lang.Plus:
+		return "+"
+	case lang.Minus:
+		return "-"
+	case lang.Star:
+		return "*"
+	case lang.Slash:
+		return "/"
+	case lang.Eq:
+		return "=="
+	case lang.Neq:
+		return "!="
+	case lang.Lt:
+		return "<"
+	case lang.Gt:
+		return ">"
+	case lang.Le:
+		return "<="
+	case lang.Ge:
+		return ">="
+	case lang.AndAnd:
+		return "&&"
+	case lang.OrOr:
+		return "||"
+	}
+	return "?"
+}
+
+func joinStrs(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package codegen
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphit/internal/gen"
+	"graphit/internal/graph"
+)
+
+// emit compiles a DSL file with extra schedule text and returns Go source.
+func emit(t *testing.T, file, schedText string) string {
+	t.Helper()
+	plan, err := Compile(readDSL(t, file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedText != "" {
+		if err := plan.ApplySchedule(schedText); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := plan.EmitGo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestEmitGoIsValidGo: every emitted program must parse with go/parser.
+func TestEmitGoIsValidGo(t *testing.T) {
+	cases := map[string]string{
+		"sssp.gt":  `program->configApplyPriorityUpdate("s1", "eager_with_fusion")->configApplyPriorityUpdateDelta("s1", "8");`,
+		"ppsp.gt":  ``,
+		"wbfs.gt":  ``,
+		"astar.gt": ``,
+		"kcore.gt": `program->configApplyPriorityUpdate("s1", "lazy_constant_sum");`,
+	}
+	for file, sched := range cases {
+		t.Run(file, func(t *testing.T) {
+			src := emit(t, file, sched)
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+				t.Fatalf("emitted Go does not parse: %v\n%s", err, src)
+			}
+		})
+	}
+}
+
+// TestEmitGoScheduleDifferences mirrors paper Figure 9: the same algorithm
+// under different schedules generates observably different code.
+func TestEmitGoScheduleDifferences(t *testing.T) {
+	push := emit(t, "astar.gt", `program->configApplyPriorityUpdate("s1", "lazy")->configApplyDirection("s1", "SparsePush");`)
+	pull := emit(t, "astar.gt", `program->configApplyPriorityUpdate("s1", "lazy")->configApplyDirection("s1", "DensePull");`)
+	eager := emit(t, "astar.gt", `program->configApplyPriorityUpdate("s1", "eager_with_fusion");`)
+
+	// SparsePush inserts atomics on the auxiliary dist vector (Fig 9(a)).
+	if !strings.Contains(push, "graphit.WriteMin(&dist[dst]") {
+		t.Errorf("push codegen lost the atomic write-min:\n%s", push)
+	}
+	if !strings.Contains(push, "graphit.AtomicLoad(&dist[") {
+		t.Errorf("push codegen lost atomic loads:\n%s", push)
+	}
+	// DensePull removes them (Fig 9(b)).
+	if strings.Contains(pull, "graphit.WriteMin(&dist[dst]") {
+		t.Errorf("pull codegen kept an unnecessary atomic write-min:\n%s", pull)
+	}
+	if !strings.Contains(pull, "if new_dist < dist[dst] { dist[dst] = new_dist }") {
+		t.Errorf("pull codegen should use a plain compare-and-write:\n%s", pull)
+	}
+	// The schedule chain itself differs (Fig 9(c)).
+	if !strings.Contains(eager, `ConfigApplyPriorityUpdate("eager_with_fusion")`) {
+		t.Errorf("eager codegen lost its strategy:\n%s", eager)
+	}
+	if !strings.Contains(push, `ConfigApplyDirection("SparsePush")`) ||
+		!strings.Contains(pull, `ConfigApplyDirection("DensePull")`) {
+		t.Error("direction not materialized in the generated schedule chain")
+	}
+}
+
+// TestEmitGoConstantSum: the Figure 10 transformation's extracted constants
+// appear in the generated operator.
+func TestEmitGoConstantSum(t *testing.T) {
+	src := emit(t, "kcore.gt", `program->configApplyPriorityUpdate("s1", "lazy_constant_sum");`)
+	if !strings.Contains(src, "SumConst:          -1,") {
+		t.Errorf("extracted constant missing:\n%s", src)
+	}
+	if !strings.Contains(src, "SumFloorIsCurrent: true,") {
+		t.Errorf("threshold flag missing:\n%s", src)
+	}
+	if !strings.Contains(src, "FinalizeOnPop: true,") {
+		t.Errorf("no-coarsening finalization missing:\n%s", src)
+	}
+}
+
+// TestEmitGoGolden locks the full emitted SSSP program (eager with fusion,
+// ∆=8) against a golden file, the repository's Figure 9 artifact.
+func TestEmitGoGolden(t *testing.T) {
+	src := emit(t, "sssp.gt",
+		`program->configApplyPriorityUpdate("s1", "eager_with_fusion")->configApplyPriorityUpdateDelta("s1", "8");`)
+	goldenPath := filepath.Join("testdata", "sssp_eager_fusion.go.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if src != string(want) {
+		t.Errorf("generated code drifted from golden file %s:\n--- got ---\n%s", goldenPath, src)
+	}
+}
+
+// TestEmitGoCompilesAndRuns is the deepest end-to-end check: DSL -> Go
+// source -> `go build` -> run the binary on a graph file -> exact
+// shortest-path distances.
+func TestEmitGoCompilesAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping toolchain round-trip in -short mode")
+	}
+	src := emit(t, "ppsp.gt", `program->configApplyPriorityUpdateDelta("s1", "8");`)
+
+	dir := filepath.Join("testdata", "genbuild")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A small weighted graph file for the binary to load.
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 8, 777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphPath := filepath.Join(t.TempDir(), "g.wel")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(f, "%d %d %d\n", e.Src, e.Dst, e.W)
+	}
+	f.Close()
+
+	bin := filepath.Join(t.TempDir(), "ppsp")
+	build := exec.Command("go", "build", "-o", bin, "./"+dir)
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build of generated code failed: %v\n%s\n--- source ---\n%s", err, out, src)
+	}
+	out, err := exec.Command(bin, graphPath, "3", "250").CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated binary failed: %v\n%s", err, out)
+	}
+	want := dijkstra(g, 3)[250]
+	got := strings.TrimSpace(string(out))
+	if got != fmt.Sprintf("%d", want) {
+		t.Fatalf("generated binary printed %q, want %d", got, want)
+	}
+}
+
+// loadGraphForGolden keeps graph import used when golden-only tests run.
+var _ = graph.BuildOptions{}
+
+// TestEmitGoGoldenKCore locks the generated k-core program under the
+// histogram schedule — the repository's Figure 10 codegen artifact.
+func TestEmitGoGoldenKCore(t *testing.T) {
+	src := emit(t, "kcore.gt", `program->configApplyPriorityUpdate("s1", "lazy_constant_sum");`)
+	goldenPath := filepath.Join("testdata", "kcore_constant_sum.go.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if src != string(want) {
+		t.Errorf("generated code drifted from %s:\n--- got ---\n%s", goldenPath, src)
+	}
+}

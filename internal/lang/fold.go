@@ -1,0 +1,167 @@
+package lang
+
+// Constant folding: a small mid-end pass run before the analyses so that
+// literal arithmetic cannot hide facts from them — e.g. the constant-sum
+// detection (paper Figure 10) recognizes `updatePrioritySum(dst, 0 - 1, k)`
+// after folding turns the delta into the literal -1. Folding is pure
+// literal evaluation plus boolean short-circuits; it never touches names,
+// calls, or vector accesses.
+
+// Fold rewrites prog in place with all foldable expressions replaced by
+// literals and returns prog.
+func Fold(prog *Program) *Program {
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ConstDecl:
+			d.Init = foldExpr(d.Init)
+		case *FuncDecl:
+			foldStmts(d.Body)
+		}
+	}
+	return prog
+}
+
+func foldStmts(ss []Stmt) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *VarDeclStmt:
+			s.Init = foldExpr(s.Init)
+		case *AssignStmt:
+			s.LHS = foldExpr(s.LHS)
+			s.RHS = foldExpr(s.RHS)
+		case *ExprStmt:
+			s.E = foldExpr(s.E)
+		case *WhileStmt:
+			s.Cond = foldExpr(s.Cond)
+			foldStmts(s.Body)
+		case *IfStmt:
+			s.Cond = foldExpr(s.Cond)
+			foldStmts(s.Then)
+			foldStmts(s.Else)
+		case *LabeledStmt:
+			foldStmts([]Stmt{s.S})
+		case *ReturnStmt:
+			s.E = foldExpr(s.E)
+		case *PrintStmt:
+			s.E = foldExpr(s.E)
+		}
+	}
+}
+
+func foldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *UnaryExpr:
+		e.X = foldExpr(e.X)
+		switch x := e.X.(type) {
+		case *IntLit:
+			if e.Op == Minus {
+				return &IntLit{Value: -x.Value, Pos: e.Pos}
+			}
+		case *FloatLit:
+			if e.Op == Minus {
+				return &FloatLit{Value: -x.Value, Pos: e.Pos}
+			}
+		case *BoolLit:
+			if e.Op == Not {
+				return &BoolLit{Value: !x.Value, Pos: e.Pos}
+			}
+		case *UnaryExpr:
+			// --x => x, !!b => b.
+			if x.Op == e.Op {
+				return x.X
+			}
+		}
+		return e
+	case *BinaryExpr:
+		e.L = foldExpr(e.L)
+		e.R = foldExpr(e.R)
+		if l, ok := e.L.(*IntLit); ok {
+			if r, ok2 := e.R.(*IntLit); ok2 {
+				if out, ok3 := foldIntBinop(e.Op, l.Value, r.Value, e.Pos); ok3 {
+					return out
+				}
+			}
+		}
+		if l, ok := e.L.(*BoolLit); ok {
+			// Boolean short circuits: the right side of the DSL's && / ||
+			// is pure (no assignments in expressions), so dropping it is
+			// safe.
+			switch e.Op {
+			case AndAnd:
+				if !l.Value {
+					return &BoolLit{Value: false, Pos: e.Pos}
+				}
+				return e.R
+			case OrOr:
+				if l.Value {
+					return &BoolLit{Value: true, Pos: e.Pos}
+				}
+				return e.R
+			}
+			if r, ok2 := e.R.(*BoolLit); ok2 {
+				switch e.Op {
+				case Eq:
+					return &BoolLit{Value: l.Value == r.Value, Pos: e.Pos}
+				case Neq:
+					return &BoolLit{Value: l.Value != r.Value, Pos: e.Pos}
+				}
+			}
+		}
+		return e
+	case *IndexExpr:
+		e.X = foldExpr(e.X)
+		e.Index = foldExpr(e.Index)
+		return e
+	case *CallExpr:
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+		return e
+	case *MethodCallExpr:
+		e.Recv = foldExpr(e.Recv)
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+		return e
+	case *NewPQExpr:
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+		return e
+	default:
+		return e
+	}
+}
+
+func foldIntBinop(op Kind, l, r int64, pos Pos) (Expr, bool) {
+	b := func(v bool) (Expr, bool) { return &BoolLit{Value: v, Pos: pos}, true }
+	i := func(v int64) (Expr, bool) { return &IntLit{Value: v, Pos: pos}, true }
+	switch op {
+	case Plus:
+		return i(l + r)
+	case Minus:
+		return i(l - r)
+	case Star:
+		return i(l * r)
+	case Slash:
+		if r == 0 {
+			return nil, false // leave the division for a runtime error
+		}
+		return i(l / r)
+	case Eq:
+		return b(l == r)
+	case Neq:
+		return b(l != r)
+	case Lt:
+		return b(l < r)
+	case Gt:
+		return b(l > r)
+	case Le:
+		return b(l <= r)
+	case Ge:
+		return b(l >= r)
+	}
+	return nil, false
+}

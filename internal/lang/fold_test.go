@@ -1,0 +1,119 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func foldSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Fold(prog)
+}
+
+func TestFoldArithmetic(t *testing.T) {
+	cases := map[string]string{
+		"var x : int = 1 + 2 * 3;":       "var x : int = 7;",
+		"var x : int = (10 - 4) / 3;":    "var x : int = 2;",
+		"var x : int = -(0 - 1);":        "var x : int = 1;",
+		"var b : bool = 3 < 4;":          "var b : bool = true;",
+		"var b : bool = 3 >= 4;":         "var b : bool = false;",
+		"var b : bool = !(1 == 1);":      "var b : bool = false;",
+		"var b : bool = true && false;":  "var b : bool = false;",
+		"var b : bool = false || true;":  "var b : bool = true;",
+		"var x : int = 1 / 0;":           "var x : int = (1 / 0);", // left for runtime
+		"var b : bool = true == false;":  "var b : bool = false;",
+		"var b : bool = false != false;": "var b : bool = false;",
+	}
+	for in, want := range cases {
+		src := "func f(v : Vertex)\n    " + in + "\nend"
+		prog := foldSrc(t, src)
+		out := prog.String()
+		if !strings.Contains(out, want) {
+			t.Errorf("folding %q:\nwant fragment %q\ngot:\n%s", in, want, out)
+		}
+	}
+}
+
+func TestFoldShortCircuitKeepsDynamicSide(t *testing.T) {
+	src := `func f(v : Vertex, w : int)
+    var b : bool = true && (w > 0);
+    var c : bool = false || (w < 0);
+end`
+	out := foldSrc(t, src).String()
+	if !strings.Contains(out, "var b : bool = (w > 0);") {
+		t.Errorf("true && X should fold to X:\n%s", out)
+	}
+	if !strings.Contains(out, "var c : bool = (w < 0);") {
+		t.Errorf("false || X should fold to X:\n%s", out)
+	}
+}
+
+func TestFoldDoubleNegation(t *testing.T) {
+	src := `func f(v : Vertex, w : int)
+    var x : int = - - w;
+    var b : bool = !!(w > 0);
+end`
+	out := foldSrc(t, src).String()
+	if !strings.Contains(out, "var x : int = w;") {
+		t.Errorf("--w should fold to w:\n%s", out)
+	}
+	if !strings.Contains(out, "var b : bool = (w > 0);") {
+		t.Errorf("!!X should fold to X:\n%s", out)
+	}
+}
+
+func TestFoldReachesAllStatementForms(t *testing.T) {
+	src := `const dist : vector{Vertex}(int) = 1 + 1;
+element Vertex end
+func f(v : Vertex, w : int)
+    if 1 < 2
+        dist[v] = 2 * 2;
+    else
+        dist[v] = 3 * 3;
+    end
+    while (w > 1 + 1)
+        w = w - (2 - 1);
+    end
+    print 5 - 2;
+    return;
+end`
+	out := foldSrc(t, src).String()
+	for _, want := range []string{"= 2;", "dist[v] = 4;", "dist[v] = 9;", "if true", "(w > 2)", "print 3;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q after folding:\n%s", want, out)
+		}
+	}
+}
+
+func TestFoldPreservesLoopConditionShape(t *testing.T) {
+	// The eager-transform analysis matches `pq.finished() == false`; folding
+	// must not rewrite it into something unrecognizable.
+	src := `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = INT_MAX;
+const pq : priority_queue{Vertex}(int);
+func updateEdge(src : Vertex, dst : Vertex, weight : int)
+    pq.updatePriorityMin(dst, dist[src] + weight);
+end
+func main()
+    dist[0] = 0;
+    pq = new priority_queue{Vertex}(int)(true, "lower_first", dist, 0);
+    while (pq.finished() == false)
+        var bucket : vertexset{Vertex} = pq.dequeueReadySet();
+        #s1# edges.from(bucket).applyUpdatePriority(updateEdge);
+        delete bucket;
+    end
+end`
+	prog := foldSrc(t, src)
+	if !strings.Contains(prog.String(), "pq.finished() == false") {
+		t.Fatalf("loop condition rewritten:\n%s", prog)
+	}
+	if _, err := Check(prog); err != nil {
+		t.Fatalf("folded program fails checking: %v", err)
+	}
+}

@@ -1,0 +1,236 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns GraphIt source text into tokens. Comments run from '%' or
+// "//" to end of line (GraphIt accepts both).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%' || (c == '/' && l.peek2() == '/'):
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) errf(p Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		// "min=" reduction assignment.
+		if text == "min" && l.peek() == '=' && l.peek2() != '=' {
+			l.advance()
+			return Token{Kind: MinAssign, Text: "min=", Pos: p}, nil
+		}
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: p}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		isFloat := false
+		for l.off < len(l.src) && (unicode.IsDigit(rune(l.peek())) || l.peek() == '.') {
+			if l.peek() == '.' {
+				if !unicode.IsDigit(rune(l.peek2())) {
+					break // method call on int literal — not a float
+				}
+				isFloat = true
+			}
+			l.advance()
+		}
+		k := INTLIT
+		if isFloat {
+			k = FLOATLIT
+		}
+		return Token{Kind: k, Text: l.src[start:l.off], Pos: p}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, l.errf(p, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.off < len(l.src) {
+				ch = l.advance()
+				switch ch {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				}
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: STRINGLIT, Text: sb.String(), Pos: p}, nil
+	}
+	two := func(k Kind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: text, Pos: p}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: string(c), Pos: p}, nil
+	}
+	switch c {
+	case '-':
+		if l.peek2() == '>' {
+			return two(Arrow, "->")
+		}
+		return one(Minus)
+	case '=':
+		if l.peek2() == '=' {
+			return two(Eq, "==")
+		}
+		return one(Assign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(Neq, "!=")
+		}
+		return one(Not)
+	case '<':
+		if l.peek2() == '=' {
+			return two(Le, "<=")
+		}
+		return one(Lt)
+	case '>':
+		if l.peek2() == '=' {
+			return two(Ge, ">=")
+		}
+		return one(Gt)
+	case '&':
+		if l.peek2() == '&' {
+			return two(AndAnd, "&&")
+		}
+	case '|':
+		if l.peek2() == '|' {
+			return two(OrOr, "||")
+		}
+	case '+':
+		if l.peek2() == '=' {
+			return two(PlusAssign, "+=")
+		}
+		return one(Plus)
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semicolon)
+	case ':':
+		return one(Colon)
+	case '.':
+		return one(Dot)
+	case '#':
+		return one(Hash)
+	case '*':
+		return one(Star)
+	case '/':
+		return one(Slash)
+	}
+	return Token{}, l.errf(p, "unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

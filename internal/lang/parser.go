@@ -1,0 +1,637 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the GraphIt subset.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a whole source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		if p.at(KwSchedule) {
+			sched, err := p.parseScheduleBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Schedule = append(prog.Schedule, sched...)
+			continue
+		}
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseDecl() (Decl, error) {
+	switch p.cur().Kind {
+	case KwElement:
+		pos := p.next().Pos
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwEnd); err != nil {
+			return nil, err
+		}
+		return &ElementDecl{Name: name.Text, Pos: pos}, nil
+	case KwConst:
+		pos := p.next().Pos
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(Assign) {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ConstDecl{Name: name.Text, Type: ty, Init: init, Pos: pos}, nil
+	case KwExtern, KwFunc:
+		return p.parseFunc()
+	}
+	return nil, p.errf("expected declaration, found %s", p.cur())
+}
+
+func (p *Parser) parseFunc() (Decl, error) {
+	extern := p.accept(KwExtern)
+	pos := p.cur().Pos
+	if _, err := p.expect(KwFunc); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.at(RParen) {
+		if len(params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Name: pn.Text, Type: ty})
+	}
+	p.next() // RParen
+	var ret *TypeExpr
+	if p.accept(Colon) {
+		ret, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	fd := &FuncDecl{Name: name.Text, Params: params, Ret: ret, Extern: extern, Pos: pos}
+	if extern {
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return fd, nil
+	}
+	body, err := p.parseStmtsUntil(KwEnd)
+	if err != nil {
+		return nil, err
+	}
+	p.next() // KwEnd
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *Parser) parseType() (*TypeExpr, error) {
+	pos := p.cur().Pos
+	tok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	switch tok.Text {
+	case "vector", "vertexset", "priority_queue":
+		te := &TypeExpr{Kind: tok.Text, Pos: pos}
+		if _, err := p.expect(LBrace); err != nil {
+			return nil, err
+		}
+		el, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		te.Element = el.Text
+		if _, err := p.expect(RBrace); err != nil {
+			return nil, err
+		}
+		if tok.Text != "vertexset" {
+			if _, err := p.expect(LParen); err != nil {
+				return nil, err
+			}
+			te.Value, err = p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+		}
+		return te, nil
+	case "edgeset":
+		te := &TypeExpr{Kind: "edgeset", Pos: pos}
+		if _, err := p.expect(LBrace); err != nil {
+			return nil, err
+		}
+		el, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		te.Element = el.Text
+		if _, err := p.expect(RBrace); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		src, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		dst, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		te.EdgeEndpoints = [2]string{src.Text, dst.Text}
+		if p.accept(Comma) {
+			te.EdgeWeight, err = p.parseType()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return te, nil
+	default:
+		return &TypeExpr{Kind: tok.Text, Pos: pos}, nil
+	}
+}
+
+// parseStmtsUntil parses statements until one of the stop kinds (KwEnd or
+// KwElse) is current; the stopper is not consumed.
+func (p *Parser) parseStmtsUntil(stops ...Kind) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		for _, k := range stops {
+			if p.at(k) {
+				return out, nil
+			}
+		}
+		if p.at(EOF) {
+			return nil, p.errf("unexpected EOF inside block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case Hash:
+		p.next()
+		label, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Hash); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &LabeledStmt{Label: label.Text, S: inner, Pos: pos}, nil
+	case KwVar:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(Assign) {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &VarDeclStmt{Name: name.Text, Type: ty, Init: init, Pos: pos}, nil
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtsUntil(KwEnd)
+		if err != nil {
+			return nil, err
+		}
+		p.next()
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+	case KwIf:
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmtsUntil(KwEnd, KwElse)
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(KwElse) {
+			els, err = p.parseStmtsUntil(KwEnd)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.next() // KwEnd
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+	case KwDelete:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &DeleteStmt{Name: name.Text, Pos: pos}, nil
+	case KwReturn:
+		p.next()
+		var e Expr
+		var err error
+		if !p.at(Semicolon) {
+			e, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{E: e, Pos: pos}, nil
+	case KwPrint:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{E: e, Pos: pos}, nil
+	}
+	// Expression or assignment.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign, PlusAssign, MinAssign:
+		op := p.next().Kind
+		switch e.(type) {
+		case *IdentExpr, *IndexExpr:
+		default:
+			return nil, p.errf("invalid assignment target %s", e)
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: e, Op: op, RHS: rhs, Pos: pos}, nil
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e, Pos: pos}, nil
+}
+
+// Expression parsing with precedence climbing.
+
+var binPrec = map[Kind]int{
+	OrOr: 1, AndAnd: 2,
+	Eq: 3, Neq: 3,
+	Lt: 4, Gt: 4, Le: 4, Ge: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Not:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Kind, X: x, Pos: op.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Dot:
+			p.next()
+			m, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(LParen); err != nil {
+				return nil, err
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &MethodCallExpr{Recv: e, Method: m.Text, Args: args, Pos: m.Pos}
+		case LBracket:
+			pos := p.next().Pos
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{X: e, Index: idx, Pos: pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parseArgs() ([]Expr, error) {
+	var args []Expr
+	for !p.at(RParen) {
+		if len(args) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.next() // RParen
+	return args, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad int literal %q", tok.Text)
+		}
+		return &IntLit{Value: v, Pos: tok.Pos}, nil
+	case FLOATLIT:
+		p.next()
+		v, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", tok.Text)
+		}
+		return &FloatLit{Value: v, Pos: tok.Pos}, nil
+	case STRINGLIT:
+		p.next()
+		return &StringLit{Value: tok.Text, Pos: tok.Pos}, nil
+	case KwTrue, KwFalse:
+		p.next()
+		return &BoolLit{Value: tok.Kind == KwTrue, Pos: tok.Pos}, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case KwNew:
+		return p.parseNewPQ()
+	case IDENT:
+		p.next()
+		if p.at(LParen) {
+			p.next()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Fn: tok.Text, Args: args, Pos: tok.Pos}, nil
+		}
+		return &IdentExpr{Name: tok.Text, Pos: tok.Pos}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", tok)
+}
+
+func (p *Parser) parseNewPQ() (Expr, error) {
+	pos := p.next().Pos // KwNew
+	kw, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if kw.Text != "priority_queue" {
+		return nil, p.errf("only `new priority_queue{...}` is supported, found new %s", kw.Text)
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	el, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RBrace); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	val, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	return &NewPQExpr{Element: el.Text, Value: val, Args: args, Pos: pos}, nil
+}
+
+// parseScheduleBlock parses `schedule:` followed by one or more
+// `program->call("a","b")->call(...);` chains (paper Figure 8).
+func (p *Parser) parseScheduleBlock() ([]SchedCall, error) {
+	p.next() // KwSchedule
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	var calls []SchedCall
+	for {
+		tok := p.cur()
+		if tok.Kind != IDENT || tok.Text != "program" {
+			break
+		}
+		p.next()
+		for p.accept(Arrow) {
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(LParen); err != nil {
+				return nil, err
+			}
+			var args []string
+			for !p.at(RParen) {
+				if len(args) > 0 {
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+				switch p.cur().Kind {
+				case STRINGLIT, INTLIT:
+					args = append(args, p.next().Text)
+				default:
+					return nil, p.errf("schedule arguments must be string or int literals, found %s", p.cur())
+				}
+			}
+			p.next() // RParen
+			calls = append(calls, SchedCall{Name: name.Text, Args: args, Pos: name.Pos})
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+	}
+	return calls, nil
+}

@@ -1,0 +1,226 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// repoFile reads a file from the repository's testdata tree.
+func repoFile(t *testing.T, rel string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", rel))
+	if err != nil {
+		t.Fatalf("read %s: %v", rel, err)
+	}
+	return string(b)
+}
+
+func dslPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	names := []string{"sssp", "kcore", "ppsp", "wbfs", "astar", "setcover", "widestpath"}
+	out := map[string]string{}
+	for _, n := range names {
+		out[n] = repoFile(t, filepath.Join("dsl", n+".gt"))
+	}
+	return out
+}
+
+func TestParseAllPrograms(t *testing.T) {
+	for name, src := range dslPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(prog.Decls) == 0 {
+				t.Fatal("no declarations parsed")
+			}
+		})
+	}
+}
+
+func TestCheckAllPrograms(t *testing.T) {
+	for name, src := range dslPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			chk, err := Check(prog)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if chk.EdgesetName != "edges" {
+				t.Errorf("edgeset name = %q, want edges", chk.EdgesetName)
+			}
+			if chk.PQ == nil {
+				t.Error("no priority queue construction found")
+			}
+		})
+	}
+}
+
+// TestParsePrintRoundTrip: printing a parsed program and re-parsing it
+// yields the same printed form (a fixpoint after one round).
+func TestParsePrintRoundTrip(t *testing.T) {
+	for name, src := range dslPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			p1, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed := p1.String()
+			p2, err := Parse(printed)
+			if err != nil {
+				t.Fatalf("re-parse of printed output failed: %v\n%s", err, printed)
+			}
+			if got := p2.String(); got != printed {
+				t.Errorf("print/parse not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, got)
+			}
+		})
+	}
+}
+
+func TestParseScheduleBlock(t *testing.T) {
+	src := repoFile(t, "dsl/wbfs.gt")
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Schedule) != 2 {
+		t.Fatalf("parsed %d schedule calls, want 2", len(prog.Schedule))
+	}
+	if prog.Schedule[0].Name != "configApplyPriorityUpdate" {
+		t.Errorf("first call = %q", prog.Schedule[0].Name)
+	}
+	if prog.Schedule[0].Args[1] != "eager_with_fusion" {
+		t.Errorf("first call arg = %q", prog.Schedule[0].Args[1])
+	}
+	if prog.Schedule[1].Args[1] != "1" {
+		t.Errorf("delta arg = %q", prog.Schedule[1].Args[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated string": `const x : int = atoi("oops`,
+		"bad decl":            `while (true) end`,
+		"missing end":         "func f(v : Vertex)\n var x : int = 1;",
+		"bad assign target":   "func f()\n 1 + 2 = 3;\nend",
+		"bad new":             "func f()\n var q : int = new foo{V}(int)();\nend",
+		"schedule non-lit":    "schedule:\nprogram->config(x);",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(src); err == nil {
+				t.Errorf("expected parse error for %q", src)
+			}
+		})
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	header := `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = INT_MAX;
+const pq : priority_queue{Vertex}(int);
+`
+	cases := map[string]string{
+		"undeclared var": header + "func f(src : Vertex, dst : Vertex, w : int)\n var x : int = nope;\nend",
+		"bad pq method":  header + "func f(src : Vertex, dst : Vertex, w : int)\n pq.popEverything();\nend",
+		"bool arith":     header + "func f(src : Vertex, dst : Vertex, w : int)\n var x : int = true + 1;\nend",
+		"wrong udf arity": header + `func f(src : Vertex)
+ var x : int = 1;
+end
+func main()
+ pq = new priority_queue{Vertex}(int)(true, "lower_first", dist, 0);
+ while (pq.finished() == false)
+  var bucket : vertexset{Vertex} = pq.dequeueReadySet();
+  edges.from(bucket).applyUpdatePriority(f);
+ end
+end`,
+		"bad pq direction": header + `func main()
+ pq = new priority_queue{Vertex}(int)(true, "sideways", dist, 0);
+end`,
+		"pq from non-new": header + "func main()\n pq = 4;\nend",
+		"string arith":    header + "func f(src : Vertex, dst : Vertex, w : int)\n var x : int = argv[1] + 1;\nend",
+		"redeclared":      header + "const dist : vector{Vertex}(int) = 0;",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := Check(prog); err == nil {
+				t.Errorf("expected a type error")
+			}
+		})
+	}
+}
+
+// TestLexerNeverPanics property-tests the lexer on arbitrary strings: it
+// must return tokens or an error, never panic, and positions must be
+// non-decreasing.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := Lex(s)
+		if err != nil {
+			return true
+		}
+		prevLine, prevCol := 1, 0
+		for _, tok := range toks {
+			if tok.Pos.Line < prevLine ||
+				(tok.Pos.Line == prevLine && tok.Pos.Col < prevCol) {
+				return false
+			}
+			prevLine, prevCol = tok.Pos.Line, tok.Pos.Col
+		}
+		return toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexKeywordsAndOperators(t *testing.T) {
+	toks, err := Lex(`while x min= y -> <= == != && || #s1# % comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Kind{KwWhile, IDENT, MinAssign, IDENT, Arrow, Le, Eq, Neq, AndAnd, OrOr, Hash, IDENT, Hash, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestPrinterProducesParseableUDF(t *testing.T) {
+	src := `func updateEdge(src : Vertex, dst : Vertex, weight : int)
+    var new_dist : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, dist[dst], new_dist);
+end`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := prog.String()
+	if !strings.Contains(printed, "updatePriorityMin") {
+		t.Errorf("printed output lost the priority update:\n%s", printed)
+	}
+	if _, err := Parse(printed); err != nil {
+		t.Fatalf("printed UDF failed to parse: %v\n%s", err, printed)
+	}
+}

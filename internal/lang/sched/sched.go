@@ -1,0 +1,199 @@
+// Package sched resolves the scheduling language of paper Table 2 /
+// Figure 8: chains of `program->configX(label, value)` calls are turned
+// into per-label schedules that the back ends apply to the labeled
+// applyUpdatePriority operators.
+package sched
+
+import (
+	"fmt"
+	"strconv"
+
+	"graphit/internal/core"
+	"graphit/internal/lang"
+)
+
+// LabelSchedule is the resolved schedule for one labeled operator. Defaults
+// match the bold options of paper Table 2.
+type LabelSchedule struct {
+	Label           string
+	Strategy        core.Strategy
+	Delta           int64
+	FusionThreshold int
+	NumBuckets      int
+	Direction       core.Direction
+	Grain           int
+	NoDedup         bool
+}
+
+// Default returns the default schedule for a label.
+func Default(label string) *LabelSchedule {
+	return &LabelSchedule{
+		Label:           label,
+		Strategy:        core.EagerWithFusion,
+		Delta:           1,
+		FusionThreshold: 1000,
+		NumBuckets:      128,
+		Direction:       core.SparsePush,
+	}
+}
+
+// Config converts the schedule to a runtime configuration.
+func (s *LabelSchedule) Config() core.Config {
+	return core.Config{
+		Strategy:        s.Strategy,
+		Delta:           s.Delta,
+		FusionThreshold: s.FusionThreshold,
+		NumBuckets:      s.NumBuckets,
+		Direction:       s.Direction,
+		Grain:           s.Grain,
+		NoDedup:         s.NoDedup,
+	}
+}
+
+// Schedules maps labels to resolved schedules. Get returns the default for
+// unscheduled labels.
+type Schedules map[string]*LabelSchedule
+
+// Get returns the schedule for label, creating a default if absent.
+func (m Schedules) Get(label string) *LabelSchedule {
+	if s, ok := m[label]; ok {
+		return s
+	}
+	s := Default(label)
+	m[label] = s
+	return s
+}
+
+// Resolve interprets a parsed scheduling chain.
+func Resolve(calls []lang.SchedCall) (Schedules, error) {
+	out := Schedules{}
+	for _, c := range calls {
+		if len(c.Args) < 1 {
+			return nil, fmt.Errorf("%s: %s needs a label argument", c.Pos, c.Name)
+		}
+		s := out.Get(c.Args[0])
+		arg := func() (string, error) {
+			if len(c.Args) != 2 {
+				return "", fmt.Errorf("%s: %s takes (label, value)", c.Pos, c.Name)
+			}
+			return c.Args[1], nil
+		}
+		intArg := func() (int64, error) {
+			a, err := arg()
+			if err != nil {
+				return 0, err
+			}
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("%s: %s: bad integer %q", c.Pos, c.Name, a)
+			}
+			return v, nil
+		}
+		switch c.Name {
+		case "configApplyPriorityUpdate":
+			a, err := arg()
+			if err != nil {
+				return nil, err
+			}
+			st, err := core.ParseStrategy(a)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", c.Pos, err)
+			}
+			s.Strategy = st
+		case "configApplyPriorityUpdateDelta", "configApplyUpdateDelta":
+			v, err := intArg()
+			if err != nil {
+				return nil, err
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("%s: delta must be >= 1, got %d", c.Pos, v)
+			}
+			s.Delta = v
+		case "configBucketFusionThreshold":
+			v, err := intArg()
+			if err != nil {
+				return nil, err
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("%s: fusion threshold must be >= 1, got %d", c.Pos, v)
+			}
+			s.FusionThreshold = int(v)
+		case "configNumBuckets":
+			v, err := intArg()
+			if err != nil {
+				return nil, err
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("%s: bucket count must be >= 1, got %d", c.Pos, v)
+			}
+			s.NumBuckets = int(v)
+		case "configApplyDirection":
+			a, err := arg()
+			if err != nil {
+				return nil, err
+			}
+			d, err := core.ParseDirection(a)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", c.Pos, err)
+			}
+			s.Direction = d
+		case "configDeduplication":
+			a, err := arg()
+			if err != nil {
+				return nil, err
+			}
+			switch a {
+			case "enabled":
+				s.NoDedup = false
+			case "disabled":
+				s.NoDedup = true
+			default:
+				return nil, fmt.Errorf("%s: configDeduplication takes \"enabled\" or \"disabled\", got %q", c.Pos, a)
+			}
+		case "configApplyParallelization":
+			// "dynamic-vertex-parallel" (optionally with a grain, e.g.
+			// "dynamic-vertex-parallel,64") is the only supported mode.
+			a, err := arg()
+			if err != nil {
+				return nil, err
+			}
+			mode, grain, found := cutComma(a)
+			if mode != "dynamic-vertex-parallel" && mode != "serial" {
+				return nil, fmt.Errorf("%s: unsupported parallelization %q", c.Pos, mode)
+			}
+			if found {
+				g, err := strconv.Atoi(grain)
+				if err != nil || g < 1 {
+					return nil, fmt.Errorf("%s: bad grain %q", c.Pos, grain)
+				}
+				s.Grain = g
+			}
+		default:
+			return nil, fmt.Errorf("%s: unknown scheduling function %q", c.Pos, c.Name)
+		}
+	}
+	return out, nil
+}
+
+func cutComma(s string) (string, string, bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// ParseText parses standalone scheduling text (the contents of a schedule
+// block without the `schedule:` keyword, or with it).
+func ParseText(text string) ([]lang.SchedCall, error) {
+	src := text
+	if len(src) < 9 || src[:9] != "schedule:" {
+		src = "schedule:\n" + src
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Schedule, nil
+}

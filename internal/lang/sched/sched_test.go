@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"testing"
+
+	"graphit/internal/core"
+	"graphit/internal/lang"
+)
+
+func TestResolveFigure8Chain(t *testing.T) {
+	calls, err := ParseText(`
+program->configApplyPriorityUpdate("s1", "lazy")
+->configApplyPriorityUpdateDelta("s1", "4")
+->configApplyDirection("s1", "SparsePush")
+->configApplyParallelization("s1", "dynamic-vertex-parallel");
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Resolve(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Get("s1")
+	if s.Strategy != core.Lazy || s.Delta != 4 || s.Direction != core.SparsePush {
+		t.Fatalf("resolved %+v", s)
+	}
+}
+
+func TestResolveMultipleLabels(t *testing.T) {
+	calls, err := ParseText(`
+program->configApplyPriorityUpdate("s1", "eager_no_fusion");
+program->configNumBuckets("s2", "32")->configBucketFusionThreshold("s2", "64");
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Resolve(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("s1").Strategy != core.EagerNoFusion {
+		t.Error("s1 strategy wrong")
+	}
+	if m.Get("s2").NumBuckets != 32 || m.Get("s2").FusionThreshold != 64 {
+		t.Error("s2 settings wrong")
+	}
+	// Unscheduled labels get the Table 2 defaults.
+	d := m.Get("s3")
+	if d.Strategy != core.EagerWithFusion || d.Delta != 1 || d.FusionThreshold != 1000 || d.NumBuckets != 128 {
+		t.Errorf("defaults wrong: %+v", d)
+	}
+}
+
+func TestResolveParallelizationGrain(t *testing.T) {
+	calls, err := ParseText(`program->configApplyParallelization("s1", "dynamic-vertex-parallel,256");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Resolve(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("s1").Grain != 256 {
+		t.Fatalf("grain = %d", m.Get("s1").Grain)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []string{
+		`program->configApplyPriorityUpdate("s1", "warp_speed");`,
+		`program->configApplyPriorityUpdateDelta("s1", "0");`,
+		`program->configApplyPriorityUpdateDelta("s1", "abc");`,
+		`program->configBucketFusionThreshold("s1", "-3");`,
+		`program->configNumBuckets("s1", "0");`,
+		`program->configApplyDirection("s1", "Diagonal");`,
+		`program->configApplyParallelization("s1", "static-cache-aware");`,
+		`program->configTurboMode("s1", "on");`,
+		`program->configApplyPriorityUpdate("s1");`,
+	}
+	for _, src := range cases {
+		calls, err := ParseText(src)
+		if err != nil {
+			continue // parse-level rejection also counts
+		}
+		if _, err := Resolve(calls); err == nil {
+			t.Errorf("expected resolve error for %q", src)
+		}
+	}
+}
+
+func TestConfigConversion(t *testing.T) {
+	s := Default("x")
+	s.Strategy = core.Lazy
+	s.Delta = 16
+	cfg := s.Config()
+	if cfg.Strategy != core.Lazy || cfg.Delta != 16 || cfg.NumBuckets != 128 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+func TestResolveDeduplicationAndHybrid(t *testing.T) {
+	calls, err := ParseText(`
+program->configDeduplication("s1", "disabled")
+->configApplyDirection("s1", "DensePull-SparsePush");
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Resolve(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Get("s1")
+	if !s.NoDedup {
+		t.Error("dedup not disabled")
+	}
+	if s.Direction != core.Hybrid {
+		t.Errorf("direction = %v, want Hybrid", s.Direction)
+	}
+	if _, err := Resolve([]lang.SchedCall{{Name: "configDeduplication", Args: []string{"s1", "maybe"}}}); err == nil {
+		t.Error("bad dedup value accepted")
+	}
+}

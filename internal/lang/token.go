@@ -1,0 +1,124 @@
+// Package lang implements the front end of the GraphIt algorithm-language
+// subset used by the paper (Figure 3): lexing, parsing, and the AST, plus
+// printing. Type checking lives in lang/types, the paper's program analyses
+// in lang/analysis, the scheduling language in lang/sched, and the code
+// generators in lang/codegen.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+	STRINGLIT
+
+	// Keywords.
+	KwElement
+	KwConst
+	KwVar
+	KwFunc
+	KwExtern
+	KwWhile
+	KwIf
+	KwElse
+	KwEnd
+	KwNew
+	KwDelete
+	KwTrue
+	KwFalse
+	KwReturn
+	KwSchedule
+	KwPrint
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Colon
+	Dot
+	Hash
+	Arrow // ->
+	Assign
+	PlusAssign
+	MinAssign // min= (GraphIt reduction assignment)
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq
+	Neq
+	Lt
+	Gt
+	Le
+	Ge
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal",
+	FLOATLIT: "float literal", STRINGLIT: "string literal",
+	KwElement: "element", KwConst: "const", KwVar: "var", KwFunc: "func",
+	KwExtern: "extern", KwWhile: "while", KwIf: "if", KwElse: "else",
+	KwEnd: "end", KwNew: "new", KwDelete: "delete", KwTrue: "true",
+	KwFalse: "false", KwReturn: "return", KwSchedule: "schedule",
+	KwPrint: "print",
+	LParen:  "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";", Colon: ":",
+	Dot: ".", Hash: "#", Arrow: "->", Assign: "=",
+	PlusAssign: "+=", MinAssign: "min=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Eq: "==", Neq: "!=", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"element": KwElement, "const": KwConst, "var": KwVar, "func": KwFunc,
+	"extern": KwExtern, "while": KwWhile, "if": KwIf, "else": KwElse,
+	"end": KwEnd, "new": KwNew, "delete": KwDelete, "true": KwTrue,
+	"false": KwFalse, "return": KwReturn, "schedule": KwSchedule,
+	"print": KwPrint,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexed token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT, STRINGLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

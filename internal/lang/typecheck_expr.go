@@ -1,0 +1,362 @@
+package lang
+
+// Expression type checking, including the priority-queue and edgeset
+// operator signatures from paper Table 1.
+
+func (c *checker) exprType(e Expr) (*Type, error) {
+	t, err := c.exprTypeUncached(e)
+	if err != nil {
+		return nil, err
+	}
+	c.out.ExprTypes[e] = t
+	return t, nil
+}
+
+func (c *checker) exprTypeUncached(e Expr) (*Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return intType, nil
+	case *FloatLit:
+		return floatType, nil
+	case *StringLit:
+		return stringType, nil
+	case *BoolLit:
+		return boolType, nil
+	case *IdentExpr:
+		switch e.Name {
+		case "INT_MAX", "INT_MIN":
+			return intType, nil
+		case "argv":
+			return &Type{Kind: "argv"}, nil
+		}
+		if t := c.lookupLocal(e.Name); t != nil {
+			return t, nil
+		}
+		if g := c.out.Globals[e.Name]; g != nil {
+			return g.Type, nil
+		}
+		if fd := c.out.Funcs[e.Name]; fd != nil {
+			return &Type{Kind: "function"}, nil
+		}
+		return nil, c.errf(e.Pos, "undeclared name %q", e.Name)
+	case *UnaryExpr:
+		t, err := c.exprType(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case Minus:
+			if t.Kind != "int" && t.Kind != "float" {
+				return nil, c.errf(e.Pos, "unary - needs a numeric operand, got %s", t)
+			}
+			return t, nil
+		case Not:
+			if t.Kind != "bool" {
+				return nil, c.errf(e.Pos, "! needs a bool operand, got %s", t)
+			}
+			return boolType, nil
+		}
+		return nil, c.errf(e.Pos, "unknown unary operator")
+	case *BinaryExpr:
+		lt, err := c.exprType(e.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.exprType(e.R)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case Plus, Minus, Star, Slash:
+			if !numericLike(lt) || !numericLike(rt) {
+				return nil, c.errf(e.Pos, "operator %s needs numeric operands, got %s and %s", e.Op, lt, rt)
+			}
+			if lt.Kind == "float" || rt.Kind == "float" {
+				return floatType, nil
+			}
+			return intType, nil
+		case Eq, Neq:
+			if !assignable(lt, rt) && !assignable(rt, lt) {
+				return nil, c.errf(e.Pos, "cannot compare %s with %s", lt, rt)
+			}
+			return boolType, nil
+		case Lt, Gt, Le, Ge:
+			if !numericLike(lt) || !numericLike(rt) {
+				return nil, c.errf(e.Pos, "operator %s needs numeric operands, got %s and %s", e.Op, lt, rt)
+			}
+			return boolType, nil
+		case AndAnd, OrOr:
+			if lt.Kind != "bool" || rt.Kind != "bool" {
+				return nil, c.errf(e.Pos, "operator %s needs bool operands", e.Op)
+			}
+			return boolType, nil
+		}
+		return nil, c.errf(e.Pos, "unknown binary operator")
+	case *IndexExpr:
+		xt, err := c.exprType(e.X)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.exprType(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		switch xt.Kind {
+		case "vector":
+			if !vertexLike(it) {
+				return nil, c.errf(e.Pos, "vector index must be a vertex or int, got %s", it)
+			}
+			return xt.Value, nil
+		case "argv":
+			if it.Kind != "int" {
+				return nil, c.errf(e.Pos, "argv index must be int")
+			}
+			return stringType, nil
+		}
+		return nil, c.errf(e.Pos, "cannot index %s", xt)
+	case *CallExpr:
+		return c.callType(e)
+	case *MethodCallExpr:
+		return c.methodType(e)
+	case *NewPQExpr:
+		return &Type{Kind: "priority_queue", Element: e.Element, Value: intType}, nil
+	}
+	return nil, c.errf(e.Position(), "unhandled expression %T", e)
+}
+
+func numericLike(t *Type) bool {
+	return t.Kind == "int" || t.Kind == "float" || vertexElement(t)
+}
+
+func vertexLike(t *Type) bool { return t.Kind == "int" || vertexElement(t) }
+
+// vertexElement reports whether t is an element type (e.g. Vertex).
+func vertexElement(t *Type) bool {
+	switch t.Kind {
+	case "int", "bool", "float", "string", "void", "vector", "edgeset",
+		"vertexset", "priority_queue", "function", "argv":
+		return false
+	}
+	return true
+}
+
+func (c *checker) callType(e *CallExpr) (*Type, error) {
+	switch e.Fn {
+	case "atoi":
+		if len(e.Args) != 1 {
+			return nil, c.errf(e.Pos, "atoi takes one argument")
+		}
+		t, err := c.exprType(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != "string" {
+			return nil, c.errf(e.Pos, "atoi takes a string, got %s", t)
+		}
+		return intType, nil
+	case "load":
+		if len(e.Args) != 1 {
+			return nil, c.errf(e.Pos, "load takes one argument")
+		}
+		if _, err := c.exprType(e.Args[0]); err != nil {
+			return nil, err
+		}
+		return &Type{Kind: "edgeset"}, nil
+	case "to_vertex":
+		if len(e.Args) != 1 {
+			return nil, c.errf(e.Pos, "to_vertex takes one argument")
+		}
+		t, err := c.exprType(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != "int" {
+			return nil, c.errf(e.Pos, "to_vertex takes an int, got %s", t)
+		}
+		return intType, nil
+	}
+	fd := c.out.Funcs[e.Fn]
+	if fd == nil {
+		return nil, c.errf(e.Pos, "call of undeclared function %q", e.Fn)
+	}
+	if len(e.Args) != len(fd.Params) {
+		return nil, c.errf(e.Pos, "%s takes %d arguments, got %d", e.Fn, len(fd.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at, err := c.exprType(a)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := c.resolveType(fd.Params[i].Type)
+		if err != nil {
+			return nil, err
+		}
+		if !assignable(pt, at) {
+			return nil, c.errf(e.Pos, "argument %d of %s: cannot use %s as %s", i+1, e.Fn, at, pt)
+		}
+	}
+	if fd.Ret == nil {
+		return voidType, nil
+	}
+	return c.resolveType(fd.Ret)
+}
+
+func (c *checker) methodType(e *MethodCallExpr) (*Type, error) {
+	rt, err := c.exprType(e.Recv)
+	if err != nil {
+		return nil, err
+	}
+	argTypes := make([]*Type, len(e.Args))
+	for i, a := range e.Args {
+		// applyUpdatePriority's argument is a function name, handled below.
+		if i == 0 && e.Method == "applyUpdatePriority" {
+			continue
+		}
+		argTypes[i], err = c.exprType(a)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch rt.Kind {
+	case "priority_queue":
+		return c.pqMethodType(e, argTypes)
+	case "edgeset":
+		switch e.Method {
+		case "from":
+			if len(e.Args) != 1 || argTypes[0].Kind != "vertexset" {
+				return nil, c.errf(e.Pos, "edges.from takes a vertexset")
+			}
+			return rt, nil
+		case "applyUpdatePriority":
+			if len(e.Args) != 1 {
+				return nil, c.errf(e.Pos, "applyUpdatePriority takes a function name")
+			}
+			id, ok := e.Args[0].(*IdentExpr)
+			if !ok {
+				return nil, c.errf(e.Pos, "applyUpdatePriority takes a function name")
+			}
+			fd := c.out.Funcs[id.Name]
+			if fd == nil {
+				return nil, c.errf(e.Pos, "applyUpdatePriority: undeclared function %q", id.Name)
+			}
+			want := 2
+			if c.out.Weighted {
+				want = 3
+			}
+			if len(fd.Params) != want {
+				return nil, c.errf(e.Pos, "edge function %s must take %d parameters (src, dst%s)",
+					id.Name, want, map[bool]string{true: ", weight", false: ""}[c.out.Weighted])
+			}
+			c.out.ExprTypes[id] = &Type{Kind: "function"}
+			return voidType, nil
+		case "getOutDegrees":
+			if len(e.Args) != 0 {
+				return nil, c.errf(e.Pos, "getOutDegrees takes no arguments")
+			}
+			return &Type{Kind: "vector", Element: rt.Element, Value: intType}, nil
+		}
+		return nil, c.errf(e.Pos, "unknown edgeset method %q", e.Method)
+	case "vertexset":
+		switch e.Method {
+		case "getVertexSetSize":
+			return intType, nil
+		case "applyExtern", "applyExternReduce":
+			// Host-bound per-vertex extern application (the escape hatch the
+			// paper's SetCover and A* use for logic beyond edge UDFs).
+			if len(e.Args) != 1 {
+				return nil, c.errf(e.Pos, "%s takes a function name", e.Method)
+			}
+			id, ok := e.Args[0].(*IdentExpr)
+			if !ok {
+				return nil, c.errf(e.Pos, "%s takes a function name", e.Method)
+			}
+			fd := c.out.Funcs[id.Name]
+			if fd == nil {
+				return nil, c.errf(e.Pos, "%s: undeclared function %q", e.Method, id.Name)
+			}
+			if len(fd.Params) != 1 {
+				return nil, c.errf(e.Pos, "%s: function %s must take one vertex", e.Method, id.Name)
+			}
+			c.out.ExprTypes[id] = &Type{Kind: "function"}
+			return voidType, nil
+		}
+		return nil, c.errf(e.Pos, "unknown vertexset method %q", e.Method)
+	}
+	return nil, c.errf(e.Pos, "type %s has no methods", rt)
+}
+
+// pqMethodType checks the priority-queue operators of paper Table 1.
+func (c *checker) pqMethodType(e *MethodCallExpr, argTypes []*Type) (*Type, error) {
+	wantVertex := func(i int) error {
+		if !vertexLike(argTypes[i]) {
+			return c.errf(e.Pos, "%s: argument %d must be a vertex", e.Method, i+1)
+		}
+		return nil
+	}
+	wantInt := func(i int) error {
+		if !numericLike(argTypes[i]) {
+			return c.errf(e.Pos, "%s: argument %d must be int", e.Method, i+1)
+		}
+		return nil
+	}
+	switch e.Method {
+	case "finished":
+		if len(e.Args) != 0 {
+			return nil, c.errf(e.Pos, "finished takes no arguments")
+		}
+		return boolType, nil
+	case "finishedVertex":
+		if len(e.Args) != 1 {
+			return nil, c.errf(e.Pos, "finishedVertex takes one vertex")
+		}
+		if err := wantVertex(0); err != nil {
+			return nil, err
+		}
+		return boolType, nil
+	case "dequeueReadySet":
+		if len(e.Args) != 0 {
+			return nil, c.errf(e.Pos, "dequeueReadySet takes no arguments")
+		}
+		return &Type{Kind: "vertexset", Element: rtElement(c, e)}, nil
+	case "getCurrentPriority":
+		if len(e.Args) != 0 {
+			return nil, c.errf(e.Pos, "getCurrentPriority takes no arguments")
+		}
+		return intType, nil
+	case "updatePriorityMin", "updatePriorityMax":
+		// Table 1 form: (v, new_val); Figure 3 form: (v, old_hint, new_val).
+		if len(e.Args) != 2 && len(e.Args) != 3 {
+			return nil, c.errf(e.Pos, "%s takes (vertex, new_val) or (vertex, old, new_val)", e.Method)
+		}
+		if err := wantVertex(0); err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(e.Args); i++ {
+			if err := wantInt(i); err != nil {
+				return nil, err
+			}
+		}
+		return voidType, nil
+	case "updatePrioritySum":
+		if len(e.Args) != 2 && len(e.Args) != 3 {
+			return nil, c.errf(e.Pos, "updatePrioritySum takes (vertex, sum_diff[, min_threshold])")
+		}
+		if err := wantVertex(0); err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(e.Args); i++ {
+			if err := wantInt(i); err != nil {
+				return nil, err
+			}
+		}
+		return voidType, nil
+	}
+	return nil, c.errf(e.Pos, "unknown priority_queue method %q", e.Method)
+}
+
+func rtElement(c *checker, e *MethodCallExpr) string {
+	if t := c.out.ExprTypes[e.Recv]; t != nil {
+		return t.Element
+	}
+	return ""
+}

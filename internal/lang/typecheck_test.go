@@ -1,0 +1,190 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const tcHeader = `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = INT_MAX;
+const pq : priority_queue{Vertex}(int);
+`
+
+func check(t *testing.T, src string) (*Checked, error) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func TestCheckAcceptsFloatsAndComparisons(t *testing.T) {
+	src := tcHeader + `
+func f(src : Vertex, dst : Vertex, w : int)
+    var x : float = 1.5;
+    var y : float = x * 2.0 + 0.25;
+    var b : bool = (y > x) && (w != 0) || !(src == dst);
+    if b
+        pq.updatePriorityMin(dst, dist[src] + w);
+    end
+end`
+	if _, err := check(t, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckVertexIntInterchange(t *testing.T) {
+	// GraphIt indexes vectors with both raw ints and element values, and
+	// the paper's programs assign atoi results to vertex positions.
+	src := tcHeader + `
+func f(src : Vertex, dst : Vertex, w : int)
+    var v : Vertex = dst;
+    var i : int = v;
+    pq.updatePriorityMin(v, dist[i] + w);
+end`
+	if _, err := check(t, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckScopesAndShadowing(t *testing.T) {
+	src := tcHeader + `
+func f(src : Vertex, dst : Vertex, w : int)
+    var x : int = 1;
+    if x > 0
+        var y : int = x + 1;
+        x = y;
+    end
+    pq.updatePriorityMin(dst, dist[src] + x);
+end`
+	if _, err := check(t, src); err != nil {
+		t.Fatal(err)
+	}
+	// Inner-scope variables do not leak out.
+	bad := tcHeader + `
+func f(src : Vertex, dst : Vertex, w : int)
+    if w > 0
+        var y : int = 1;
+    end
+    pq.updatePriorityMin(dst, dist[src] + y);
+end`
+	if _, err := check(t, bad); err == nil {
+		t.Fatal("inner-scope variable leaked")
+	}
+	// Same-scope redeclaration is an error.
+	redecl := tcHeader + `
+func f(src : Vertex, dst : Vertex, w : int)
+    var x : int = 1;
+    var x : int = 2;
+end`
+	if _, err := check(t, redecl); err == nil || !strings.Contains(err.Error(), "redeclared") {
+		t.Fatalf("expected redeclaration error, got %v", err)
+	}
+}
+
+func TestCheckReturnTypes(t *testing.T) {
+	good := tcHeader + `
+func h(v : Vertex) : int
+    return dist[v] + 1;
+end`
+	if _, err := check(t, good); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"missing value": tcHeader + "func h(v : Vertex) : int\n return;\nend",
+		"value in void": tcHeader + "func h(v : Vertex)\n return 3;\nend",
+		"wrong type":    tcHeader + "func h(v : Vertex) : bool\n return dist[v];\nend",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := check(t, src); err == nil {
+				t.Error("expected a return-type error")
+			}
+		})
+	}
+}
+
+func TestCheckPQConstructorErrors(t *testing.T) {
+	cases := map[string]string{
+		"non-bool coarsen": tcHeader + `func main()
+ pq = new priority_queue{Vertex}(int)(1, "lower_first", dist, 0);
+end`,
+		"vector not global": tcHeader + `func main()
+ var local : int = 3;
+ pq = new priority_queue{Vertex}(int)(true, "lower_first", local, 0);
+end`,
+		"too few args": tcHeader + `func main()
+ pq = new priority_queue{Vertex}(int)(true);
+end`,
+		"string start": tcHeader + `func main()
+ pq = new priority_queue{Vertex}(int)(true, "lower_first", dist, argv[2]);
+end`,
+		"double construction": tcHeader + `func main()
+ pq = new priority_queue{Vertex}(int)(true, "lower_first", dist, 0);
+ pq = new priority_queue{Vertex}(int)(true, "lower_first", dist, 1);
+end`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := check(t, src); err == nil {
+				t.Error("expected a constructor error")
+			}
+		})
+	}
+}
+
+func TestCheckPriorityQueueValueMustBeInt(t *testing.T) {
+	src := `element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const pq : priority_queue{Vertex}(float);
+`
+	if _, err := check(t, src); err == nil {
+		t.Fatal("float priority queue accepted")
+	}
+}
+
+func TestCheckTwoEdgesetsRejected(t *testing.T) {
+	src := tcHeader + `const more : edgeset{Edge}(Vertex, Vertex) = load(argv[2]);`
+	if _, err := check(t, src); err == nil || !strings.Contains(err.Error(), "edgeset") {
+		t.Fatal("second edgeset accepted")
+	}
+}
+
+func TestCheckUpdateOperatorArity(t *testing.T) {
+	cases := []string{
+		tcHeader + "func f(src : Vertex, dst : Vertex, w : int)\n pq.updatePriorityMin(dst);\nend",
+		tcHeader + "func f(src : Vertex, dst : Vertex, w : int)\n pq.updatePrioritySum(dst);\nend",
+		tcHeader + "func f(src : Vertex, dst : Vertex, w : int)\n pq.finished(dst);\nend",
+		tcHeader + "func f(src : Vertex, dst : Vertex, w : int)\n pq.getCurrentPriority(1);\nend",
+		tcHeader + "func f(src : Vertex, dst : Vertex, w : int)\n pq.dequeueReadySet(1);\nend",
+	}
+	for _, src := range cases {
+		if _, err := check(t, src); err == nil {
+			t.Errorf("arity error not caught:\n%s", src)
+		}
+	}
+}
+
+func TestCheckTypeStrings(t *testing.T) {
+	prog, err := Parse(tcHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chk.Globals["dist"].Type.String(); got != "vector{Vertex}(int)" {
+		t.Errorf("dist type = %q", got)
+	}
+	if got := chk.Globals["pq"].Type.String(); got != "priority_queue{Vertex}(int)" {
+		t.Errorf("pq type = %q", got)
+	}
+	if got := chk.Globals["edges"].Type.String(); !strings.Contains(got, "edgeset") {
+		t.Errorf("edges type = %q", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package parallel provides the shared-memory parallel substrate used by the
+// ordered-graph engines: chunked parallel-for loops (static and dynamic),
+// parallel prefix sums, and packing/filtering primitives.
+//
+// The design mirrors the execution model of the Cilk/OpenMP runtimes used by
+// the paper's C++ frameworks: a fixed pool of workers, each of which may keep
+// worker-local state (e.g. the thread-local bucket bins of the eager engine),
+// with explicit barriers between phases.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the default number of iterations handed to a worker at a
+// time by dynamic scheduling. It matches the "dynamic, 64" OpenMP schedule
+// used by the generated code in the paper (Figure 9(c), line 15).
+const DefaultGrain = 64
+
+// Workers returns the number of workers used by the package-level loops:
+// GOMAXPROCS unless overridden by SetWorkers.
+func Workers() int {
+	w := int(workerOverride.Load())
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+var workerOverride atomic.Int64
+
+// SetWorkers overrides the worker count for subsequent loops. n <= 0 restores
+// the GOMAXPROCS default. It returns the previous override (0 if none). It is
+// used by the scalability harness (paper Figure 11) to sweep thread counts.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int64(n)))
+}
+
+// For runs body(i) for every i in [0, n) using dynamic scheduling with
+// DefaultGrain. It blocks until all iterations complete.
+func For(n int, body func(i int)) {
+	ForGrain(n, DefaultGrain, body)
+}
+
+// ForGrain is For with an explicit grain size.
+func ForGrain(n, grain int, body func(i int)) {
+	ForChunks(n, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunks divides [0, n) into chunks of at most grain iterations and hands
+// each chunk to body(lo, hi, worker) using dynamic (atomic-counter)
+// scheduling. worker identifies the executing worker in [0, Workers()) so
+// that body can use worker-local state without synchronization.
+func ForChunks(n, grain int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	w := Workers()
+	if w <= 1 || n <= grain {
+		body(0, n, 0)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi, worker)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// ForStatic divides [0, n) into Workers() contiguous slabs, one per worker.
+// Static scheduling is used where per-worker slabs must be deterministic
+// (e.g. copying thread-local bins into a global frontier).
+func ForStatic(n int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 {
+		body(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	per := (n + w - 1) / w
+	for wk := 0; wk < w; wk++ {
+		go func(worker int) {
+			defer wg.Done()
+			lo := worker * per
+			hi := lo + per
+			if lo > n {
+				lo = n
+			}
+			if hi > n {
+				hi = n
+			}
+			if lo < hi {
+				body(lo, hi, worker)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// Run executes fn(worker) once on each of Workers() workers concurrently and
+// waits for all of them. It is the analogue of an OpenMP parallel region
+// (paper Figure 9(c), line 12): the body typically loops over shared work
+// queues and synchronizes with Barrier.
+func Run(fn func(worker int)) {
+	w := Workers()
+	if w <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(worker int) {
+			defer wg.Done()
+			fn(worker)
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// Barrier is a reusable cyclic barrier for n participants, the analogue of
+// "#pragma omp barrier" in the paper's generated eager code.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+// NewBarrier returns a barrier for n participants. n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("parallel: barrier size must be positive")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have called Wait, then releases them.
+// The barrier resets automatically for reuse.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,56 @@
+package parallel
+
+import "testing"
+
+// Micro-benchmarks for the parallel substrate: loop dispatch, barrier
+// crossings (the per-round synchronization cost that bucket fusion
+// eliminates), and scans.
+
+func BenchmarkForChunksDispatch(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		ForChunks(1<<12, 64, func(lo, hi, _ int) {
+			s := int64(0)
+			for j := lo; j < hi; j++ {
+				s += int64(j)
+			}
+			sink += s
+		})
+	}
+	_ = sink
+}
+
+func BenchmarkBarrierCrossing(b *testing.B) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	w := Workers()
+	bar := NewBarrier(w)
+	b.ResetTimer()
+	Run(func(worker int) {
+		for i := 0; i < b.N; i++ {
+			bar.Wait()
+		}
+	})
+}
+
+func BenchmarkPrefixSum(b *testing.B) {
+	xs := make([]int64, 1<<16)
+	for i := range xs {
+		xs[i] = int64(i % 7)
+	}
+	scratch := make([]int64, len(xs))
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, xs)
+		PrefixSum(scratch)
+	}
+}
+
+func BenchmarkPackU32(b *testing.B) {
+	xs := IotaU32(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PackU32(xs, func(i int) bool { return xs[i]%3 == 0 })
+	}
+}

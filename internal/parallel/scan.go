@@ -1,0 +1,105 @@
+package parallel
+
+// PrefixSum replaces xs with its exclusive prefix sum and returns the total.
+// For inputs below a size threshold, or with one worker, it runs serially.
+// It is the primitive behind the lazy engine's setupFrontier (paper §5.1):
+// the synchronized-append buffer is reduced with a prefix sum to avoid
+// atomics.
+func PrefixSum(xs []int64) int64 {
+	n := len(xs)
+	const serialCutoff = 1 << 14
+	w := Workers()
+	if n < serialCutoff || w <= 1 {
+		var sum int64
+		for i, x := range xs {
+			xs[i] = sum
+			sum += x
+		}
+		return sum
+	}
+	// Two-pass blocked scan: per-block sums, serial scan of block sums,
+	// then per-block exclusive scans offset by the block prefix.
+	blocks := w * 4
+	per := (n + blocks - 1) / blocks
+	sums := make([]int64, blocks)
+	ForGrain(blocks, 1, func(b int) {
+		lo, hi := b*per, (b+1)*per
+		if hi > n {
+			hi = n
+		}
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		sums[b] = s
+	})
+	var total int64
+	for b := range sums {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+	ForGrain(blocks, 1, func(b int) {
+		lo, hi := b*per, (b+1)*per
+		if hi > n {
+			hi = n
+		}
+		sum := sums[b]
+		for i := lo; i < hi; i++ {
+			x := xs[i]
+			xs[i] = sum
+			sum += x
+		}
+	})
+	return total
+}
+
+// PackU32 returns the elements of xs whose index passes keep, preserving
+// order. It parallelizes via a flag array and prefix sum, the standard
+// Ligra/Julienne "pack" used to build sparse frontiers from dense flags.
+func PackU32(xs []uint32, keep func(i int) bool) []uint32 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int64, n)
+	For(n, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := PrefixSum(flags)
+	out := make([]uint32, total)
+	For(n, func(i int) {
+		// After the exclusive scan, index i was kept iff its slot differs
+		// from the next prefix value.
+		var next int64
+		if i+1 < n {
+			next = flags[i+1]
+		} else {
+			next = total
+		}
+		if next != flags[i] {
+			out[flags[i]] = xs[i]
+		}
+	})
+	return out
+}
+
+// IotaU32 returns [0, 1, ..., n-1] as uint32, filled in parallel.
+func IotaU32(n int) []uint32 {
+	out := make([]uint32, n)
+	For(n, func(i int) { out[i] = uint32(i) })
+	return out
+}
+
+// MaxInt64 returns the maximum of xs, or def if xs is empty.
+func MaxInt64(xs []int64, def int64) int64 {
+	max := def
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}

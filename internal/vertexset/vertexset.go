@@ -1,0 +1,107 @@
+// Package vertexset implements Ligra-style vertex subsets (frontiers) with
+// sparse (id list) and dense (boolean map) representations and conversions
+// between them. The direction optimization in the scheduling language
+// (SparsePush vs DensePull, paper Figure 9(a)/(b)) selects which
+// representation the generated traversal consumes.
+package vertexset
+
+import "graphit/internal/parallel"
+
+// Set is a subset of the vertices [0, n). At least one representation is
+// materialized; the other is built on demand.
+type Set struct {
+	n      int
+	sparse []uint32 // vertex ids, unordered
+	dense  []bool
+	count  int // number of members; valid when dense is the only repr
+}
+
+// FromSparse wraps an id list (takes ownership).
+func FromSparse(n int, ids []uint32) *Set {
+	return &Set{n: n, sparse: ids, count: len(ids)}
+}
+
+// FromDense wraps a dense boolean map (takes ownership). count must be the
+// number of true entries; pass -1 to have it counted.
+func FromDense(flags []bool, count int) *Set {
+	if count < 0 {
+		count = 0
+		for _, b := range flags {
+			if b {
+				count++
+			}
+		}
+	}
+	return &Set{n: len(flags), dense: flags, count: count}
+}
+
+// Empty returns an empty subset of [0, n).
+func Empty(n int) *Set { return &Set{n: n} }
+
+// Single returns the subset {v} of [0, n).
+func Single(n int, v uint32) *Set { return FromSparse(n, []uint32{v}) }
+
+// Universe returns the full subset [0, n).
+func Universe(n int) *Set { return FromSparse(n, parallel.IotaU32(n)) }
+
+// Len returns the number of vertices in the set.
+func (s *Set) Len() int {
+	if s.sparse != nil {
+		return len(s.sparse)
+	}
+	return s.count
+}
+
+// NumVertices returns the size n of the underlying vertex universe.
+func (s *Set) NumVertices() int { return s.n }
+
+// IsEmpty reports whether the set has no members.
+func (s *Set) IsEmpty() bool { return s.Len() == 0 }
+
+// Sparse returns the members as an id list, materializing it if needed.
+// The returned slice is owned by the set; do not modify.
+func (s *Set) Sparse() []uint32 {
+	if s.sparse == nil {
+		ids := make([]uint32, 0, s.count)
+		for v, in := range s.dense {
+			if in {
+				ids = append(ids, uint32(v))
+			}
+		}
+		s.sparse = ids
+	}
+	return s.sparse
+}
+
+// Dense returns the members as a boolean map, materializing it if needed.
+// The returned slice is owned by the set; do not modify.
+func (s *Set) Dense() []bool {
+	if s.dense == nil {
+		flags := make([]bool, s.n)
+		for _, v := range s.sparse {
+			flags[v] = true
+		}
+		s.dense = flags
+	}
+	return s.dense
+}
+
+// Contains reports membership of v.
+func (s *Set) Contains(v uint32) bool {
+	if s.dense != nil {
+		return s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the subset of s whose members satisfy keep.
+func (s *Set) Filter(keep func(v uint32) bool) *Set {
+	ids := s.Sparse()
+	kept := parallel.PackU32(ids, func(i int) bool { return keep(ids[i]) })
+	return FromSparse(s.n, kept)
+}

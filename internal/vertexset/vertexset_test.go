@@ -1,0 +1,92 @@
+package vertexset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseToDenseRoundTrip(t *testing.T) {
+	f := func(ids []uint32) bool {
+		n := 1024
+		uniq := map[uint32]bool{}
+		var in []uint32
+		for _, v := range ids {
+			v %= uint32(n)
+			if !uniq[v] {
+				uniq[v] = true
+				in = append(in, v)
+			}
+		}
+		s := FromSparse(n, in)
+		dense := s.Dense()
+		count := 0
+		for v, b := range dense {
+			if b != uniq[uint32(v)] {
+				return false
+			}
+			if b {
+				count++
+			}
+		}
+		return count == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseToSparse(t *testing.T) {
+	flags := make([]bool, 10)
+	flags[2], flags[5], flags[9] = true, true, true
+	s := FromDense(flags, -1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ids := append([]uint32(nil), s.Sparse()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	want := []uint32{2, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+}
+
+func TestEmptyAndSingleAndUniverse(t *testing.T) {
+	e := Empty(5)
+	if !e.IsEmpty() || e.Len() != 0 {
+		t.Error("Empty not empty")
+	}
+	s := Single(5, 3)
+	if s.Len() != 1 || !s.Contains(3) || s.Contains(2) {
+		t.Error("Single wrong")
+	}
+	u := Universe(5)
+	if u.Len() != 5 || !u.Contains(4) {
+		t.Error("Universe wrong")
+	}
+	if u.NumVertices() != 5 {
+		t.Error("NumVertices wrong")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	u := Universe(100)
+	even := u.Filter(func(v uint32) bool { return v%2 == 0 })
+	if even.Len() != 50 {
+		t.Fatalf("filtered %d, want 50", even.Len())
+	}
+	for _, v := range even.Sparse() {
+		if v%2 != 0 {
+			t.Fatalf("odd member %d", v)
+		}
+	}
+}
+
+func TestContainsSparseScan(t *testing.T) {
+	s := FromSparse(10, []uint32{1, 7})
+	if !s.Contains(7) || s.Contains(3) {
+		t.Error("sparse Contains wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package graphit
+
+import (
+	"fmt"
+
+	"graphit/internal/core"
+)
+
+// PriorityQueueOptions mirror the DSL priority-queue constructor's arguments
+// (paper Table 1):
+//
+//	pq = new priority_queue{Vertex}(int)(
+//	       allow_priority_coarsening, priority_direction,
+//	       priority_vector, optional_start_vertex)
+type PriorityQueueOptions struct {
+	// AllowCoarsening permits the schedule's ∆ to coarsen priorities
+	// (bucket = floor(priority/∆)). When false a ∆ > 1 is rejected, as in
+	// k-core and SetCover, which tolerate no priority inversion (paper §2).
+	AllowCoarsening bool
+	// PriorityDirection is "lower_first" or "higher_first".
+	PriorityDirection string
+	// PriorityVector stores the vertex data that defines priorities; the
+	// queue aliases it (it is not copied).
+	PriorityVector []int64
+	// StartVertex optionally restricts the initial frontier to one vertex.
+	StartVertex *VertexID
+	// FinalizeOnDequeue marks dequeued vertices finished so that later
+	// updates cannot re-bucket them (k-core semantics).
+	FinalizeOnDequeue bool
+	// ConstantSum declares that priority updates add the fixed constant
+	// SumConst, enabling the lazy_constant_sum schedule. SumFloorIsCurrent
+	// clamps results at the current bucket's priority.
+	SumConst          int64
+	SumFloorIsCurrent bool
+}
+
+// PriorityQueue is the user-driven (step-wise) execution mode, mirroring
+// the paper's Figure 3 main loop:
+//
+//	for !pq.Finished() {
+//		bucket := pq.DequeueReadySet()
+//		pq.ApplyUpdatePriority(bucket, updateEdge)
+//	}
+//
+// User-driven loops run under lazy schedules; to use the eager strategies
+// and bucket fusion, hand the whole loop to RunOrdered (the library
+// analogue of the compiler's eager while-loop transformation, paper §5.2).
+type PriorityQueue struct {
+	m *core.Manual
+}
+
+// NewPriorityQueue constructs a step-wise priority queue over g. The
+// schedule must use a lazy strategy ("lazy" or "lazy_constant_sum").
+func NewPriorityQueue(g *Graph, opt PriorityQueueOptions, sched Schedule) (*PriorityQueue, error) {
+	cfg, err := sched.Config()
+	if err != nil {
+		return nil, err
+	}
+	var order Order
+	switch opt.PriorityDirection {
+	case "lower_first", "":
+		order = LowerFirst
+	case "higher_first":
+		order = HigherFirst
+	default:
+		return nil, fmt.Errorf("graphit: unknown priority direction %q", opt.PriorityDirection)
+	}
+	if !opt.AllowCoarsening && cfg.Delta > 1 {
+		return nil, fmt.Errorf("graphit: schedule sets delta=%d but the priority queue disallows coarsening", cfg.Delta)
+	}
+	op := &Ordered{
+		G:                 g,
+		Prio:              opt.PriorityVector,
+		Order:             order,
+		SumConst:          opt.SumConst,
+		SumFloorIsCurrent: opt.SumFloorIsCurrent,
+		FinalizeOnPop:     opt.FinalizeOnDequeue,
+		Cfg:               cfg,
+	}
+	// Manual mode validates Apply lazily; install a placeholder for plain
+	// lazy schedules (the real UDF arrives with ApplyUpdatePriority).
+	if op.Apply == nil && cfg.Strategy != core.LazyConstantSum {
+		op.Apply = func(src, dst VertexID, w Weight, q *Queue) {}
+	}
+	if opt.StartVertex != nil {
+		op.Sources = []VertexID{*opt.StartVertex}
+	}
+	m, err := core.NewManual(op)
+	if err != nil {
+		return nil, err
+	}
+	return &PriorityQueue{m: m}, nil
+}
+
+// Finished reports whether all buckets have been processed (pq.finished()).
+func (pq *PriorityQueue) Finished() bool { return pq.m.Finished() }
+
+// FinishedVertex reports whether v's priority is finalized.
+func (pq *PriorityQueue) FinishedVertex(v VertexID) bool { return pq.m.FinishedVertex(v) }
+
+// GetCurrentPriority returns the priority of the bucket that is ready.
+func (pq *PriorityQueue) GetCurrentPriority() int64 { return pq.m.GetCurrentPriority() }
+
+// DequeueReadySet returns the vertices currently ready to be processed
+// (pq.dequeueReadySet()); nil when the queue is finished.
+func (pq *PriorityQueue) DequeueReadySet() []VertexID { return pq.m.DequeueReadySet() }
+
+// ApplyUpdatePriority applies f to every out-edge of bucket and performs
+// the bulk bucket update — `edges.from(bucket).applyUpdatePriority(f)`.
+// With a lazy_constant_sum schedule f may be nil (the histogram-transformed
+// update is applied instead).
+func (pq *PriorityQueue) ApplyUpdatePriority(bucket []VertexID, f EdgeFunc) {
+	pq.m.ApplyUpdatePriority(bucket, f)
+}
+
+// Stats returns counters accumulated across rounds so far.
+func (pq *PriorityQueue) Stats() Stats { return pq.m.Stats() }

@@ -1,0 +1,43 @@
+package graphit
+
+import (
+	"graphit/internal/bucket"
+	"graphit/internal/core"
+)
+
+// Order is the processing order of a priority queue.
+type Order = bucket.Order
+
+// Priority-queue orderings: lower_first processes the smallest priority
+// first (SSSP family, k-core); higher_first the largest (SetCover).
+const (
+	LowerFirst  Order = bucket.Increasing
+	HigherFirst Order = bucket.Decreasing
+)
+
+// Queue is the per-worker handle through which user-defined edge functions
+// perform priority updates — the runtime face of the paper's Table 1
+// operators (updatePriorityMin / updatePriorityMax / updatePrioritySum,
+// getCurrentPriority, finishedVertex).
+type Queue = core.Updater
+
+// EdgeFunc is a user-defined edge update function, the library analogue of
+// the DSL's updateEdge UDF (paper Figure 3, lines 7–10).
+type EdgeFunc = core.EdgeFunc
+
+// Ordered is a fully-configured ordered edgeset-apply operator — the
+// runtime object the GraphIt compiler generates for
+// `while(pq.finished()==false){ ... applyUpdatePriority(f) }` loops.
+// Populate its fields and call Run, or use the helpers in package
+// graphit/algo.
+type Ordered = core.Ordered
+
+// RunOrdered executes op under schedule s and returns execution counters.
+func RunOrdered(op *Ordered, s Schedule) (Stats, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return Stats{}, err
+	}
+	op.Cfg = cfg
+	return op.Run()
+}

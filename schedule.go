@@ -1,0 +1,136 @@
+package graphit
+
+import (
+	"fmt"
+
+	"graphit/internal/core"
+)
+
+// Schedule is the programmatic form of the paper's scheduling language
+// (Table 2 plus the original GraphIt direction/parallelization commands
+// used in Figure 8). Schedules are immutable values configured fluently:
+//
+//	s := graphit.DefaultSchedule().
+//		ConfigApplyPriorityUpdate("eager_with_fusion").
+//		ConfigApplyPriorityUpdateDelta(16384).
+//		ConfigApplyDirection("SparsePush")
+//
+// Invalid settings are recorded and reported when the schedule is used, so
+// call sites can chain without per-call error handling (mirroring how the
+// DSL reports schedule errors at compile time).
+type Schedule struct {
+	cfg core.Config
+	err error
+}
+
+// DefaultSchedule returns the scheduling language's defaults (bold options
+// in paper Table 2): eager_with_fusion, ∆=1, fusion threshold 1000, 128
+// materialized lazy buckets, SparsePush.
+func DefaultSchedule() Schedule {
+	return Schedule{cfg: core.DefaultConfig()}
+}
+
+// ConfigApplyPriorityUpdate selects the bucket update strategy: one of
+// "eager_with_fusion", "eager_no_fusion", "lazy", "lazy_constant_sum".
+func (s Schedule) ConfigApplyPriorityUpdate(strategy string) Schedule {
+	st, err := core.ParseStrategy(strategy)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.cfg.Strategy = st
+	return s
+}
+
+// ConfigApplyPriorityUpdateDelta sets the priority-coarsening factor ∆.
+func (s Schedule) ConfigApplyPriorityUpdateDelta(delta int64) Schedule {
+	if delta < 1 {
+		return s.fail(fmt.Errorf("schedule: delta must be >= 1, got %d", delta))
+	}
+	s.cfg.Delta = delta
+	return s
+}
+
+// ConfigBucketFusionThreshold sets the local-bucket size limit below which
+// rounds are fused without synchronization.
+func (s Schedule) ConfigBucketFusionThreshold(t int) Schedule {
+	if t < 1 {
+		return s.fail(fmt.Errorf("schedule: fusion threshold must be >= 1, got %d", t))
+	}
+	s.cfg.FusionThreshold = t
+	return s
+}
+
+// ConfigNumBuckets sets the number of materialized buckets for the lazy
+// strategies (Julienne keeps vertices beyond this window in an overflow
+// bucket).
+func (s Schedule) ConfigNumBuckets(n int) Schedule {
+	if n < 1 {
+		return s.fail(fmt.Errorf("schedule: bucket count must be >= 1, got %d", n))
+	}
+	s.cfg.NumBuckets = n
+	return s
+}
+
+// ConfigDeduplication enables or disables per-round deduplication of the
+// lazy push buffer. The compiler normally inserts deduplication when the
+// algorithm needs it (paper §5.1); disabling it trades extra bucket
+// insertions for skipping the CAS flags.
+func (s Schedule) ConfigDeduplication(enabled bool) Schedule {
+	s.cfg.NoDedup = !enabled
+	return s
+}
+
+// ConfigApplyDirection selects the traversal direction: "SparsePush",
+// "DensePull", or "DensePull-SparsePush" (per-round hybrid, lazy only).
+func (s Schedule) ConfigApplyDirection(dir string) Schedule {
+	d, err := core.ParseDirection(dir)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.cfg.Direction = d
+	return s
+}
+
+// ConfigApplyParallelization sets the dynamic-scheduling grain size
+// ("dynamic-vertex-parallel" with an explicit chunk, paper Figure 8).
+func (s Schedule) ConfigApplyParallelization(grain int) Schedule {
+	if grain < 1 {
+		return s.fail(fmt.Errorf("schedule: grain must be >= 1, got %d", grain))
+	}
+	s.cfg.Grain = grain
+	return s
+}
+
+// ConfigNumWorkers pins the number of workers for this operator (0 uses the
+// global setting).
+func (s Schedule) ConfigNumWorkers(w int) Schedule {
+	if w < 0 {
+		return s.fail(fmt.Errorf("schedule: worker count must be >= 0, got %d", w))
+	}
+	s.cfg.Workers = w
+	return s
+}
+
+// Err returns the first configuration error, if any.
+func (s Schedule) Err() error { return s.err }
+
+// Config exposes the underlying runtime configuration (for the experiment
+// harness and the compiler backends).
+func (s Schedule) Config() (core.Config, error) {
+	return s.cfg, s.err
+}
+
+// String renders the schedule in the scheduling language's notation.
+func (s Schedule) String() string {
+	if s.err != nil {
+		return fmt.Sprintf("invalid schedule: %v", s.err)
+	}
+	return s.cfg.String()
+}
+
+func (s Schedule) fail(err error) Schedule {
+	if s.err == nil {
+		s.err = err
+	}
+	return s
+}
