@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,12 @@ import (
 
 // SSSPApprox is ∆-stepping SSSP under approximate ordering (Galois).
 func SSSPApprox(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	return SSSPApproxContext(context.Background(), g, src, sched)
+}
+
+// SSSPApproxContext is SSSPApprox under a context, returning the partial
+// distance vector and ctx.Err() on cancellation.
+func SSSPApproxContext(ctx context.Context, g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -34,8 +41,11 @@ func SSSPApprox(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) 
 		return nil, err
 	}
 	op.Cfg = cfg
-	st, err := op.RunApprox()
+	st, err := op.RunApproxContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &SSSPResult{Dist: dist, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &SSSPResult{Dist: dist, Stats: st}, nil
@@ -43,6 +53,12 @@ func SSSPApprox(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) 
 
 // PPSPApprox is point-to-point shortest path under approximate ordering.
 func PPSPApprox(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	return PPSPApproxContext(context.Background(), g, src, dst, sched)
+}
+
+// PPSPApproxContext is PPSPApprox under a context, returning the partial
+// distance vector and ctx.Err() on cancellation.
+func PPSPApproxContext(ctx context.Context, g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -65,8 +81,11 @@ func PPSPApprox(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Sched
 		return nil, err
 	}
 	op.Cfg = cfg
-	st, err := op.RunApprox()
+	st, err := op.RunApproxContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &SSSPResult{Dist: dist, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &SSSPResult{Dist: dist, Stats: st}, nil
@@ -74,6 +93,12 @@ func PPSPApprox(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Sched
 
 // AStarApprox is A* search under approximate ordering.
 func AStarApprox(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*AStarResult, error) {
+	return AStarApproxContext(context.Background(), g, src, dst, sched)
+}
+
+// AStarApproxContext is AStarApprox under a context, returning the partial
+// result and ctx.Err() on cancellation.
+func AStarApproxContext(ctx context.Context, g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*AStarResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -114,8 +139,11 @@ func AStarApprox(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Sche
 		return nil, err
 	}
 	op.Cfg = cfg
-	st, err := op.RunApprox()
+	st, err := op.RunApproxContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &AStarResult{Dist: dist, Estimate: est, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &AStarResult{Dist: dist, Estimate: est, Stats: st}, nil

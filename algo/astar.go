@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,6 +28,12 @@ type AStarResult struct {
 // (true of the generated road networks), so with ∆=1 the result is exact;
 // with priority coarsening small inversions are tolerated as in the paper.
 func AStar(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*AStarResult, error) {
+	return AStarContext(context.Background(), g, src, dst, sched)
+}
+
+// AStarContext is AStar under a context, returning the partial result and
+// ctx.Err() on cancellation.
+func AStarContext(ctx context.Context, g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*AStarResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -68,8 +75,11 @@ func AStar(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) 
 			return best != graphit.Unreached && cur >= best
 		},
 	}
-	st, err := graphit.RunOrdered(op, sched)
+	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &AStarResult{Dist: dist, Estimate: est, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &AStarResult{Dist: dist, Estimate: est, Stats: st}, nil

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 
 	"graphit"
@@ -24,6 +25,12 @@ type KCoreResult struct {
 // priorities (∆ must be 1; paper §2). The lazy_constant_sum schedule
 // enables the histogram reduction of paper Figure 10.
 func KCore(g *graphit.Graph, sched graphit.Schedule) (*KCoreResult, error) {
+	return KCoreContext(context.Background(), g, sched)
+}
+
+// KCoreContext is KCore under a context, returning the partially peeled
+// coreness vector and ctx.Err() on cancellation.
+func KCoreContext(ctx context.Context, g *graphit.Graph, sched graphit.Schedule) (*KCoreResult, error) {
 	if !g.Symmetric() {
 		return nil, fmt.Errorf("algo: k-core requires a symmetrized graph")
 	}
@@ -54,8 +61,11 @@ func KCore(g *graphit.Graph, sched graphit.Schedule) (*KCoreResult, error) {
 		SumFloorIsCurrent: true,
 		FinalizeOnPop:     true,
 	}
-	st, err := graphit.RunOrdered(op, sched)
+	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &KCoreResult{Coreness: deg, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &KCoreResult{Coreness: deg, Stats: st}, nil

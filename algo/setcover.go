@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,6 +39,13 @@ type SetCoverResult struct {
 // Like k-core, set cover tolerates no priority coarsening; the schedule's
 // ∆ must be 1. The schedule's NumBuckets and Grain options apply.
 func SetCover(g *graphit.Graph, sched graphit.Schedule) (*SetCoverResult, error) {
+	return SetCoverContext(context.Background(), g, sched)
+}
+
+// SetCoverContext is SetCover under a context: cancellation is checked at
+// every round barrier and returns the partial (possibly incomplete) cover
+// together with ctx.Err().
+func SetCoverContext(ctx context.Context, g *graphit.Graph, sched graphit.Schedule) (*SetCoverResult, error) {
 	if !g.Symmetric() {
 		return nil, fmt.Errorf("algo: set cover requires a symmetrized graph")
 	}
@@ -78,7 +86,12 @@ func SetCover(g *graphit.Graph, sched graphit.Schedule) (*SetCoverResult, error)
 		}
 	}
 
+	var runErr error
 	for {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		bid, sets := lz.Next()
 		if bid == bucket.NullBkt {
 			break
@@ -163,5 +176,5 @@ func SetCover(g *graphit.Graph, sched graphit.Schedule) (*SetCoverResult, error)
 		CoveredBy: coveredBy,
 		NumChosen: num,
 		Stats:     st,
-	}, nil
+	}, runErr
 }

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,6 +26,13 @@ const ratioPrec = 64
 // costs[v] is the cost of set v and must be positive. The schedule's ∆
 // must be 1 (no coarsening), as for SetCover.
 func WeightedSetCover(g *graphit.Graph, costs []int64, sched graphit.Schedule) (*SetCoverResult, error) {
+	return WeightedSetCoverContext(context.Background(), g, costs, sched)
+}
+
+// WeightedSetCoverContext is WeightedSetCover under a context: cancellation
+// is checked at every round barrier and returns the partial cover together
+// with ctx.Err().
+func WeightedSetCoverContext(ctx context.Context, g *graphit.Graph, costs []int64, sched graphit.Schedule) (*SetCoverResult, error) {
 	if !g.Symmetric() {
 		return nil, fmt.Errorf("algo: set cover requires a symmetrized graph")
 	}
@@ -84,7 +92,12 @@ func WeightedSetCover(g *graphit.Graph, costs []int64, sched graphit.Schedule) (
 	}
 
 	var st graphit.Stats
+	var runErr error
 	for {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		bid, sets := lz.Next()
 		if bid == bucket.NullBkt {
 			break
@@ -167,7 +180,7 @@ func WeightedSetCover(g *graphit.Graph, costs []int64, sched graphit.Schedule) (
 		CoveredBy: coveredBy,
 		NumChosen: num,
 		Stats:     st,
-	}, nil
+	}, runErr
 }
 
 // CoverCost sums the costs of the chosen sets.

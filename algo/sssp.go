@@ -1,6 +1,8 @@
 package algo
 
 import (
+	"context"
+
 	"graphit"
 )
 
@@ -19,6 +21,13 @@ type SSSPResult struct {
 // ∆, and traversal direction. It is the library form of the DSL program in
 // paper Figure 3.
 func SSSP(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	return SSSPContext(context.Background(), g, src, sched)
+}
+
+// SSSPContext is SSSP under a context. On cancellation it returns the
+// partial result computed so far (distances settled up to the cancelled
+// round) together with ctx.Err().
+func SSSPContext(ctx context.Context, g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -34,8 +43,11 @@ func SSSP(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSP
 		},
 		Sources: []graphit.VertexID{src},
 	}
-	st, err := graphit.RunOrdered(op, sched)
+	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &SSSPResult{Dist: dist, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &SSSPResult{Dist: dist, Stats: st}, nil
@@ -45,13 +57,24 @@ func SSSP(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSP
 // ∆=1 for graphs with small positive integer weights (paper §6.1). Any ∆
 // in the schedule is overridden.
 func WBFS(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
-	return SSSP(g, src, sched.ConfigApplyPriorityUpdateDelta(1))
+	return WBFSContext(context.Background(), g, src, sched)
+}
+
+// WBFSContext is WBFS under a context.
+func WBFSContext(ctx context.Context, g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	return SSSPContext(ctx, g, src, sched.ConfigApplyPriorityUpdateDelta(1))
 }
 
 // PPSP computes a point-to-point shortest path with ∆-stepping plus early
 // termination: the run halts on entering a bucket whose priority is at
 // least the best distance already found for dst (paper §6.1).
 func PPSP(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
+	return PPSPContext(context.Background(), g, src, dst, sched)
+}
+
+// PPSPContext is PPSP under a context, returning the partial result and
+// ctx.Err() on cancellation.
+func PPSPContext(ctx context.Context, g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*SSSPResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -69,8 +92,11 @@ func PPSP(g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (
 			return best != graphit.Unreached && cur >= best
 		},
 	}
-	st, err := graphit.RunOrdered(op, sched)
+	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &SSSPResult{Dist: dist, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &SSSPResult{Dist: dist, Stats: st}, nil

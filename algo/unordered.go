@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -15,6 +16,13 @@ import (
 // out-edges of the entire active frontier regardless of priority,
 // performing redundant work that ∆-stepping avoids.
 func BellmanFord(g *graphit.Graph, src graphit.VertexID) (*SSSPResult, error) {
+	return BellmanFordContext(context.Background(), g, src)
+}
+
+// BellmanFordContext is BellmanFord under a context: cancellation is checked
+// at every round barrier and returns the partial distance vector together
+// with ctx.Err().
+func BellmanFordContext(ctx context.Context, g *graphit.Graph, src graphit.VertexID) (*SSSPResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -23,10 +31,15 @@ func BellmanFord(g *graphit.Graph, src graphit.VertexID) (*SSSPResult, error) {
 	dedup := atomicutil.NewFlags(n)
 	frontier := []uint32{src}
 	var st graphit.Stats
+	var runErr error
 	w := parallel.Workers()
 	outs := make([][]uint32, w)
 
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		st.Rounds++
 		st.GlobalSyncs++
 		var relax int64
@@ -55,7 +68,7 @@ func BellmanFord(g *graphit.Graph, src graphit.VertexID) (*SSSPResult, error) {
 		st.Processed += int64(len(frontier))
 		frontier = next
 	}
-	return &SSSPResult{Dist: dist, Stats: st}, nil
+	return &SSSPResult{Dist: dist, Stats: st}, runErr
 }
 
 // UnorderedKCore computes coreness with the unordered peeling baseline
@@ -63,6 +76,13 @@ func BellmanFord(g *graphit.Graph, src graphit.VertexID) (*SSSPResult, error) {
 // vertices for those with induced degree <= k, without any bucketing, so
 // every peel level pays a full-vertex-set scan.
 func UnorderedKCore(g *graphit.Graph) (*KCoreResult, error) {
+	return UnorderedKCoreContext(context.Background(), g)
+}
+
+// UnorderedKCoreContext is UnorderedKCore under a context: cancellation is
+// checked at every peel round and returns the partially peeled coreness
+// vector together with ctx.Err().
+func UnorderedKCoreContext(ctx context.Context, g *graphit.Graph) (*KCoreResult, error) {
 	if !g.Symmetric() {
 		return nil, fmt.Errorf("algo: k-core requires a symmetrized graph")
 	}
@@ -80,8 +100,13 @@ func UnorderedKCore(g *graphit.Graph) (*KCoreResult, error) {
 	core := make([]int64, n)
 	var st graphit.Stats
 	remaining := n
-	for k := int64(0); k <= maxDeg && remaining > 0; k++ {
+	var runErr error
+	for k := int64(0); k <= maxDeg && remaining > 0 && runErr == nil; k++ {
 		for {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				break
+			}
 			st.Rounds++
 			st.GlobalSyncs++
 			// Full scan: collect alive vertices with degree <= k.
@@ -110,7 +135,7 @@ func UnorderedKCore(g *graphit.Graph) (*KCoreResult, error) {
 			st.Processed += int64(len(peel))
 		}
 	}
-	return &KCoreResult{Coreness: core, Stats: st}, nil
+	return &KCoreResult{Coreness: core, Stats: st}, runErr
 }
 
 func atomicAdd(p *int64, v int64) {

@@ -1,6 +1,8 @@
 package algo
 
 import (
+	"context"
+
 	"graphit"
 )
 
@@ -21,6 +23,12 @@ type WidestPathResult struct {
 // max-queue mirror of ∆-stepping. The paper's eager engines are
 // lower_first only (as in GAPBS), so the schedule must use a lazy strategy.
 func WidestPath(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*WidestPathResult, error) {
+	return WidestPathContext(context.Background(), g, src, sched)
+}
+
+// WidestPathContext is WidestPath under a context, returning the partial
+// result and ctx.Err() on cancellation.
+func WidestPathContext(ctx context.Context, g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) (*WidestPathResult, error) {
 	if err := checkWeighted(g); err != nil {
 		return nil, err
 	}
@@ -55,8 +63,11 @@ func WidestPath(g *graphit.Graph, src graphit.VertexID, sched graphit.Schedule) 
 		FinalizeOnPop: true,
 		Sources:       []graphit.VertexID{src},
 	}
-	st, err := graphit.RunOrdered(op, sched)
+	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
+		if ctx.Err() != nil {
+			return &WidestPathResult{Capacity: cap, Stats: st}, err
+		}
 		return nil, err
 	}
 	return &WidestPathResult{Capacity: cap, Stats: st}, nil

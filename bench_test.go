@@ -9,6 +9,7 @@
 package graphit_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,22 +27,22 @@ func BenchmarkFig1_OrderedVsUnordered(b *testing.B) {
 		src := firstSource(d)
 		b.Run(d.Name+"/SSSP-ordered", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.SSSP(bench.FwGraphIt, d, src))
+				mustRun(b, bench.SSSP(context.Background(), bench.FwGraphIt, d, src))
 			}
 		})
 		b.Run(d.Name+"/SSSP-unordered", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.SSSP(bench.FwUnordered, d, src))
+				mustRun(b, bench.SSSP(context.Background(), bench.FwUnordered, d, src))
 			}
 		})
 		b.Run(d.Name+"/kcore-ordered", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.KCore(bench.FwGraphIt, d))
+				mustRun(b, bench.KCore(context.Background(), bench.FwGraphIt, d))
 			}
 		})
 		b.Run(d.Name+"/kcore-unordered", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.KCore(bench.FwUnordered, d))
+				mustRun(b, bench.KCore(context.Background(), bench.FwUnordered, d))
 			}
 		})
 	}
@@ -55,14 +56,14 @@ func BenchmarkFig4_FrameworkHeatmap(b *testing.B) {
 		for _, fw := range []bench.Framework{bench.FwGraphIt, bench.FwGAPBS, bench.FwJulienne, bench.FwGalois} {
 			b.Run(fmt.Sprintf("%s/SSSP/%s", d.Name, fw), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					mustRun(b, bench.SSSP(fw, d, src))
+					mustRun(b, bench.SSSP(context.Background(), fw, d, src))
 				}
 			})
 		}
 		for _, fw := range []bench.Framework{bench.FwGraphIt, bench.FwJulienne} {
 			b.Run(fmt.Sprintf("%s/kcore/%s", d.Name, fw), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					mustRun(b, bench.KCore(fw, d))
+					mustRun(b, bench.KCore(context.Background(), fw, d))
 				}
 			})
 		}
@@ -77,22 +78,22 @@ func BenchmarkTable4_MainComparison(b *testing.B) {
 		dst := graphit.VertexID(uint32(d.Graph.NumVertices() / 2))
 		b.Run(d.Name+"/SSSP", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.SSSP(bench.FwGraphIt, d, src))
+				mustRun(b, bench.SSSP(context.Background(), bench.FwGraphIt, d, src))
 			}
 		})
 		b.Run(d.Name+"/PPSP", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.PPSP(bench.FwGraphIt, d, src, dst))
+				mustRun(b, bench.PPSP(context.Background(), bench.FwGraphIt, d, src, dst))
 			}
 		})
 		b.Run(d.Name+"/kcore", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.KCore(bench.FwGraphIt, d))
+				mustRun(b, bench.KCore(context.Background(), bench.FwGraphIt, d))
 			}
 		})
 		b.Run(d.Name+"/SetCover", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.SetCover(bench.FwGraphIt, d))
+				mustRun(b, bench.SetCover(context.Background(), bench.FwGraphIt, d))
 			}
 		})
 	}
@@ -100,7 +101,7 @@ func BenchmarkTable4_MainComparison(b *testing.B) {
 		src := firstSource(d)
 		b.Run(d.Name+"/wBFS", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.WBFS(bench.FwGraphIt, d, src))
+				mustRun(b, bench.WBFS(context.Background(), bench.FwGraphIt, d, src))
 			}
 		})
 	}
@@ -109,7 +110,7 @@ func BenchmarkTable4_MainComparison(b *testing.B) {
 		dst := graphit.VertexID(uint32(d.Graph.NumVertices() - 1))
 		b.Run(d.Name+"/AStar", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.AStar(bench.FwGraphIt, d, src, dst))
+				mustRun(b, bench.AStar(context.Background(), bench.FwGraphIt, d, src, dst))
 			}
 		})
 	}
@@ -138,7 +139,7 @@ func BenchmarkTable6_BucketFusion(b *testing.B) {
 		b.Run(d.Name+"/with-fusion", func(b *testing.B) {
 			var rounds int64
 			for i := 0; i < b.N; i++ {
-				r := bench.SSSP(bench.FwGraphIt, d, src)
+				r := bench.SSSP(context.Background(), bench.FwGraphIt, d, src)
 				mustRun(b, r)
 				rounds = r.Stats.Rounds
 			}
@@ -147,7 +148,7 @@ func BenchmarkTable6_BucketFusion(b *testing.B) {
 		b.Run(d.Name+"/no-fusion", func(b *testing.B) {
 			var rounds int64
 			for i := 0; i < b.N; i++ {
-				r := bench.SSSP(bench.FwGAPBS, d, src)
+				r := bench.SSSP(context.Background(), bench.FwGAPBS, d, src)
 				mustRun(b, r)
 				rounds = r.Stats.Rounds
 			}
@@ -180,12 +181,12 @@ func BenchmarkTable7_EagerVsLazy(b *testing.B) {
 		})
 		b.Run(d.Name+"/sssp-eager", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.SSSP(bench.FwGraphIt, d, src))
+				mustRun(b, bench.SSSP(context.Background(), bench.FwGraphIt, d, src))
 			}
 		})
 		b.Run(d.Name+"/sssp-lazy", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.SSSP(bench.FwJulienne, d, src))
+				mustRun(b, bench.SSSP(context.Background(), bench.FwJulienne, d, src))
 			}
 		})
 	}
@@ -202,7 +203,7 @@ func BenchmarkFig11_Scalability(b *testing.B) {
 			prev := graphit.SetWorkers(w)
 			defer graphit.SetWorkers(prev)
 			for i := 0; i < b.N; i++ {
-				mustRun(b, bench.SSSP(bench.FwGraphIt, d, src))
+				mustRun(b, bench.SSSP(context.Background(), bench.FwGraphIt, d, src))
 			}
 		})
 	}

@@ -9,12 +9,18 @@
 //	benchtab -exp table6 -scale large
 //	benchtab -exp fig1,fig4,table4
 //	benchtab -workers 1,2,4,8      # the Figure 11 sweep points
+//	benchtab -timeout 5m           # bound the whole run; partial tables on expiry
+//
+// ^C (or an expired -timeout) cancels the in-flight experiment at its next
+// round barrier and skips the rest.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -24,11 +30,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated: fig1, fig4, table4, table5, table6, table7, fig11, delta, autotune")
+		exp     = flag.String("exp", "all", "comma-separated: fig1, fig4, table4, table5, table6, table7, fig11, delta, autotune, reuse")
 		scale   = flag.String("scale", "medium", "small | medium | large")
 		workers = flag.String("workers", "1,2,4,8", "Figure 11 worker sweep")
+		timeout = flag.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	s := bench.Scale(*scale)
 	switch s {
 	case bench.ScaleSmall, bench.ScaleMedium, bench.ScaleLarge:
@@ -55,20 +69,24 @@ func main() {
 		if !all && !want[name] {
 			return
 		}
+		if ctx.Err() != nil {
+			fmt.Printf("[%s skipped: %v]\n\n", name, ctx.Err())
+			return
+		}
 		start := time.Now()
 		f()
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
 	}
 
 	run("fig1", func() {
-		t, _ := bench.Fig1(s)
+		t, _ := bench.Fig1(ctx, s)
 		fmt.Println(t)
 	})
 	run("fig4", func() {
-		t, _ := bench.Fig4(s)
+		t, _ := bench.Fig4(ctx, s)
 		fmt.Println(t)
 	})
-	run("table4", func() { fmt.Println(bench.Table4(s)) })
+	run("table4", func() { fmt.Println(bench.Table4(ctx, s)) })
 	run("table5", func() {
 		t, err := bench.Table5()
 		if err != nil {
@@ -78,14 +96,15 @@ func main() {
 		fmt.Println(t)
 	})
 	run("table6", func() {
-		t, _ := bench.Table6(s)
+		t, _ := bench.Table6(ctx, s)
 		fmt.Println(t)
 	})
-	run("table7", func() { fmt.Println(bench.Table7(s)) })
-	run("fig11", func() { fmt.Println(bench.Fig11(s, ws)) })
-	run("delta", func() { fmt.Println(bench.DeltaSweep(s)) })
+	run("table7", func() { fmt.Println(bench.Table7(ctx, s)) })
+	run("fig11", func() { fmt.Println(bench.Fig11(ctx, s, ws)) })
+	run("delta", func() { fmt.Println(bench.DeltaSweep(ctx, s)) })
+	run("reuse", func() { fmt.Println(bench.EngineReuse(ctx, s)) })
 	run("autotune", func() {
-		t, worst := bench.Autotune(s)
+		t, worst := bench.Autotune(ctx, s)
 		fmt.Println(t)
 		fmt.Printf("worst autotuned/hand-tuned ratio: %.3f\n", worst)
 	})

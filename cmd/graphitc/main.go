@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"graphit"
 	"graphit/internal/autotune"
@@ -77,9 +79,13 @@ func main() {
 			opt.Graph = g
 			opt.Argv = append([]string{srcPath, *graphPath}, flag.Args()[1:]...)
 		}
-		res, text, err := plan.Autotune(opt, autotune.Options{
+		// ^C stops the search between trials; the best schedule found so
+		// far is still reported when at least one trial succeeded.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		res, text, err := plan.Autotune(ctx, opt, autotune.Options{
 			MaxTrials: *trials, Repeats: 2, Seed: 1,
 		})
+		stop()
 		fatal(err)
 		fmt.Fprintf(os.Stderr, "autotune: best of %d trials runs in %.4fs: %s\n",
 			len(res.Trials), res.Cost.Seconds(), res.Best)

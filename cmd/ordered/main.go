@@ -11,12 +11,24 @@
 //	ordered -algo astar -graph road.bin -src 0 -dst 99999
 //	ordered -algo setcover -graph social.bin -symmetrize
 //	ordered -algo bellmanford -graph g.wel -src 0      # unordered baseline
+//	ordered -algo sssp -graph g.wel -trace trace.jsonl # per-round JSON lines
+//	ordered -algo sssp -graph huge.bin -timeout 30s    # bounded run
+//
+// -trace writes one JSON object per line ("-" for stdout): a run_start
+// record with the schedule and graph shape, one round record per engine
+// round (bucket, frontier size, relaxations, wall time, ...), and a
+// run_end record with the final counters. -timeout (and ^C) cancel the
+// run at the next round barrier; the partial result is still summarized,
+// marked "halted early".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"graphit"
@@ -38,6 +50,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		symmetrize = flag.Bool("symmetrize", false, "symmetrize the graph after loading")
 		verify     = flag.Bool("verify", false, "verify against the sequential reference")
+		tracePath  = flag.String("trace", "", "write per-round JSON lines to this file (\"-\" = stdout)")
+		timeout    = flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -58,72 +72,114 @@ func main() {
 		ConfigNumBuckets(*numBuckets).
 		ConfigApplyDirection(*direction)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *tracePath != "" {
+		var w io.Writer
+		if *tracePath == "-" {
+			w = os.Stdout
+			// Keep stdout pure JSON lines; the human summary moves to
+			// stderr.
+			sumOut = os.Stderr
+		} else {
+			f, err := os.Create(*tracePath)
+			fatal(err)
+			defer f.Close()
+			w = f
+		}
+		ctx = graphit.WithTracer(ctx, graphit.NewJSONTracer(w))
+	}
+
 	start := time.Now()
 	var stats graphit.Stats
 	var summary string
+	var runErr error
 	switch *algoName {
 	case "sssp", "wbfs":
-		run := algo.SSSP
+		run := algo.SSSPContext
 		if *algoName == "wbfs" {
-			run = algo.WBFS
+			run = algo.WBFSContext
 		}
-		res, err := run(g, graphit.VertexID(*src), sched)
-		fatal(err)
+		res, err := run(ctx, g, graphit.VertexID(*src), sched)
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = distSummary(res.Dist)
-		if *verify {
+		if *verify && runErr == nil {
 			ref, err := algo.Dijkstra(g, graphit.VertexID(*src))
 			fatal(err)
 			verifyEqual(res.Dist, ref)
 		}
 	case "sssp-approx":
-		res, err := algo.SSSPApprox(g, graphit.VertexID(*src), sched)
-		fatal(err)
+		res, err := algo.SSSPApproxContext(ctx, g, graphit.VertexID(*src), sched)
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = distSummary(res.Dist)
 	case "ppsp":
-		res, err := algo.PPSP(g, graphit.VertexID(*src), graphit.VertexID(*dst), sched)
-		fatal(err)
+		res, err := algo.PPSPContext(ctx, g, graphit.VertexID(*src), graphit.VertexID(*dst), sched)
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = fmt.Sprintf("dist(%d -> %d) = %s", *src, *dst, distCell(res.Dist[*dst]))
 	case "astar":
-		res, err := algo.AStar(g, graphit.VertexID(*src), graphit.VertexID(*dst), sched)
-		fatal(err)
+		res, err := algo.AStarContext(ctx, g, graphit.VertexID(*src), graphit.VertexID(*dst), sched)
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = fmt.Sprintf("dist(%d -> %d) = %s", *src, *dst, distCell(res.Dist[*dst]))
 	case "kcore":
-		res, err := algo.KCore(g, sched)
-		fatal(err)
+		res, err := algo.KCoreContext(ctx, g, sched)
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = corenessSummary(res.Coreness)
-		if *verify {
+		if *verify && runErr == nil {
 			ref, err := algo.RefKCore(g)
 			fatal(err)
 			verifyEqual(res.Coreness, ref)
 		}
 	case "kcore-unordered":
-		res, err := algo.UnorderedKCore(g)
-		fatal(err)
+		res, err := algo.UnorderedKCoreContext(ctx, g)
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = corenessSummary(res.Coreness)
 	case "setcover":
-		res, err := algo.SetCover(g, sched)
-		fatal(err)
+		res, err := algo.SetCoverContext(ctx, g, sched)
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = fmt.Sprintf("cover size = %d sets", res.NumChosen)
 	case "bellmanford":
-		res, err := algo.BellmanFord(g, graphit.VertexID(*src))
-		fatal(err)
+		res, err := algo.BellmanFordContext(ctx, g, graphit.VertexID(*src))
+		runErr = halted(err, ctx)
 		stats = res.Stats
 		summary = distSummary(res.Dist)
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%s on %s\n", *algoName, g)
-	fmt.Printf("result: %s\n", summary)
-	fmt.Printf("time:   %.4fs\n", elapsed.Seconds())
-	fmt.Printf("stats:  %s\n", stats)
+	fmt.Fprintf(sumOut, "%s on %s\n", *algoName, g)
+	if runErr != nil {
+		fmt.Fprintf(sumOut, "halted early after %d rounds: %v\n", stats.Rounds, runErr)
+		fmt.Fprintf(sumOut, "result (partial): %s\n", summary)
+	} else {
+		fmt.Fprintf(sumOut, "result: %s\n", summary)
+	}
+	fmt.Fprintf(sumOut, "time:   %.4fs\n", elapsed.Seconds())
+	fmt.Fprintf(sumOut, "stats:  %s\n", stats)
+}
+
+// sumOut receives the human-readable summary; it switches to stderr when
+// the JSON trace owns stdout.
+var sumOut io.Writer = os.Stdout
+
+// halted separates cancellation (return the error, print a partial result)
+// from real failures (fatal). A nil err passes through.
+func halted(err error, ctx context.Context) error {
+	if err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+	return err
 }
 
 func distSummary(dist []int64) string {
@@ -162,7 +218,7 @@ func verifyEqual(got, want []int64) {
 			fatal(fmt.Errorf("verification failed at vertex %d: got %d, want %d", i, got[i], want[i]))
 		}
 	}
-	fmt.Println("verify: OK (matches sequential reference)")
+	fmt.Fprintln(sumOut, "verify: OK (matches sequential reference)")
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,19 +45,19 @@ func main() {
 
 	// The autotuner's ensemble search (random restarts + greedy mutation),
 	// 40 trials as in the paper.
-	measure := func(cfg core.Config) (time.Duration, error) {
+	measure := func(ctx context.Context, cfg core.Config) (time.Duration, error) {
 		sched := graphit.DefaultSchedule().
 			ConfigApplyPriorityUpdate(cfg.Strategy.String()).
 			ConfigApplyPriorityUpdateDelta(cfg.Delta).
 			ConfigBucketFusionThreshold(cfg.FusionThreshold).
 			ConfigNumBuckets(cfg.NumBuckets)
 		t0 := time.Now()
-		if _, err := algo.SSSP(g, src, sched); err != nil {
+		if _, err := algo.SSSPContext(ctx, g, src, sched); err != nil {
 			return 0, err
 		}
 		return time.Since(t0), nil
 	}
-	res, err := autotune.Tune(autotune.DefaultSpace(), measure, autotune.Options{
+	res, err := autotune.Tune(context.Background(), autotune.DefaultSpace(), measure, autotune.Options{
 		MaxTrials: 40, Repeats: 2, Seed: 11,
 	})
 	if err != nil {

@@ -9,6 +9,7 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -96,8 +97,11 @@ var grains = []int{0, 16, 64, 256, 1024}
 
 // Measure runs one candidate and reports its cost; return an error for
 // invalid combinations (they are skipped, not fatal) and use the returned
-// duration for ranking.
-type Measure func(cfg core.Config) (time.Duration, error)
+// duration for ranking. The context is the one given to Tune: measurements
+// should pass it down so a cancellation or deadline halts the run inside
+// the current trial rather than after it, and so a core.Tracer carried by
+// the context reaches each trial's engine rounds.
+type Measure func(ctx context.Context, cfg core.Config) (time.Duration, error)
 
 // Options bound the search.
 type Options struct {
@@ -126,8 +130,10 @@ type Result struct {
 
 // Tune searches the space with an ensemble of moves: random restarts mixed
 // with greedy single-coordinate mutations of the incumbent (a small-scale
-// analogue of OpenTuner's bandit ensemble).
-func Tune(space Space, measure Measure, opt Options) (*Result, error) {
+// analogue of OpenTuner's bandit ensemble). The search checks ctx between
+// trials (and hands it to every Measure call): on cancellation it returns
+// the best result found so far, or ctx's error if no trial succeeded.
+func Tune(ctx context.Context, space Space, measure Measure, opt Options) (*Result, error) {
 	if opt.MaxTrials <= 0 {
 		opt.MaxTrials = 40
 	}
@@ -150,7 +156,7 @@ func Tune(space Space, measure Measure, opt Options) (*Result, error) {
 	seen := map[Candidate]bool{}
 
 	evaluate := func(c Candidate) {
-		if seen[c] {
+		if ctx.Err() != nil || seen[c] {
 			return
 		}
 		seen[c] = true
@@ -158,7 +164,7 @@ func Tune(space Space, measure Measure, opt Options) (*Result, error) {
 		var err error
 		for r := 0; r < opt.Repeats; r++ {
 			var d time.Duration
-			d, err = measure(c.Config())
+			d, err = measure(ctx, c.Config())
 			if err != nil {
 				break
 			}
@@ -215,6 +221,9 @@ func Tune(space Space, measure Measure, opt Options) (*Result, error) {
 		Direction: core.SparsePush,
 	})
 	for len(res.Trials) < opt.MaxTrials {
+		if ctx.Err() != nil {
+			break
+		}
 		if opt.Budget > 0 && time.Since(start) > opt.Budget {
 			break
 		}
@@ -226,6 +235,9 @@ func Tune(space Space, measure Measure, opt Options) (*Result, error) {
 		}
 	}
 	if res.Cost == 1<<63-1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("autotune: no candidate succeeded in %d trials", len(res.Trials))
 	}
 	sort.Slice(res.Trials, func(i, j int) bool {

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -10,7 +11,7 @@ import (
 
 // synthetic cost model: lazy is bad, eager_with_fusion with delta near 2^8
 // is optimal — the tuner must find the basin.
-func syntheticMeasure(cfg core.Config) (time.Duration, error) {
+func syntheticMeasure(_ context.Context, cfg core.Config) (time.Duration, error) {
 	cost := 100.0
 	switch cfg.Strategy {
 	case core.EagerWithFusion:
@@ -31,7 +32,7 @@ func syntheticMeasure(cfg core.Config) (time.Duration, error) {
 }
 
 func TestTuneFindsBasin(t *testing.T) {
-	res, err := Tune(DefaultSpace(), syntheticMeasure, Options{MaxTrials: 40, Seed: 1})
+	res, err := Tune(context.Background(), DefaultSpace(), syntheticMeasure, Options{MaxTrials: 40, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +55,11 @@ func TestTuneFindsBasin(t *testing.T) {
 }
 
 func TestTuneDeterministicPerSeed(t *testing.T) {
-	a, err := Tune(DefaultSpace(), syntheticMeasure, Options{MaxTrials: 25, Seed: 9})
+	a, err := Tune(context.Background(), DefaultSpace(), syntheticMeasure, Options{MaxTrials: 25, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Tune(DefaultSpace(), syntheticMeasure, Options{MaxTrials: 25, Seed: 9})
+	b, err := Tune(context.Background(), DefaultSpace(), syntheticMeasure, Options{MaxTrials: 25, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,13 +69,13 @@ func TestTuneDeterministicPerSeed(t *testing.T) {
 }
 
 func TestTuneSkipsFailingCandidates(t *testing.T) {
-	measure := func(cfg core.Config) (time.Duration, error) {
+	measure := func(_ context.Context, cfg core.Config) (time.Duration, error) {
 		if cfg.Strategy != core.Lazy {
 			return 0, fmt.Errorf("unsupported")
 		}
 		return time.Millisecond, nil
 	}
-	res, err := Tune(DefaultSpace(), measure, Options{MaxTrials: 30, Seed: 2})
+	res, err := Tune(context.Background(), DefaultSpace(), measure, Options{MaxTrials: 30, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,22 +85,22 @@ func TestTuneSkipsFailingCandidates(t *testing.T) {
 }
 
 func TestTuneAllFailing(t *testing.T) {
-	measure := func(core.Config) (time.Duration, error) {
+	measure := func(context.Context, core.Config) (time.Duration, error) {
 		return 0, fmt.Errorf("nope")
 	}
-	if _, err := Tune(DefaultSpace(), measure, Options{MaxTrials: 10, Seed: 3}); err == nil {
+	if _, err := Tune(context.Background(), DefaultSpace(), measure, Options{MaxTrials: 10, Seed: 3}); err == nil {
 		t.Fatal("expected an error when every candidate fails")
 	}
 }
 
 func TestTuneRespectsBudget(t *testing.T) {
 	calls := 0
-	measure := func(core.Config) (time.Duration, error) {
+	measure := func(context.Context, core.Config) (time.Duration, error) {
 		calls++
 		time.Sleep(2 * time.Millisecond)
 		return time.Millisecond, nil
 	}
-	_, err := Tune(DefaultSpace(), measure, Options{MaxTrials: 1000, Budget: 20 * time.Millisecond, Seed: 4})
+	_, err := Tune(context.Background(), DefaultSpace(), measure, Options{MaxTrials: 1000, Budget: 20 * time.Millisecond, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,18 +109,51 @@ func TestTuneRespectsBudget(t *testing.T) {
 	}
 }
 
+func TestTuneCancellation(t *testing.T) {
+	// Pre-canceled context with no successful trial: the context's error
+	// comes back, not the "no candidate succeeded" one.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Tune(pre, DefaultSpace(), syntheticMeasure, Options{MaxTrials: 40, Seed: 6}); err != context.Canceled {
+		t.Fatalf("pre-canceled Tune: err = %v, want context.Canceled", err)
+	}
+
+	// Cancel after a few successful trials: Tune stops early but still
+	// reports the best candidate found so far.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	measure := func(ctx context.Context, cfg core.Config) (time.Duration, error) {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return syntheticMeasure(ctx, cfg)
+	}
+	res, err := Tune(ctx, DefaultSpace(), measure, Options{MaxTrials: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 4 {
+		t.Errorf("cancellation ignored: %d measurements", calls)
+	}
+	if len(res.Trials) == 0 {
+		t.Error("no trials recorded before cancellation")
+	}
+}
+
 func TestConstantSumGating(t *testing.T) {
 	space := DefaultSpace()
 	space.AllowConstantSum = true
 	sawCS := false
-	measure := func(cfg core.Config) (time.Duration, error) {
+	measure := func(_ context.Context, cfg core.Config) (time.Duration, error) {
 		if cfg.Strategy == core.LazyConstantSum {
 			sawCS = true
 			return time.Millisecond, nil
 		}
 		return 10 * time.Millisecond, nil
 	}
-	res, err := Tune(space, measure, Options{MaxTrials: 60, Seed: 5})
+	res, err := Tune(context.Background(), space, measure, Options{MaxTrials: 60, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // numbers — the fidelity contract of DESIGN.md §3.
 
 func TestFig1OrderedBeatsUnordered(t *testing.T) {
-	tbl, rows := Fig1(ScaleSmall)
+	tbl, rows := Fig1(context.Background(), ScaleSmall)
 	out := tbl.String()
 	if !strings.Contains(out, "SSSP") || !strings.Contains(out, "k-core") {
 		t.Fatalf("missing rows:\n%s", out)
@@ -34,7 +35,7 @@ func TestFig1OrderedBeatsUnordered(t *testing.T) {
 }
 
 func TestTable6FusionReducesRounds(t *testing.T) {
-	_, rows := Table6(ScaleSmall)
+	_, rows := Table6(context.Background(), ScaleSmall)
 	for _, r := range rows {
 		if r.WithRounds >= r.WithoutRounds {
 			t.Errorf("%s: fusion did not reduce rounds: with=%d without=%d",
@@ -55,7 +56,7 @@ func TestTable6FusionReducesRounds(t *testing.T) {
 }
 
 func TestFig4GraySupportMatrix(t *testing.T) {
-	_, cells := Fig4(ScaleSmall)
+	_, cells := Fig4(context.Background(), ScaleSmall)
 	gray := map[string]bool{}
 	for _, c := range cells {
 		if c.Gray {
@@ -97,7 +98,7 @@ func TestTable5LineCounts(t *testing.T) {
 }
 
 func TestTable7Shape(t *testing.T) {
-	tbl := Table7(ScaleSmall)
+	tbl := Table7(context.Background(), ScaleSmall)
 	if len(tbl.Rows) == 0 {
 		t.Fatal("empty table")
 	}
@@ -105,7 +106,7 @@ func TestTable7Shape(t *testing.T) {
 }
 
 func TestDeltaSweepRoundsDecrease(t *testing.T) {
-	tbl := DeltaSweep(ScaleSmall)
+	tbl := DeltaSweep(context.Background(), ScaleSmall)
 	// Rounds must be non-increasing in delta for each graph (coarser
 	// buckets merge rounds).
 	rounds := map[string][]string{}
@@ -162,6 +163,19 @@ func TestLogWeightedVariant(t *testing.T) {
 	}
 }
 
+func TestEngineReuseShape(t *testing.T) {
+	tbl := EngineReuse(context.Background(), ScaleSmall)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "err" {
+			t.Errorf("%s: reuse experiment errored", row[0])
+		}
+	}
+	t.Logf("\n%s", tbl)
+}
+
 // TestAutotunerQuality is the §5.3/§6.2 claim: the stochastic schedule
 // search lands close to the hand-tuned schedule within the paper's 30-40
 // trial budget. The paper reports within 5% on a quiet 24-core machine;
@@ -170,7 +184,7 @@ func TestAutotunerQuality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("autotuning takes a while")
 	}
-	_, worst := Autotune(ScaleSmall)
+	_, worst := Autotune(context.Background(), ScaleSmall)
 	if worst > 1.5 {
 		t.Errorf("autotuned schedule %.2fx slower than hand-tuned (want close to 1.0)", worst)
 	}
@@ -181,7 +195,7 @@ func TestAutotunerQuality(t *testing.T) {
 // every supported cell must produce a time, every unsupported cell the
 // paper's dash, and GraphIt must support all six algorithms.
 func TestTable4SupportAndSanity(t *testing.T) {
-	tbl := Table4(ScaleSmall)
+	tbl := Table4(context.Background(), ScaleSmall)
 	if len(tbl.Rows) == 0 {
 		t.Fatal("empty table")
 	}

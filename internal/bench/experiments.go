@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -81,7 +82,7 @@ func (r Fig1Row) WorkRatio() float64 {
 	return float64(r.Unordered.Stats.Relaxations) / float64(r.Ordered.Stats.Relaxations)
 }
 
-func Fig1(s Scale) (*Table, []Fig1Row) {
+func Fig1(ctx context.Context, s Scale) (*Table, []Fig1Row) {
 	t := &Table{
 		Title:  "Figure 1: ordered vs unordered (time speedup and work ratio)",
 		Header: []string{"graph", "algorithm", "ordered(s)", "unordered(s)", "speedup", "work ratio"},
@@ -97,13 +98,13 @@ func Fig1(s Scale) (*Table, []Fig1Row) {
 		srcs := sources(d, numTrials(s))
 		var ord, unord []RunResult
 		for _, src := range srcs {
-			ord = append(ord, SSSP(FwGraphIt, d, src))
-			unord = append(unord, SSSP(FwUnordered, d, src))
+			ord = append(ord, SSSP(ctx, FwGraphIt, d, src))
+			unord = append(unord, SSSP(ctx, FwUnordered, d, src))
 		}
 		add(d, "SSSP", average(ord), average(unord))
 	}
 	for _, d := range All(s) {
-		add(d, "k-core", KCore(FwGraphIt, d), KCore(FwUnordered, d))
+		add(d, "k-core", KCore(ctx, FwGraphIt, d), KCore(ctx, FwUnordered, d))
 	}
 	t.Note("paper reports 1.4x-4x for SSSP on social graphs, hundreds on roads, ~5-8x for k-core")
 	t.Note("work ratio (relaxations unordered/ordered) is the machine-independent signal on few-core hosts")
@@ -121,7 +122,7 @@ type Fig4Cell struct {
 
 // Fig4 reproduces Figure 4: the heatmap of slowdowns versus the fastest
 // framework for SSSP, PPSP, k-core and SetCover on LJ/TW/RD stand-ins.
-func Fig4(s Scale) (*Table, []Fig4Cell) {
+func Fig4(ctx context.Context, s Scale) (*Table, []Fig4Cell) {
 	t := &Table{
 		Title:  "Figure 4: slowdown vs fastest framework (1.00 = fastest, -- = unsupported)",
 		Header: []string{"algorithm", "graph", "GraphIt", "GAPBS", "Julienne", "Galois"},
@@ -157,7 +158,7 @@ func Fig4(s Scale) (*Table, []Fig4Cell) {
 		run("SSSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
 			for _, src := range srcs {
-				rs = append(rs, SSSP(fw, d, src))
+				rs = append(rs, SSSP(ctx, fw, d, src))
 			}
 			return average(rs)
 		})
@@ -167,23 +168,23 @@ func Fig4(s Scale) (*Table, []Fig4Cell) {
 		run("PPSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
 			for _, p := range ps {
-				rs = append(rs, PPSP(fw, d, p[0], p[1]))
+				rs = append(rs, PPSP(ctx, fw, d, p[0], p[1]))
 			}
 			return average(rs)
 		})
 	}
 	for _, d := range All(s) {
-		run("k-core", d, func(fw Framework) RunResult { return KCore(fw, d) })
+		run("k-core", d, func(fw Framework) RunResult { return KCore(ctx, fw, d) })
 	}
 	for _, d := range All(s) {
-		run("SetCover", d, func(fw Framework) RunResult { return SetCover(fw, d) })
+		run("SetCover", d, func(fw Framework) RunResult { return SetCover(ctx, fw, d) })
 	}
 	return t, cells
 }
 
 // Table4 reproduces Table 4: running times of all six algorithms across
 // frameworks (ordered and unordered) and graphs.
-func Table4(s Scale) *Table {
+func Table4(ctx context.Context, s Scale) *Table {
 	t := &Table{
 		Title:  "Table 4: running time (seconds) per algorithm, framework, graph",
 		Header: []string{"algorithm", "graph", "GraphIt", "GAPBS", "Julienne", "Galois", "Unordered"},
@@ -200,7 +201,7 @@ func Table4(s Scale) *Table {
 		row("SSSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
 			for _, src := range srcs {
-				rs = append(rs, SSSP(fw, d, src))
+				rs = append(rs, SSSP(ctx, fw, d, src))
 			}
 			return average(rs)
 		})
@@ -210,7 +211,7 @@ func Table4(s Scale) *Table {
 		row("PPSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
 			for _, p := range ps {
-				rs = append(rs, PPSP(fw, d, p[0], p[1]))
+				rs = append(rs, PPSP(ctx, fw, d, p[0], p[1]))
 			}
 			return average(rs)
 		})
@@ -220,7 +221,7 @@ func Table4(s Scale) *Table {
 		row("wBFS†", d, func(fw Framework) RunResult {
 			var rs []RunResult
 			for _, src := range srcs {
-				rs = append(rs, WBFS(fw, d, src))
+				rs = append(rs, WBFS(ctx, fw, d, src))
 			}
 			return average(rs)
 		})
@@ -230,16 +231,16 @@ func Table4(s Scale) *Table {
 		row("A*", d, func(fw Framework) RunResult {
 			var rs []RunResult
 			for _, p := range ps {
-				rs = append(rs, AStar(fw, d, p[0], p[1]))
+				rs = append(rs, AStar(ctx, fw, d, p[0], p[1]))
 			}
 			return average(rs)
 		})
 	}
 	for _, d := range Everything(s) {
-		row("k-core", d, func(fw Framework) RunResult { return KCore(fw, d) })
+		row("k-core", d, func(fw Framework) RunResult { return KCore(ctx, fw, d) })
 	}
 	for _, d := range Everything(s) {
-		row("SetCover", d, func(fw Framework) RunResult { return SetCover(fw, d) })
+		row("SetCover", d, func(fw Framework) RunResult { return SetCover(ctx, fw, d) })
 	}
 	t.Note("† wBFS uses weights in [1, log n) as in Julienne")
 	t.Note("frameworks are strategy stand-ins on a shared substrate (see DESIGN.md §3)")
@@ -256,7 +257,7 @@ type Table6Row struct {
 
 // Table6 reproduces Table 6: running time and number of rounds for SSSP
 // with and without bucket fusion.
-func Table6(s Scale) (*Table, []Table6Row) {
+func Table6(ctx context.Context, s Scale) (*Table, []Table6Row) {
 	t := &Table{
 		Title:  "Table 6: bucket fusion ablation for SSSP (time and synchronized rounds)",
 		Header: []string{"graph", "with fusion", "rounds", "without fusion", "rounds", "round reduction"},
@@ -267,8 +268,8 @@ func Table6(s Scale) (*Table, []Table6Row) {
 		var withT, withoutT time.Duration
 		var withR, withoutR, fused int64
 		for _, src := range srcs {
-			w := SSSP(FwGraphIt, d, src)
-			wo := SSSP(FwGAPBS, d, src)
+			w := SSSP(ctx, FwGraphIt, d, src)
+			wo := SSSP(ctx, FwGAPBS, d, src)
 			withT += w.Time
 			withoutT += wo.Time
 			withR += w.Stats.Rounds
@@ -294,7 +295,7 @@ func Table6(s Scale) (*Table, []Table6Row) {
 
 // Table7 reproduces Table 7: eager versus lazy bucket updates for k-core
 // and SSSP.
-func Table7(s Scale) *Table {
+func Table7(ctx context.Context, s Scale) *Table {
 	t := &Table{
 		Title:  "Table 7: eager vs lazy bucket update (seconds; k-core lazy uses constant-sum reduction)",
 		Header: []string{"graph", "k-core eager", "k-core lazy", "SSSP eager", "SSSP lazy"},
@@ -302,18 +303,18 @@ func Table7(s Scale) *Table {
 	for _, d := range table7Datasets(s) {
 		g := d.Symmetrized()
 		eagerKC := timed(func() (graphit.Stats, error) {
-			r, err := algo.KCore(g, graphit.DefaultSchedule().ConfigApplyPriorityUpdate("eager_no_fusion"))
+			r, err := algo.KCoreContext(ctx, g, graphit.DefaultSchedule().ConfigApplyPriorityUpdate("eager_no_fusion"))
 			if err != nil {
 				return graphit.Stats{}, err
 			}
 			return r.Stats, nil
 		})
-		lazyKC := KCore(FwGraphIt, d) // lazy_constant_sum
+		lazyKC := KCore(ctx, FwGraphIt, d) // lazy_constant_sum
 		srcs := sources(d, numTrials(s))
 		var eagerS, lazyS []RunResult
 		for _, src := range srcs {
-			eagerS = append(eagerS, SSSP(FwGraphIt, d, src)) // eager (with fusion)
-			lazyS = append(lazyS, SSSP(FwJulienne, d, src))  // lazy
+			eagerS = append(eagerS, SSSP(ctx, FwGraphIt, d, src)) // eager (with fusion)
+			lazyS = append(lazyS, SSSP(ctx, FwJulienne, d, src))  // lazy
 		}
 		es, ls := average(eagerS), average(lazyS)
 		t.AddRow(d.Name, fmtDur(eagerKC.Time), fmtDur(lazyKC.Time), fmtDur(es.Time), fmtDur(ls.Time))
@@ -326,7 +327,7 @@ func Table7(s Scale) *Table {
 // single-core host the wall-clock series is flat; the table therefore also
 // reports rounds (constant) and relaxations as the machine-independent
 // signal, and the sweep exercises the real multi-worker code paths.
-func Fig11(s Scale, workers []int) *Table {
+func Fig11(ctx context.Context, s Scale, workers []int) *Table {
 	t := &Table{
 		Title:  "Figure 11: SSSP scalability (time per worker count)",
 		Header: []string{"graph", "framework", "workers", "time(s)", "rounds"},
@@ -339,7 +340,7 @@ func Fig11(s Scale, workers []int) *Table {
 		for _, fw := range []Framework{FwGraphIt, FwGAPBS, FwJulienne} {
 			for _, w := range workers {
 				prev := parallel.SetWorkers(w)
-				r := SSSP(fw, d, src)
+				r := SSSP(ctx, fw, d, src)
 				parallel.SetWorkers(prev)
 				t.AddRow(d.Name, string(fw), fmt.Sprintf("%d", w), fmtResult(r),
 					fmt.Sprintf("%d", r.Stats.Rounds))
@@ -353,7 +354,7 @@ func Fig11(s Scale, workers []int) *Table {
 // DeltaSweep reproduces the §6.2 ∆-selection analysis: SSSP time across
 // coarsening factors, showing small deltas win on social networks and
 // large deltas on road networks.
-func DeltaSweep(s Scale) *Table {
+func DeltaSweep(ctx context.Context, s Scale) *Table {
 	t := &Table{
 		Title:  "Delta selection (paper §6.2): SSSP time across coarsening factors",
 		Header: []string{"graph", "delta", "time(s)", "rounds"},
@@ -365,7 +366,7 @@ func DeltaSweep(s Scale) *Table {
 				ConfigApplyPriorityUpdate("eager_with_fusion").
 				ConfigApplyPriorityUpdateDelta(1 << exp)
 			r := timed(func() (graphit.Stats, error) {
-				res, err := algo.SSSP(d.Graph, src, sched)
+				res, err := algo.SSSPContext(ctx, d.Graph, src, sched)
 				if err != nil {
 					return graphit.Stats{}, err
 				}
@@ -378,10 +379,50 @@ func DeltaSweep(s Scale) *Table {
 	return t
 }
 
+// EngineReuse measures the unified engine's per-run scratch pooling: a
+// stream of back-to-back SSSP queries with sync.Pool buffer reuse enabled
+// versus disabled (every run allocating fresh frontier slices, updaters,
+// and dedup flags). The wall-clock delta is the allocation and GC cost the
+// pool removes; BenchmarkEngineReuse in internal/core reports the same
+// pair with allocation counts.
+func EngineReuse(ctx context.Context, s Scale) *Table {
+	t := &Table{
+		Title:  "Engine scratch reuse: back-to-back SSSP queries, pooled vs fresh buffers",
+		Header: []string{"graph", "queries", "pooled(s)", "fresh(s)", "fresh/pooled"},
+	}
+	const queries = 8
+	for _, d := range All(s) {
+		srcs := sources(d, queries)
+		runAll := func() time.Duration {
+			start := time.Now()
+			for _, src := range srcs {
+				if r := SSSP(ctx, FwGraphIt, d, src); r.Err != nil {
+					return 0
+				}
+			}
+			return time.Since(start)
+		}
+		prev := graphit.SetEnginePooling(true)
+		runAll() // warm the pool so the pooled series measures steady state
+		pooled := runAll()
+		graphit.SetEnginePooling(false)
+		fresh := runAll()
+		graphit.SetEnginePooling(prev)
+		if pooled == 0 || fresh == 0 {
+			t.AddRow(d.Name, fmt.Sprintf("%d", queries), "err", "err", "")
+			continue
+		}
+		t.AddRow(d.Name, fmt.Sprintf("%d", queries), fmtDur(pooled), fmtDur(fresh),
+			fmtRatio(fresh.Seconds()/pooled.Seconds()))
+	}
+	t.Note("pooling recycles per-run engine scratch across queries (sync.Pool); fresh allocates every run")
+	return t
+}
+
 // Autotune reproduces the §5.3/§6.2 autotuning experiment: the stochastic
 // schedule search should land within a few percent of the hand-tuned
 // schedule within the paper's 30-40 trial budget.
-func Autotune(s Scale) (*Table, float64) {
+func Autotune(ctx context.Context, s Scale) (*Table, float64) {
 	t := &Table{
 		Title:  "Autotuner vs hand-tuned schedule (SSSP)",
 		Header: []string{"graph", "hand-tuned(s)", "autotuned(s)", "ratio", "trials", "best schedule"},
@@ -389,20 +430,20 @@ func Autotune(s Scale) (*Table, float64) {
 	worst := 0.0
 	for _, d := range All(s) {
 		src := sources(d, 1)[0]
-		hand := average([]RunResult{SSSP(FwGraphIt, d, src), SSSP(FwGraphIt, d, src)})
-		measure := func(cfg core.Config) (time.Duration, error) {
+		hand := average([]RunResult{SSSP(ctx, FwGraphIt, d, src), SSSP(ctx, FwGraphIt, d, src)})
+		measure := func(ctx context.Context, cfg core.Config) (time.Duration, error) {
 			sched := graphit.DefaultSchedule().
 				ConfigApplyPriorityUpdate(cfg.Strategy.String()).
 				ConfigApplyPriorityUpdateDelta(cfg.Delta).
 				ConfigBucketFusionThreshold(cfg.FusionThreshold).
 				ConfigNumBuckets(cfg.NumBuckets)
 			start := time.Now()
-			if _, err := algo.SSSP(d.Graph, src, sched); err != nil {
+			if _, err := algo.SSSPContext(ctx, d.Graph, src, sched); err != nil {
 				return 0, err
 			}
 			return time.Since(start), nil
 		}
-		res, err := autotune.Tune(autotune.DefaultSpace(), measure, autotune.Options{
+		res, err := autotune.Tune(ctx, autotune.DefaultSpace(), measure, autotune.Options{
 			MaxTrials: 40, Repeats: 2, Seed: 7,
 		})
 		if err != nil {

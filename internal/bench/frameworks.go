@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"graphit"
@@ -67,11 +68,13 @@ func ssspSchedule(fw Framework, d *Dataset) (graphit.Schedule, bool) {
 }
 
 // SSSP runs ∆-stepping (or the unordered baseline) under fw's strategy.
-func SSSP(fw Framework, d *Dataset, src graphit.VertexID) RunResult {
+// Like every framework runner, it threads ctx down to the engine so a
+// cancellation or deadline aborts the run at the next round barrier.
+func SSSP(ctx context.Context, fw Framework, d *Dataset, src graphit.VertexID) RunResult {
 	switch fw {
 	case FwUnordered:
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.BellmanFord(d.Graph, src)
+			r, err := algo.BellmanFordContext(ctx, d.Graph, src)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -80,7 +83,7 @@ func SSSP(fw Framework, d *Dataset, src graphit.VertexID) RunResult {
 	case FwGalois:
 		sched, _ := ssspSchedule(fw, d)
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.SSSPApprox(d.Graph, src, sched)
+			r, err := algo.SSSPApproxContext(ctx, d.Graph, src, sched)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -92,7 +95,7 @@ func SSSP(fw Framework, d *Dataset, src graphit.VertexID) RunResult {
 			return unsupported()
 		}
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.SSSP(d.Graph, src, sched)
+			r, err := algo.SSSPContext(ctx, d.Graph, src, sched)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -102,16 +105,16 @@ func SSSP(fw Framework, d *Dataset, src graphit.VertexID) RunResult {
 }
 
 // PPSP runs point-to-point shortest path under fw's strategy.
-func PPSP(fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
+func PPSP(ctx context.Context, fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
 	switch fw {
 	case FwUnordered:
 		// Unordered frameworks have no early termination: a full
 		// Bellman-Ford answers the query (paper Table 4 reuses SSSP times).
-		return SSSP(fw, d, src)
+		return SSSP(ctx, fw, d, src)
 	case FwGalois:
 		sched, _ := ssspSchedule(fw, d)
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.PPSPApprox(d.Graph, src, dst, sched)
+			r, err := algo.PPSPApproxContext(ctx, d.Graph, src, dst, sched)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -123,7 +126,7 @@ func PPSP(fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
 			return unsupported()
 		}
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.PPSP(d.Graph, src, dst, sched)
+			r, err := algo.PPSPContext(ctx, d.Graph, src, dst, sched)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -134,14 +137,14 @@ func PPSP(fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
 
 // WBFS runs weighted BFS (∆=1) on the log-weighted variant of d. Galois
 // provides no wBFS (paper Table 4).
-func WBFS(fw Framework, d *Dataset, src graphit.VertexID) RunResult {
+func WBFS(ctx context.Context, fw Framework, d *Dataset, src graphit.VertexID) RunResult {
 	g := d.LogWeighted()
 	switch fw {
 	case FwGalois:
 		return unsupported()
 	case FwUnordered:
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.BellmanFord(g, src)
+			r, err := algo.BellmanFordContext(ctx, g, src)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -159,7 +162,7 @@ func WBFS(fw Framework, d *Dataset, src graphit.VertexID) RunResult {
 	}
 	sched := graphit.DefaultSchedule().ConfigApplyPriorityUpdate(strategy)
 	return timed(func() (graphit.Stats, error) {
-		r, err := algo.WBFS(g, src, sched)
+		r, err := algo.WBFSContext(ctx, g, src, sched)
 		if err != nil {
 			return graphit.Stats{}, err
 		}
@@ -168,17 +171,17 @@ func WBFS(fw Framework, d *Dataset, src graphit.VertexID) RunResult {
 }
 
 // AStar runs A* search (road datasets only; they carry coordinates).
-func AStar(fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
+func AStar(ctx context.Context, fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
 	if !d.Graph.HasCoords() {
 		return unsupported()
 	}
 	switch fw {
 	case FwUnordered:
-		return SSSP(fw, d, src)
+		return SSSP(ctx, fw, d, src)
 	case FwGalois:
 		sched, _ := ssspSchedule(fw, d)
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.AStarApprox(d.Graph, src, dst, sched)
+			r, err := algo.AStarApproxContext(ctx, d.Graph, src, dst, sched)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -190,7 +193,7 @@ func AStar(fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
 			return unsupported()
 		}
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.AStar(d.Graph, src, dst, sched)
+			r, err := algo.AStarContext(ctx, d.Graph, src, dst, sched)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -201,14 +204,14 @@ func AStar(fw Framework, d *Dataset, src, dst graphit.VertexID) RunResult {
 
 // KCore runs k-core decomposition. GAPBS and Galois do not provide k-core
 // (paper Table 4); the unordered baseline is full-rescan peeling.
-func KCore(fw Framework, d *Dataset) RunResult {
+func KCore(ctx context.Context, fw Framework, d *Dataset) RunResult {
 	g := d.Symmetrized()
 	switch fw {
 	case FwGAPBS, FwGalois:
 		return unsupported()
 	case FwUnordered:
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.UnorderedKCore(g)
+			r, err := algo.UnorderedKCoreContext(ctx, g)
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -217,7 +220,7 @@ func KCore(fw Framework, d *Dataset) RunResult {
 	case FwGraphIt:
 		// Best schedule: lazy with the constant-sum histogram (Table 7).
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.KCore(g, graphit.DefaultSchedule().ConfigApplyPriorityUpdate("lazy_constant_sum"))
+			r, err := algo.KCoreContext(ctx, g, graphit.DefaultSchedule().ConfigApplyPriorityUpdate("lazy_constant_sum"))
 			if err != nil {
 				return graphit.Stats{}, err
 			}
@@ -225,7 +228,7 @@ func KCore(fw Framework, d *Dataset) RunResult {
 		})
 	default: // Julienne: lazy bucketing with histogram, via its own interface
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.KCore(g, graphit.DefaultSchedule().
+			r, err := algo.KCoreContext(ctx, g, graphit.DefaultSchedule().
 				ConfigApplyPriorityUpdate("lazy_constant_sum").ConfigNumBuckets(128))
 			if err != nil {
 				return graphit.Stats{}, err
@@ -237,7 +240,7 @@ func KCore(fw Framework, d *Dataset) RunResult {
 
 // SetCover runs approximate set cover (GraphIt and Julienne only, as in
 // the paper).
-func SetCover(fw Framework, d *Dataset) RunResult {
+func SetCover(ctx context.Context, fw Framework, d *Dataset) RunResult {
 	g := d.Symmetrized()
 	switch fw {
 	case FwGraphIt, FwJulienne:
@@ -246,7 +249,7 @@ func SetCover(fw Framework, d *Dataset) RunResult {
 			nb = 64
 		}
 		return timed(func() (graphit.Stats, error) {
-			r, err := algo.SetCover(g, graphit.DefaultSchedule().ConfigNumBuckets(nb))
+			r, err := algo.SetCoverContext(ctx, g, graphit.DefaultSchedule().ConfigNumBuckets(nb))
 			if err != nil {
 				return graphit.Stats{}, err
 			}

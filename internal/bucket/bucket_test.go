@@ -264,6 +264,75 @@ func TestLazyEmptyQueue(t *testing.T) {
 	}
 }
 
+// TestLazyFromActiveSubset: NewLazyFrom seeds the queue from an explicit
+// active set — vertices outside it are never placed, even when bktOf gives
+// them a live bucket, and the base window starts at the subset's minimum.
+func TestLazyFromActiveSubset(t *testing.T) {
+	prio := []int64{5, 3, 8, 9, 0, 7, 2, 5}
+	bktOf := func(v uint32) int64 { return prio[v] }
+	l := NewLazyFrom(len(prio), Increasing, 4, bktOf, []uint32{1, 2, 5})
+	var popped []uint32
+	last := int64(-1 << 62)
+	for {
+		bid, verts := l.Next()
+		if bid == NullBkt {
+			break
+		}
+		if bid <= last {
+			t.Fatalf("non-monotone pop %d after %d", bid, last)
+		}
+		last = bid
+		for _, v := range verts {
+			if prio[v] != bid {
+				t.Fatalf("vertex %d popped in bucket %d, priority %d", v, bid, prio[v])
+			}
+			popped = append(popped, v)
+		}
+	}
+	if len(popped) != 3 {
+		t.Fatalf("popped %v, want exactly the active set {1, 2, 5}", popped)
+	}
+	seen := map[uint32]bool{}
+	for _, v := range popped {
+		seen[v] = true
+	}
+	if !seen[1] || !seen[2] || !seen[5] {
+		t.Fatalf("popped %v, want {1, 2, 5}", popped)
+	}
+
+	// An all-null active set behaves like an empty queue.
+	empty := NewLazyFrom(4, Increasing, 4, func(uint32) int64 { return NullBkt }, []uint32{0, 3})
+	if bid, _ := empty.Next(); bid != NullBkt {
+		t.Fatal("null-priority active set should be finished immediately")
+	}
+}
+
+// TestLazyFromMatchesNewLazy: with the full vertex range as the active set,
+// NewLazyFrom pops exactly what NewLazy pops.
+func TestLazyFromMatchesNewLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 64
+	prio := make([]int64, n)
+	all := make([]uint32, n)
+	for i := range prio {
+		prio[i] = int64(rng.Intn(40))
+		all[i] = uint32(i)
+	}
+	bktOf := func(v uint32) int64 { return prio[v] }
+	a := NewLazy(n, Increasing, 8, bktOf)
+	b := NewLazyFrom(n, Increasing, 8, bktOf, all)
+	for {
+		bidA, vertsA := a.Next()
+		bidB, vertsB := b.Next()
+		if bidA != bidB || len(vertsA) != len(vertsB) {
+			t.Fatalf("divergence: (%d, %d verts) vs (%d, %d verts)", bidA, len(vertsA), bidB, len(vertsB))
+		}
+		if bidA == NullBkt {
+			return
+		}
+	}
+}
+
 // TestLazyPropertyDecreasingWorkload is the SetCover-shaped mirror of the
 // increasing property test: max-order extraction with priorities that only
 // decrease (re-bucketed after each pop), every set leaving the queue

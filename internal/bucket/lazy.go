@@ -74,6 +74,41 @@ func NewLazy(n int, order Order, numOpen int, bktOf BktFunc) *Lazy {
 	return l
 }
 
+// NewLazyFrom is NewLazy restricted to an initial active set: the window
+// base is computed over active instead of a full [0, n) scan, and only the
+// active vertices are placed. bktOf is the unrestricted bucket function,
+// consulted by all later updates and extractions (so no SetBktFunc swap is
+// needed when the initial frontier is a source subset).
+func NewLazyFrom(n int, order Order, numOpen int, bktOf BktFunc, active []uint32) *Lazy {
+	if numOpen <= 0 {
+		numOpen = 128
+	}
+	l := &Lazy{
+		order:   order,
+		numOpen: numOpen,
+		bktOf:   bktOf,
+		open:    make([][]uint32, numOpen),
+		epoch:   make([]uint64, n),
+	}
+	base := NullBkt
+	for _, v := range active {
+		b := bktOf(v)
+		if b == NullBkt {
+			continue
+		}
+		if base == NullBkt || l.before(b, base) {
+			base = b
+		}
+	}
+	l.base = base
+	for _, v := range active {
+		if b := bktOf(v); b != NullBkt {
+			l.place(v, b)
+		}
+	}
+	return l
+}
+
 // before reports whether bucket a is processed strictly before bucket b.
 func (l *Lazy) before(a, b int64) bool {
 	if l.order == Increasing {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,13 @@ import (
 // describes for Galois. Only lower_first (min) operators are supported,
 // matching Galois's lack of strict-priority algorithms like k-core.
 func (o *Ordered) RunApprox() (Stats, error) {
+	return o.RunApproxContext(context.Background())
+}
+
+// RunApproxContext is RunApprox under a context: cancellation is checked at
+// every batch boundary, halting all workers and returning the partial Stats
+// together with ctx.Err().
+func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 	o.Cfg.normalize()
 	if err := o.validate(); err != nil {
 		return Stats{}, err
@@ -34,7 +42,10 @@ func (o *Ordered) RunApprox() (Stats, error) {
 		return Stats{}, fmt.Errorf("core: approximate ordering cannot express finalize-on-dequeue algorithms (k-core, SetCover)")
 	}
 
-	active := o.initialActive()
+	active, err := o.initialActive()
+	if err != nil {
+		return Stats{}, err
+	}
 	if len(active) == 0 {
 		return Stats{}, nil
 	}
@@ -70,6 +81,10 @@ func (o *Ordered) RunApprox() (Stats, error) {
 			buf := make([]uint32, 0, batch)
 			for {
 				if stopped.Load() {
+					break
+				}
+				if ctx.Err() != nil {
+					stopped.Store(true)
 					break
 				}
 				bin, items := q.popBatch(batch, buf[:0])
@@ -127,6 +142,9 @@ func (o *Ordered) RunApprox() (Stats, error) {
 	}
 	wg.Wait()
 	st.BucketInserts = q.inserts
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 	return st, nil
 }
 

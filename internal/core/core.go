@@ -47,26 +47,34 @@ const (
 	LazyConstantSum
 )
 
-var strategyNames = map[Strategy]string{
+// strategyNames is indexed by Strategy; strategyByName is its static
+// reverse, shared by Strategy.String and ParseStrategy.
+var strategyNames = [...]string{
 	EagerWithFusion: "eager_with_fusion",
 	EagerNoFusion:   "eager_no_fusion",
 	Lazy:            "lazy",
 	LazyConstantSum: "lazy_constant_sum",
 }
 
+var strategyByName = func() map[string]Strategy {
+	m := make(map[string]Strategy, len(strategyNames))
+	for i, n := range strategyNames {
+		m[n] = Strategy(i)
+	}
+	return m
+}()
+
 func (s Strategy) String() string {
-	if n, ok := strategyNames[s]; ok {
-		return n
+	if s >= 0 && int(s) < len(strategyNames) {
+		return strategyNames[s]
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
 // ParseStrategy parses a scheduling-language strategy name.
 func ParseStrategy(s string) (Strategy, error) {
-	for k, v := range strategyNames {
-		if v == s {
-			return k, nil
-		}
+	if st, ok := strategyByName[s]; ok {
+		return st, nil
 	}
 	return 0, fmt.Errorf("core: unknown priority-update strategy %q", s)
 }
@@ -89,26 +97,35 @@ const (
 	Hybrid
 )
 
-func (d Direction) String() string {
-	switch d {
-	case DensePull:
-		return "DensePull"
-	case Hybrid:
-		return "DensePull-SparsePush"
-	default:
-		return "SparsePush"
+// directionNames is indexed by Direction; directionByName is its static
+// reverse (plus the "Hybrid" spelling), shared by Direction.String and
+// ParseDirection.
+var directionNames = [...]string{
+	SparsePush: "SparsePush",
+	DensePull:  "DensePull",
+	Hybrid:     "DensePull-SparsePush",
+}
+
+var directionByName = func() map[string]Direction {
+	m := make(map[string]Direction, len(directionNames)+1)
+	for i, n := range directionNames {
+		m[n] = Direction(i)
 	}
+	m["Hybrid"] = Hybrid
+	return m
+}()
+
+func (d Direction) String() string {
+	if d > 0 && int(d) < len(directionNames) {
+		return directionNames[d]
+	}
+	return "SparsePush"
 }
 
 // ParseDirection parses a scheduling-language direction name.
 func ParseDirection(s string) (Direction, error) {
-	switch s {
-	case "SparsePush":
-		return SparsePush, nil
-	case "DensePull":
-		return DensePull, nil
-	case "DensePull-SparsePush", "Hybrid":
-		return Hybrid, nil
+	if d, ok := directionByName[s]; ok {
+		return d, nil
 	}
 	return 0, fmt.Errorf("core: unknown direction %q", s)
 }
@@ -174,30 +191,29 @@ func (c *Config) normalize() {
 // Stats reports machine-independent execution counters. Rounds and
 // synchronization counts reproduce the paper's Table 6 fidelity signal.
 type Stats struct {
-	// Rounds is the number of bulk-synchronous rounds (global frontier
-	// sweeps for eager, bucket extractions for lazy).
-	Rounds int64
+	// Rounds is the number of bulk-synchronous rounds (bucket extractions).
+	Rounds int64 `json:"rounds"`
 	// FusedRounds counts bucket-fusion inner iterations that replaced what
 	// would otherwise have been global rounds (eager_with_fusion only).
-	FusedRounds int64
-	// GlobalSyncs counts barrier episodes (eager) or bulk bucket-update
-	// synchronization points (lazy).
-	GlobalSyncs int64
+	FusedRounds int64 `json:"fused_rounds"`
+	// GlobalSyncs counts global synchronization episodes (one per round:
+	// the sweep's join plus the bulk bucket update).
+	GlobalSyncs int64 `json:"global_syncs"`
 	// Relaxations counts edge-function applications.
-	Relaxations int64
+	Relaxations int64 `json:"relaxations"`
 	// BucketInserts counts insertions into bucket structures.
-	BucketInserts int64
+	BucketInserts int64 `json:"bucket_inserts"`
 	// WindowAdvances counts lazy overflow re-bucketing passes.
-	WindowAdvances int64
+	WindowAdvances int64 `json:"window_advances"`
 	// Inversions counts priority updates that landed before the bucket
 	// currently being processed (clamped into it).
-	Inversions int64
+	Inversions int64 `json:"inversions"`
 	// Processed counts vertex dequeues that passed the stale/finalized
 	// filters and were actually applied.
-	Processed int64
+	Processed int64 `json:"processed"`
 	// PullRounds counts rounds traversed in the pull direction (equal to
 	// Rounds under DensePull; per-round under Hybrid).
-	PullRounds int64
+	PullRounds int64 `json:"pull_rounds"`
 }
 
 func (s Stats) String() string {
@@ -215,9 +231,6 @@ type EdgeFunc func(src, dst graph.VertexID, w graph.Weight, u *Updater)
 // priority of the bucket about to be processed; returning true halts the
 // run (paper §2: "halt once a certain vertex has been finalized").
 type StopFunc func(curPrio int64) bool
-
-// RoundFunc observes each round for tracing/benchmarks.
-type RoundFunc func(round int64, bucketID int64, frontierSize int)
 
 // Ordered is one ordered edgeset-apply operator: the runtime object compiled
 // from `while(pq.finished()==false) { ... applyUpdatePriority(f) }`.
@@ -243,8 +256,9 @@ type Ordered struct {
 	// Sources is the initial active set; nil means every vertex with a
 	// non-null priority (k-core); SSSP passes the start vertex.
 	Sources []graph.VertexID
-	// OnRound, if set, observes every round.
-	OnRound RoundFunc
+	// Trace, if set, observes the run with structured per-round events. It
+	// overrides any Tracer carried by the run's context (WithTracer).
+	Trace Tracer
 
 	Cfg Config
 
@@ -307,26 +321,11 @@ func (o *Ordered) validate() error {
 	if eager && o.Cfg.Direction == Hybrid {
 		return fmt.Errorf("core: hybrid direction is a lazy-engine optimization (as in Julienne); use SparsePush or DensePull with eager strategies")
 	}
-	for v := 0; v < len(o.Prio); v++ {
-		if p := o.Prio[v]; p != o.nullPrio() && p < 0 {
-			return fmt.Errorf("core: vertex %d has negative priority %d (priorities must be non-negative)", v, p)
-		}
+	if o.Cfg.Strategy == EagerWithFusion && o.Cfg.Direction == DensePull {
+		return fmt.Errorf("core: bucket fusion requires SparsePush traversal")
 	}
+	// Negative (non-null) priorities are rejected lazily, while the initial
+	// frontier is built (initialActive) — not here, which would cost an O(V)
+	// sweep on every Run (painful across 40 autotune trials).
 	return nil
-}
-
-// Run executes the ordered operator to completion and returns its counters.
-func (o *Ordered) Run() (Stats, error) {
-	o.Cfg.normalize()
-	if err := o.validate(); err != nil {
-		return Stats{}, err
-	}
-	switch o.Cfg.Strategy {
-	case EagerWithFusion, EagerNoFusion:
-		return o.runEager()
-	case Lazy, LazyConstantSum:
-		return o.runLazy()
-	default:
-		return Stats{}, fmt.Errorf("core: unknown strategy %d", int(o.Cfg.Strategy))
-	}
 }

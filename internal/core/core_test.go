@@ -52,7 +52,7 @@ func TestStrategyAndDirectionParsing(t *testing.T) {
 	if _, err := ParseStrategy("bogus"); err == nil {
 		t.Error("expected error for bogus strategy")
 	}
-	for _, name := range []string{"SparsePush", "DensePull"} {
+	for _, name := range []string{"SparsePush", "DensePull", "DensePull-SparsePush"} {
 		d, err := ParseDirection(name)
 		if err != nil {
 			t.Fatal(err)
@@ -61,8 +61,25 @@ func TestStrategyAndDirectionParsing(t *testing.T) {
 			t.Errorf("round trip %q -> %q", name, d)
 		}
 	}
+	// "Hybrid" is an accepted alias whose canonical spelling differs.
+	if d, err := ParseDirection("Hybrid"); err != nil || d != Hybrid {
+		t.Errorf("ParseDirection(Hybrid) = %v, %v", d, err)
+	}
 	if _, err := ParseDirection("Sideways"); err == nil {
 		t.Error("expected error for bogus direction")
+	}
+	// Every defined value must round-trip through its own String.
+	for _, s := range []Strategy{EagerWithFusion, EagerNoFusion, Lazy, LazyConstantSum} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("strategy %v round trip: %v, %v", s, got, err)
+		}
+	}
+	for _, d := range []Direction{SparsePush, DensePull, Hybrid} {
+		got, err := ParseDirection(d.String())
+		if err != nil || got != d {
+			t.Errorf("direction %v round trip: %v, %v", d, got, err)
+		}
 	}
 }
 
@@ -92,6 +109,12 @@ func TestValidationErrors(t *testing.T) {
 		"negative priority": func() *Ordered {
 			op, _ := ssspOp(g, 0, DefaultConfig())
 			op.Prio[2] = -5
+			op.Sources = nil // full-scan initial frontier sees the bad vertex
+			return op
+		},
+		"negative source priority": func() *Ordered {
+			op, _ := ssspOp(g, 0, DefaultConfig())
+			op.Prio[0] = -1
 			return op
 		},
 		"constant sum without const": func() *Ordered {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"graphit/internal/atomicutil"
@@ -10,311 +8,131 @@ import (
 	"graphit/internal/parallel"
 )
 
-// runEager executes the operator with eager bucket updates (paper Figure 6)
-// and, for EagerWithFusion, the bucket fusion optimization (Figure 7).
-//
-// The execution mirrors the paper's generated OpenMP code (Figure 9(c)):
-// a parallel region in which every worker repeatedly (1) drains dynamic
-// chunks of the shared global frontier, relaxing edges into its thread-local
-// bins, (2) optionally fuses rounds on its current local bin, (3) proposes
-// the next bucket, and (4) after a barrier, copies its local bin for the
-// chosen bucket into the new shared frontier.
-func (o *Ordered) runEager() (Stats, error) {
-	fusion := o.Cfg.Strategy == EagerWithFusion
-	if fusion && o.Cfg.Direction == DensePull {
-		return Stats{}, fmt.Errorf("core: bucket fusion requires SparsePush traversal")
-	}
-	n := o.G.NumVertices()
-	if o.FinalizeOnPop {
-		o.fin = atomicutil.NewFlags(n)
-	}
+// eagerBins is the bucketSource for eager bucket update (paper Figure 6):
+// per-worker thread-local bins written directly during edge relaxation.
+// next() is the paper's barrier-time min-reduction — the minimum non-empty
+// bucket across all workers' bins, gathered into one shared frontier.
+// update() is a no-op because eager traversals re-bucket inline.
+type eagerBins struct {
+	o    *Ordered
+	bins []*bucket.LocalBins
+	sc   *scratch
+	cur  int64 // current bucket; re-inserts into it are reprocessed
+}
 
-	// Initial active set and bucket assignment.
-	active := o.initialActive()
-	if len(active) == 0 {
-		return Stats{}, nil
-	}
-	curBin := bucket.NullBkt
-	for _, v := range active {
-		if b := o.bucketOf(o.Prio[v]); b < curBin {
-			curBin = b
+func (e *eagerBins) next() (int64, []uint32) {
+	nb := bucket.NullBkt
+	for _, b := range e.bins {
+		if p := b.MinNonEmpty(e.cur); p != bucket.NullBkt && p < nb {
+			nb = p
 		}
 	}
+	if nb == bucket.NullBkt {
+		return bucket.NullBkt, nil
+	}
+	fr := e.sc.frontier[:0]
+	for _, b := range e.bins {
+		fr = append(fr, b.Take(nb)...)
+	}
+	e.sc.frontier = fr
+	e.cur = nb
+	return nb, fr
+}
 
-	w := o.Cfg.Workers
-	if w <= 0 {
-		w = parallel.Workers()
-	}
-	grain := o.Cfg.Grain
-	if grain <= 0 {
-		grain = parallel.DefaultGrain
-	}
+func (e *eagerBins) update(ids []uint32) {}
 
-	bins := make([]*bucket.LocalBins, w)
-	for i := range bins {
-		bins[i] = &bucket.LocalBins{}
-	}
-	var frontier []uint32
-	for i, v := range active {
-		if b := o.bucketOf(o.Prio[v]); b == curBin {
-			frontier = append(frontier, v)
-		} else {
-			// Pre-distribute the rest round-robin across workers' bins.
-			bins[i%w].Insert(b, v)
-		}
-	}
-
-	if o.Stop != nil && o.Stop(curBin*o.Cfg.Delta) {
-		return Stats{}, nil
-	}
-
-	s := &eagerShared{
-		frontier: frontier,
-		sizes:    make([]int64, w),
-		offsets:  make([]int64, w+1),
-		stats:    Stats{Rounds: 1},
-	}
-	s.nextBin.Store(bucket.NullBkt)
-	barrier := parallel.NewBarrier(w)
-
-	var pull *pullState
-	if o.Cfg.Direction == DensePull {
-		pull = newPullState(o, n)
-		pull.markFrontier(s.frontier, curBin)
-	} else if o.FinalizeOnPop {
-		// Push mode finalizes at pop time inside processVertex.
-	}
-	if o.OnRound != nil {
-		o.OnRound(1, curBin, len(s.frontier))
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for wk := 0; wk < w; wk++ {
-		go func(worker int) {
-			defer wg.Done()
-			o.eagerWorker(worker, w, grain, curBin, fusion, bins[worker], s, pull, barrier)
-		}(wk)
-	}
-	wg.Wait()
-
-	st := s.stats
-	for _, b := range bins {
+func (e *eagerBins) finish(st *Stats) {
+	for _, b := range e.bins {
 		st.BucketInserts += b.Inserts
 	}
-	return st, nil
 }
 
-// eagerShared is the state shared by all eager workers.
-type eagerShared struct {
-	frontier []uint32
-	cursor   atomic.Int64 // dynamic chunk cursor into frontier
-	nextBin  atomic.Int64
-	sizes    []int64
-	offsets  []int64
-	stopped  atomic.Bool
-	stats    Stats // global counters, updated by worker 0 at barriers
-	statsMu  sync.Mutex
-}
-
-// foldUpdater accumulates a worker's per-round counters into the shared stats.
-func (s *eagerShared) foldUpdater(u *Updater, fused int64) {
-	s.statsMu.Lock()
-	s.stats.Relaxations += u.relaxations
-	s.stats.Inversions += u.inversions
-	s.stats.Processed += u.processed
-	s.stats.FusedRounds += fused
-	s.statsMu.Unlock()
-	u.relaxations, u.inversions, u.processed = 0, 0, 0
-}
-
-// pullState is the extra state for DensePull traversal: a dense frontier map.
-type pullState struct {
+// eagerPush is the SparsePush traversal over eager bins: workers drain
+// dynamic chunks of the shared frontier, relaxing out-edges with atomic
+// write-min into their own bins, then (for eager_with_fusion) keep
+// processing their current-priority local bin while it stays under the
+// fusion threshold, without any global synchronization (Figure 7, lines
+// 14–21).
+type eagerPush struct {
 	o      *Ordered
-	inFron []uint32
-	old    []uint32 // previous frontier, for clearing
+	ups    []*Updater
+	bins   []*bucket.LocalBins
+	fusion bool
+	grain  int
+	cursor atomic.Int64
 }
 
-func newPullState(o *Ordered, n int) *pullState {
-	return &pullState{o: o, inFron: make([]uint32, n)}
+func (t *eagerPush) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+	o := t.o
+	t.cursor.Store(0)
+	fsize := len(frontier)
+	parallel.Run(func(worker int) {
+		u := t.ups[worker]
+		for {
+			lo := int(t.cursor.Add(int64(t.grain))) - t.grain
+			if lo >= fsize {
+				break
+			}
+			hi := lo + t.grain
+			if hi > fsize {
+				hi = fsize
+			}
+			for _, v := range frontier[lo:hi] {
+				o.processPush(v, bid, u)
+			}
+		}
+		if t.fusion {
+			my := t.bins[worker]
+			for {
+				sz := my.Len(bid)
+				if sz == 0 || sz > o.Cfg.FusionThreshold {
+					break
+				}
+				mine := my.Take(bid)
+				u.fused++
+				for _, v := range mine {
+					o.processPush(v, bid, u)
+				}
+			}
+		}
+	})
+	return nil, false
 }
 
-// markFrontier sets the dense bits for frontier members that pass the stale
-// filter (and finalizes them when FinalizeOnPop). Called serially between
-// rounds, or split across workers.
-func (p *pullState) markFrontier(frontier []uint32, curBin int64) {
-	o := p.o
+// eagerPull is the DensePull traversal over eager bins: a serial mark of
+// the dense frontier map (with the stale filter and finalize-on-pop), a
+// parallel in-edge sweep over all vertices, and a serial clear. Destination
+// updates need no atomics — each vertex is owned by one worker (Figure
+// 9(b)) — and land in the owning worker's bins.
+type eagerPull struct {
+	o      *Ordered
+	ups    []*Updater
+	inFron []bool
+	grain  int
+}
+
+func (t *eagerPull) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+	o := t.o
 	for _, v := range frontier {
-		if o.bucketOf(atomicutil.Load(&o.Prio[v])) != curBin {
-			continue
+		if o.bucketOf(atomicutil.Load(&o.Prio[v])) != bid {
+			continue // stale: already handled in an earlier bucket
 		}
 		if o.fin != nil && !o.fin.TrySet(v) {
 			continue
 		}
-		atomic.StoreUint32(&p.inFron[v], 1)
-	}
-	p.old = frontier
-}
-
-func (p *pullState) clearRange(lo, hi int) {
-	for _, v := range p.old[lo:hi] {
-		atomic.StoreUint32(&p.inFron[v], 0)
-	}
-}
-
-// eagerWorker is one worker's round loop.
-func (o *Ordered) eagerWorker(worker, w, grain int, curBin int64, fusion bool,
-	myBins *bucket.LocalBins, s *eagerShared, pull *pullState, barrier *parallel.Barrier) {
-
-	u := &Updater{
-		o:       o,
-		atomics: pull == nil,
-		bins:    myBins,
+		t.inFron[v] = true
 	}
 	n := o.G.NumVertices()
-
-	for {
-		u.curBin = curBin
-		u.curPrio = curBin * o.Cfg.Delta
-		var fused int64
-
-		// Phase 1: drain the shared frontier in dynamic chunks.
-		if pull == nil {
-			fsize := len(s.frontier)
-			for {
-				lo := int(s.cursor.Add(int64(grain))) - grain
-				if lo >= fsize {
-					break
-				}
-				hi := lo + grain
-				if hi > fsize {
-					hi = fsize
-				}
-				for _, v := range s.frontier[lo:hi] {
-					o.processPush(v, curBin, u)
-				}
-			}
-			// Phase 1b: bucket fusion (paper Figure 7, lines 14–21): keep
-			// processing this worker's current bin locally while it stays
-			// below the threshold, without any global synchronization.
-			if fusion {
-				for {
-					sz := myBins.Len(curBin)
-					if sz == 0 || sz > o.Cfg.FusionThreshold {
-						break
-					}
-					mine := myBins.Take(curBin)
-					fused++
-					for _, v := range mine {
-						o.processPush(v, curBin, u)
-					}
-				}
-			}
-		} else {
-			// DensePull: every worker scans dynamic chunks of all vertices,
-			// pulling from in-neighbors that are in the dense frontier.
-			for {
-				lo := int(s.cursor.Add(int64(grain))) - grain
-				if lo >= n {
-					break
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				for v := lo; v < hi; v++ {
-					o.processPull(uint32(v), pull, u)
-				}
-			}
+	parallel.ForChunks(n, t.grain, func(lo, hi, worker int) {
+		u := t.ups[worker]
+		for v := lo; v < hi; v++ {
+			o.processPull(uint32(v), t.inFron, u)
 		}
-
-		// Phase 2: propose the next bucket (paper Figure 6, line 8).
-		if p := myBins.MinNonEmpty(curBin); p != bucket.NullBkt {
-			atomicMinInt64(&s.nextBin, p)
-		}
-		s.foldUpdater(u, fused)
-		barrier.Wait() // B1: all proposals in; frontier fully processed.
-
-		nb := s.nextBin.Load()
-		if nb == bucket.NullBkt {
-			return
-		}
-		if o.Stop != nil && o.Stop(nb*o.Cfg.Delta) {
-			// Stop is a pure function of state that is stable between
-			// barriers, so every worker takes this branch consistently.
-			return
-		}
-		if pull != nil {
-			// Clear the old dense frontier cooperatively.
-			per := (len(pull.old) + w - 1) / w
-			lo, hi := worker*per, (worker+1)*per
-			if lo > len(pull.old) {
-				lo = len(pull.old)
-			}
-			if hi > len(pull.old) {
-				hi = len(pull.old)
-			}
-			pull.clearRange(lo, hi)
-		}
-		mine := myBins.Take(nb)
-		s.sizes[worker] = int64(len(mine))
-		barrier.Wait() // B2: sizes published, old frontier cleared.
-
-		if worker == 0 {
-			var total int64
-			for i, sz := range s.sizes {
-				s.offsets[i] = total
-				total += sz
-			}
-			s.offsets[w] = total
-			s.frontier = make([]uint32, total)
-			s.cursor.Store(0)
-			s.nextBin.Store(bucket.NullBkt)
-			s.stats.Rounds++
-			s.stats.GlobalSyncs += 4
-			if o.OnRound != nil {
-				o.OnRound(s.stats.Rounds, nb, int(total))
-			}
-		}
-		barrier.Wait() // B3: new frontier allocated, counters reset.
-
-		copy(s.frontier[s.offsets[worker]:s.offsets[worker+1]], mine)
-		curBin = nb
-		barrier.Wait() // B4: frontier contents complete.
-
-		if pull != nil {
-			// Re-mark the dense frontier cooperatively over the new list.
-			per := (len(s.frontier) + w - 1) / w
-			lo, hi := worker*per, (worker+1)*per
-			if lo > len(s.frontier) {
-				lo = len(s.frontier)
-			}
-			if hi > len(s.frontier) {
-				hi = len(s.frontier)
-			}
-			pull.markSlice(s.frontier[lo:hi], curBin)
-			barrier.Wait() // B5 (pull only): dense frontier ready.
-			if worker == 0 {
-				pull.old = s.frontier
-				s.stats.GlobalSyncs++
-			}
-			barrier.Wait() // B6 (pull only): old-list swap visible.
-		}
-	}
-}
-
-// markSlice is markFrontier over a sub-slice (cooperative marking).
-func (p *pullState) markSlice(frontier []uint32, curBin int64) {
-	o := p.o
+	})
 	for _, v := range frontier {
-		if o.bucketOf(atomicutil.Load(&o.Prio[v])) != curBin {
-			continue
-		}
-		if o.fin != nil && !o.fin.TrySet(v) {
-			continue
-		}
-		atomic.StoreUint32(&p.inFron[v], 1)
+		t.inFron[v] = false
 	}
+	return nil, true
 }
 
 // processPush applies the UDF to the out-edges of v if v still belongs to
@@ -345,7 +163,7 @@ func (o *Ordered) processPush(v uint32, curBin int64, u *Updater) {
 // processPull applies the UDF to the in-edges of v that originate in the
 // dense frontier. v is owned by exactly one worker this round, so its
 // priority updates need no atomics.
-func (o *Ordered) processPull(v uint32, pull *pullState, u *Updater) {
+func (o *Ordered) processPull(v uint32, inFron []bool, u *Updater) {
 	if o.fin != nil && o.fin.IsSet(v) {
 		return // finalized vertices accept no further updates
 	}
@@ -354,7 +172,7 @@ func (o *Ordered) processPull(v uint32, pull *pullState, u *Updater) {
 	wts := g.InWeights(v)
 	touched := false
 	for i, src := range neigh {
-		if atomic.LoadUint32(&pull.inFron[src]) == 0 {
+		if !inFron[src] {
 			continue
 		}
 		var wt int32
@@ -367,41 +185,5 @@ func (o *Ordered) processPull(v uint32, pull *pullState, u *Updater) {
 	}
 	if touched {
 		u.processed++
-	}
-}
-
-// initialActive returns the initial active vertex set: Sources if given,
-// otherwise every vertex with a non-null priority.
-func (o *Ordered) initialActive() []uint32 {
-	if o.Sources != nil {
-		null := o.nullPrio()
-		act := make([]uint32, 0, len(o.Sources))
-		for _, v := range o.Sources {
-			if o.Prio[v] != null {
-				act = append(act, v)
-			}
-		}
-		return act
-	}
-	null := o.nullPrio()
-	var act []uint32
-	for v, p := range o.Prio {
-		if p != null {
-			act = append(act, uint32(v))
-		}
-	}
-	return act
-}
-
-// atomicMinInt64 lowers *p to v if v is smaller.
-func atomicMinInt64(p *atomic.Int64, v int64) {
-	for {
-		old := p.Load()
-		if v >= old {
-			return
-		}
-		if p.CompareAndSwap(old, v) {
-			return
-		}
 	}
 }

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"graphit/internal/atomicutil"
+	"graphit/internal/bucket"
+	"graphit/internal/parallel"
+)
+
+// bucketSource abstracts next-bucket extraction and bulk re-bucketing: the
+// eager thread-local bins, the lazy Julienne buckets, and (paired with the
+// histogram traversal) the constant-sum path all implement it. Together
+// with traversal it is the engine's pluggable axis pair — every strategy in
+// the scheduling space is one (bucketSource, traversal) composition run by
+// the same round loop.
+type bucketSource interface {
+	// next extracts the next non-empty bucket and its frontier, or
+	// (bucket.NullBkt, nil) when the queue is exhausted.
+	next() (int64, []uint32)
+	// update bulk-moves the round's changed vertices to their new buckets
+	// (no-op for eager, whose traversal re-buckets inline).
+	update(ids []uint32)
+	// finish folds the source's internal counters into st.
+	finish(st *Stats)
+}
+
+// traversal abstracts one round's edge sweep — SparsePush, DensePull, the
+// per-round Hybrid choice, or the constant-sum histogram reduction. It
+// returns the vertices whose priorities changed (for bucketSource.update)
+// and whether the round pulled.
+type traversal interface {
+	relax(bid, curPrio int64, frontier []uint32) (updated []uint32, pull bool)
+}
+
+// engine is one composed (bucketSource, traversal) pair plus the per-worker
+// updaters whose counters the round loop folds.
+type engine struct {
+	o    *Ordered
+	src  bucketSource
+	trav traversal
+	ups  []*Updater
+}
+
+// Run executes the ordered operator to completion and returns its counters.
+func (o *Ordered) Run() (Stats, error) {
+	return o.RunContext(context.Background())
+}
+
+// RunContext executes the ordered operator under ctx. Cancellation is
+// cooperative: the engine checks ctx at every round barrier, so a cancelled
+// or expired context halts the run within one round and returns the partial
+// Stats accumulated so far together with ctx.Err().
+func (o *Ordered) RunContext(ctx context.Context) (Stats, error) {
+	o.Cfg.normalize()
+	if err := o.validate(); err != nil {
+		return Stats{}, err
+	}
+	switch o.Cfg.Strategy {
+	case EagerWithFusion, EagerNoFusion, Lazy, LazyConstantSum:
+	default:
+		return Stats{}, fmt.Errorf("core: unknown strategy %d", int(o.Cfg.Strategy))
+	}
+	if o.Cfg.Workers > 0 {
+		prev := parallel.SetWorkers(o.Cfg.Workers)
+		defer parallel.SetWorkers(prev)
+	}
+	if o.FinalizeOnPop {
+		o.fin = atomicutil.NewFlags(o.G.NumVertices())
+	}
+	active, err := o.initialActive()
+	if err != nil {
+		return Stats{}, err
+	}
+	tr := o.tracer(ctx)
+	_, isNop := tr.(NopTracer)
+	trace := !isNop
+	if len(active) == 0 {
+		if trace {
+			tr.RunStart(o.runInfo(0))
+			tr.RunEnd(Stats{}, nil)
+		}
+		return Stats{}, nil
+	}
+
+	sc := getScratch()
+	e := o.buildEngine(sc, active)
+	if trace {
+		tr.RunStart(o.runInfo(len(active)))
+	}
+	var st Stats
+	runErr := e.run(ctx, tr, trace, &st)
+	e.src.finish(&st)
+	if trace {
+		tr.RunEnd(st, runErr)
+	}
+	// Not deferred on purpose: if a user edge function panics mid-round the
+	// scratch state is dirty and must not be pooled.
+	putScratch(sc)
+	return st, runErr
+}
+
+// tracer resolves the run's Tracer: the operator's explicit Trace field,
+// else one carried by ctx (WithTracer), else the no-op tracer.
+func (o *Ordered) tracer(ctx context.Context) Tracer {
+	if o.Trace != nil {
+		return o.Trace
+	}
+	if t, ok := TracerFrom(ctx); ok && t != nil {
+		return t
+	}
+	return NopTracer{}
+}
+
+func (o *Ordered) runInfo(frontier int) RunInfo {
+	return RunInfo{
+		Strategy:    o.Cfg.Strategy.String(),
+		Direction:   o.Cfg.Direction.String(),
+		Delta:       o.Cfg.Delta,
+		NumVertices: o.G.NumVertices(),
+		NumEdges:    int64(o.G.NumEdges()),
+		Frontier:    frontier,
+	}
+}
+
+// buildEngine composes the (bucketSource, traversal) pair for the
+// configured schedule and seeds it with the initial active set.
+func (o *Ordered) buildEngine(sc *scratch, active []uint32) *engine {
+	n := o.G.NumVertices()
+	w := parallel.Workers()
+	grain := o.Cfg.Grain
+	if grain <= 0 {
+		grain = parallel.DefaultGrain
+	}
+	ups := sc.getUpdaters(o, w)
+	e := &engine{o: o, ups: ups}
+
+	switch o.Cfg.Strategy {
+	case EagerWithFusion, EagerNoFusion:
+		bins := sc.getBins(w)
+		for i, v := range active {
+			bins[i%w].Insert(o.bucketOf(o.Prio[v]), v)
+		}
+		for i, u := range ups {
+			u.bins = bins[i]
+		}
+		e.src = &eagerBins{o: o, bins: bins, sc: sc}
+		if o.Cfg.Direction == DensePull {
+			inFron, _ := sc.getDense(n)
+			e.trav = &eagerPull{o: o, ups: ups, inFron: inFron, grain: grain}
+		} else {
+			for _, u := range ups {
+				u.atomics = true
+			}
+			e.trav = &eagerPush{
+				o: o, ups: ups, bins: bins,
+				fusion: o.Cfg.Strategy == EagerWithFusion,
+				grain:  grain,
+			}
+		}
+	case LazyConstantSum:
+		for _, u := range ups {
+			u.atomics = true
+		}
+		e.src = o.newLazySource(active)
+		e.trav = &constSumTrav{o: o, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain}
+	default: // Lazy
+		e.src = o.newLazySource(active)
+		t := &lazyTrav{
+			o: o, sc: sc, ups: ups, grain: grain,
+			pullThreshold: int64(o.G.NumEdges()) / 20,
+		}
+		if !o.Cfg.NoDedup {
+			t.dedup = sc.getDedup(n)
+		}
+		if o.Cfg.Direction != SparsePush {
+			t.inFron, t.nextMap = sc.getDense(n)
+		}
+		e.trav = t
+	}
+	return e
+}
+
+// run is the single shared round loop: extract the next bucket, check the
+// stop condition, sweep edges, fold counters, bulk-update buckets — with a
+// cooperative cancellation check at every round barrier.
+func (e *engine) run(ctx context.Context, tr Tracer, trace bool, st *Stats) error {
+	o := e.o
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bid, frontier := e.src.next()
+		if bid == bucket.NullBkt {
+			return nil
+		}
+		curPrio := bid * o.Cfg.Delta
+		if o.Stop != nil && o.Stop(curPrio) {
+			return nil
+		}
+		st.Rounds++
+		for _, u := range e.ups {
+			u.curBin, u.curPrio = bid, curPrio
+		}
+		var begin time.Time
+		if trace {
+			begin = time.Now()
+		}
+		updated, pull := e.trav.relax(bid, curPrio, frontier)
+		var rRelax, rProc, rFused int64
+		for _, u := range e.ups {
+			rRelax += u.relaxations
+			rProc += u.processed
+			rFused += u.fused
+			st.Relaxations += u.relaxations
+			st.Inversions += u.inversions
+			st.Processed += u.processed
+			st.FusedRounds += u.fused
+			u.relaxations, u.inversions, u.processed, u.fused = 0, 0, 0, 0
+		}
+		if pull {
+			st.PullRounds++
+		}
+		// One global synchronization per round: the sweep's join plus the
+		// bulk bucket update (paper Figure 5, lines 12–13).
+		st.GlobalSyncs++
+		e.src.update(updated)
+		if trace {
+			tr.Round(RoundEvent{
+				Round:       st.Rounds,
+				Bucket:      bid,
+				Priority:    curPrio,
+				Frontier:    len(frontier),
+				Updated:     len(updated),
+				Relaxations: rRelax,
+				Processed:   rProc,
+				FusedIters:  rFused,
+				Pull:        pull,
+				Wall:        time.Since(begin),
+			})
+		}
+	}
+}
+
+// initialActive returns the initial active vertex set — Sources if given,
+// otherwise every vertex with a non-null priority — validating priority
+// signs along the way (only the scanned vertices can enter buckets, so the
+// former O(V) validate pass is free here).
+func (o *Ordered) initialActive() ([]uint32, error) {
+	null := o.nullPrio()
+	if o.Sources != nil {
+		act := make([]uint32, 0, len(o.Sources))
+		for _, v := range o.Sources {
+			p := o.Prio[v]
+			if p == null {
+				continue
+			}
+			if p < 0 {
+				return nil, fmt.Errorf("core: vertex %d has negative priority %d (priorities must be non-negative)", v, p)
+			}
+			act = append(act, v)
+		}
+		return act, nil
+	}
+	var act []uint32
+	for v, p := range o.Prio {
+		if p == null {
+			continue
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("core: vertex %d has negative priority %d (priorities must be non-negative)", v, p)
+		}
+		act = append(act, uint32(v))
+	}
+	return act, nil
+}

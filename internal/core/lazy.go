@@ -9,160 +9,91 @@ import (
 	"graphit/internal/parallel"
 )
 
-// runLazy executes the operator with lazy bucket updates (paper Figure 5):
-// each round extracts the next bucket, applies the edge UDF over the
-// frontier collecting changed vertices into a deduplicated buffer, and then
-// performs a single bulk bucket update. Under LazyConstantSum the per-edge
-// updates are replaced by histogram counting plus one transformed-UDF
-// application per touched vertex (paper Figure 10).
-func (o *Ordered) runLazy() (Stats, error) {
-	if o.Cfg.Workers > 0 {
-		prev := parallel.SetWorkers(o.Cfg.Workers)
-		defer parallel.SetWorkers(prev)
-	}
-	n := o.G.NumVertices()
-	if o.FinalizeOnPop {
-		o.fin = atomicutil.NewFlags(n)
-	}
+// lazySource is the bucketSource for lazy bucket update (paper Figure 5):
+// a Julienne-style windowed bucket structure, extracted once per round and
+// bulk-updated with the round's deduplicated changed-vertex buffer.
+type lazySource struct {
+	o  *Ordered
+	lz *bucket.Lazy
+}
 
-	// bktOf consults the authoritative priority vector, so stale bucket
-	// entries are filtered on extraction (§5.1's optimized interface).
+// newLazySource builds the Julienne buckets over the initial active set.
+// The bucket function consults the authoritative priority vector, so stale
+// entries are filtered on extraction (§5.1's optimized interface).
+func (o *Ordered) newLazySource(active []uint32) *lazySource {
 	bktOf := func(v uint32) int64 {
 		if o.fin != nil && o.fin.IsSet(v) {
 			return bucket.NullBkt
 		}
 		return o.bucketOf(atomicutil.Load(&o.Prio[v]))
 	}
-	// Initial bucketing is restricted to Sources when given.
-	initBkt := bktOf
-	if o.Sources != nil {
-		mask := make([]bool, n)
-		for _, v := range o.Sources {
-			mask[v] = true
-		}
-		initBkt = func(v uint32) int64 {
-			if !mask[v] {
-				return bucket.NullBkt
-			}
-			return bktOf(v)
-		}
-	}
-	lz := bucket.NewLazy(n, o.Order, o.Cfg.NumBuckets, initBkt)
-	// After construction, re-bucketing must consult priorities for every
-	// vertex, not just the initial sources.
-	lz.SetBktFunc(bktOf)
-
-	w := parallel.Workers()
-	updaters := make([]*Updater, w)
-	for i := range updaters {
-		updaters[i] = &Updater{o: o, atomics: true}
-	}
-	var dedup *atomicutil.Flags
-	if !o.Cfg.NoDedup {
-		dedup = atomicutil.NewFlags(n)
-	}
-	var hist *histogram.Counter
-	if o.Cfg.Strategy == LazyConstantSum {
-		hist = histogram.New(n)
-	}
-	var inFron, nextMap []bool
-	if o.Cfg.Direction != SparsePush {
-		inFron = make([]bool, n)
-		nextMap = make([]bool, n)
-	}
-	// setDirection configures the per-worker updaters for one round's
-	// traversal direction (fixed for SparsePush/DensePull, per-round under
-	// Hybrid).
-	setDirection := func(pull bool) {
-		for _, u := range updaters {
-			if pull {
-				u.atomics, u.next, u.dedup = false, nextMap, nil
-			} else {
-				u.atomics, u.next, u.dedup = true, nil, dedup
-			}
-		}
-	}
-	// Hybrid threshold: pull when the frontier's out-edge volume exceeds
-	// |E|/20 (Ligra's heuristic, used by Julienne's direction optimizer).
-	pullThreshold := int64(o.G.NumEdges()) / 20
-
-	var st Stats
-	fold := func() {
-		for _, u := range updaters {
-			st.Relaxations += u.relaxations
-			st.Inversions += u.inversions
-			st.Processed += u.processed
-			u.relaxations, u.inversions, u.processed = 0, 0, 0
-		}
-	}
-
-	for {
-		bid, verts := lz.Next()
-		if bid == bucket.NullBkt {
-			break
-		}
-		curPrio := bid * o.Cfg.Delta
-		if o.Stop != nil && o.Stop(curPrio) {
-			break
-		}
-		st.Rounds++
-		if o.OnRound != nil {
-			o.OnRound(st.Rounds, bid, len(verts))
-		}
-		if o.fin != nil {
-			// Finalize dequeued vertices first so intra-bucket updates to
-			// them are rejected (k-core: coreness is fixed at dequeue).
-			for _, v := range verts {
-				o.fin.TrySet(v)
-			}
-		}
-		for _, u := range updaters {
-			u.curBin, u.curPrio = bid, curPrio
-		}
-
-		var updated []uint32
-		switch {
-		case o.Cfg.Strategy == LazyConstantSum:
-			updated = o.lazyConstantSumRound(verts, curPrio, hist, updaters, &st)
-		default:
-			pull := o.Cfg.Direction == DensePull
-			if o.Cfg.Direction == Hybrid {
-				// The direction optimizer's per-round decision — and its
-				// cost, an out-degree sum over the frontier, the overhead
-				// the paper calls out in Julienne's SSSP (§6.2).
-				pull = o.G.TotalOutDegree(verts)+int64(len(verts)) > pullThreshold
-			}
-			setDirection(pull)
-			if pull {
-				st.PullRounds++
-				updated = o.lazyPullRound(verts, inFron, nextMap, updaters)
-			} else {
-				updated = o.lazyPushRound(verts, updaters)
-				if dedup != nil {
-					dedup.ResetList(updated)
-				}
-			}
-		}
-		fold()
-		// One global synchronization per round: the buffer reduction plus
-		// bulkUpdateBuckets (paper Figure 5, lines 12–13).
-		st.GlobalSyncs++
-		lz.UpdateBuckets(updated)
-	}
-	fold()
-	st.BucketInserts += lz.Inserts
-	st.WindowAdvances += lz.Rebuckets
-	st.Inversions += lz.Inversions
-	return st, nil
+	lz := bucket.NewLazyFrom(o.G.NumVertices(), o.Order, o.Cfg.NumBuckets, bktOf, active)
+	return &lazySource{o: o, lz: lz}
 }
 
-// lazyPushRound applies the UDF over the out-edges of the frontier with
-// atomic updates, collecting changed vertices once each (CAS dedup) into
+func (s *lazySource) next() (int64, []uint32) { return s.lz.Next() }
+
+func (s *lazySource) update(ids []uint32) { s.lz.UpdateBuckets(ids) }
+
+func (s *lazySource) finish(st *Stats) {
+	st.BucketInserts += s.lz.Inserts
+	st.WindowAdvances += s.lz.Rebuckets
+	st.Inversions += s.lz.Inversions
+}
+
+// lazyTrav is the edge-map traversal for the plain lazy strategy. It covers
+// all three directions: SparsePush (atomic updates into a CAS-deduplicated
+// per-worker buffer), DensePull (non-atomic updates into a dense changed
+// map), and the per-round Hybrid choice — Ligra/Julienne's direction
+// optimizer, pulling when the frontier's out-degree volume exceeds |E|/20.
+type lazyTrav struct {
+	o             *Ordered
+	sc            *scratch
+	ups           []*Updater
+	dedup         *atomicutil.Flags // nil under configDeduplication off
+	inFron        []bool            // dense frontier map (pull only)
+	nextMap       []bool            // dense changed map (pull only)
+	grain         int
+	pullThreshold int64
+}
+
+func (t *lazyTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+	o := t.o
+	if o.fin != nil {
+		// Finalize dequeued vertices first so intra-bucket updates to them
+		// are rejected (k-core: coreness is fixed at dequeue).
+		for _, v := range frontier {
+			o.fin.TrySet(v)
+		}
+	}
+	pull := o.Cfg.Direction == DensePull
+	if o.Cfg.Direction == Hybrid {
+		// The direction optimizer's per-round decision — and its cost, an
+		// out-degree sum over the frontier, the overhead the paper calls out
+		// in Julienne's SSSP (§6.2).
+		pull = o.G.TotalOutDegree(frontier)+int64(len(frontier)) > t.pullThreshold
+	}
+	for _, u := range t.ups {
+		if pull {
+			u.atomics, u.next, u.dedup = false, t.nextMap, nil
+		} else {
+			u.atomics, u.next, u.dedup = true, nil, t.dedup
+		}
+	}
+	if pull {
+		return t.pullRound(frontier), true
+	}
+	return t.pushRound(frontier), false
+}
+
+// pushRound applies the UDF over the out-edges of the frontier with atomic
+// updates, collecting changed vertices once each (CAS dedup) into
 // per-worker buffers (the outEdges buffer of paper Figure 9(a)).
-func (o *Ordered) lazyPushRound(verts []uint32, updaters []*Updater) []uint32 {
+func (t *lazyTrav) pushRound(verts []uint32) []uint32 {
+	o := t.o
 	g := o.G
-	parallel.ForChunks(len(verts), o.Cfg.Grain, func(lo, hi, worker int) {
-		u := updaters[worker]
+	parallel.ForChunks(len(verts), t.grain, func(lo, hi, worker int) {
+		u := t.ups[worker]
 		for _, v := range verts[lo:hi] {
 			u.processed++
 			neigh := g.OutNeigh(v)
@@ -177,81 +108,72 @@ func (o *Ordered) lazyPushRound(verts []uint32, updaters []*Updater) []uint32 {
 			}
 		}
 	})
-	var total int
-	for _, u := range updaters {
-		total += len(u.out)
-	}
-	updated := make([]uint32, 0, total)
-	for _, u := range updaters {
+	updated := t.sc.updated[:0]
+	for _, u := range t.ups {
 		updated = append(updated, u.out...)
 		u.out = u.out[:0]
 	}
+	t.sc.updated = updated
+	if t.dedup != nil {
+		t.dedup.ResetList(updated)
+	}
 	return updated
 }
 
-// lazyPullRound applies the UDF over the in-edges of all vertices against a
+// pullRound applies the UDF over the in-edges of all vertices against a
 // dense frontier; destination updates need no atomics (paper Figure 9(b)).
-func (o *Ordered) lazyPullRound(verts []uint32, inFron, nextMap []bool, updaters []*Updater) []uint32 {
-	g := o.G
-	n := g.NumVertices()
+func (t *lazyTrav) pullRound(verts []uint32) []uint32 {
+	o := t.o
+	n := o.G.NumVertices()
 	for _, v := range verts {
-		inFron[v] = true
+		t.inFron[v] = true
 	}
-	parallel.ForChunks(n, o.Cfg.Grain, func(lo, hi, worker int) {
-		u := updaters[worker]
+	parallel.ForChunks(n, t.grain, func(lo, hi, worker int) {
+		u := t.ups[worker]
 		for v := lo; v < hi; v++ {
-			d := uint32(v)
-			if o.fin != nil && o.fin.IsSet(d) {
-				continue
-			}
-			neigh := g.InNeighbors(d)
-			wts := g.InWeights(d)
-			touched := false
-			for i, s := range neigh {
-				if !inFron[s] {
-					continue
-				}
-				var wt int32
-				if wts != nil {
-					wt = wts[i]
-				}
-				u.relaxations++
-				o.Apply(s, d, wt, u)
-				touched = true
-			}
-			if touched {
-				u.processed++
-			}
+			o.processPull(uint32(v), t.inFron, u)
 		}
 	})
 	ids := parallel.IotaU32(n)
-	updated := parallel.PackU32(ids, func(i int) bool { return nextMap[i] })
+	updated := parallel.PackU32(ids, func(i int) bool { return t.nextMap[i] })
 	for _, v := range verts {
-		inFron[v] = false
+		t.inFron[v] = false
 	}
 	for _, v := range updated {
-		nextMap[v] = false
+		t.nextMap[v] = false
 	}
 	return updated
 }
 
-// lazyConstantSumRound implements the histogram reduction (paper Figure 10):
-// count updates per destination over the frontier's out-edges, then apply
-// the compiler-transformed UDF once per touched vertex.
-func (o *Ordered) lazyConstantSumRound(verts []uint32, curPrio int64,
-	hist *histogram.Counter, updaters []*Updater, st *Stats) []uint32 {
+// constSumTrav implements the histogram reduction (paper Figure 10): count
+// updates per destination over the frontier's out-edges, then apply the
+// compiler-transformed UDF once per touched vertex.
+type constSumTrav struct {
+	o     *Ordered
+	sc    *scratch
+	ups   []*Updater
+	hist  *histogram.Counter
+	grain int
+}
 
+func (t *constSumTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+	o := t.o
 	g := o.G
-	parallel.ForChunks(len(verts), o.Cfg.Grain, func(lo, hi, worker int) {
-		u := updaters[worker]
-		for _, v := range verts[lo:hi] {
+	if o.fin != nil {
+		for _, v := range frontier {
+			o.fin.TrySet(v)
+		}
+	}
+	parallel.ForChunks(len(frontier), t.grain, func(lo, hi, worker int) {
+		u := t.ups[worker]
+		for _, v := range frontier[lo:hi] {
 			u.processed++
 			for _, d := range g.OutNeigh(v) {
 				u.relaxations++
 				if o.fin != nil && o.fin.IsSet(d) {
 					continue
 				}
-				hist.Add(d)
+				t.hist.Add(d)
 			}
 		}
 	})
@@ -259,8 +181,8 @@ func (o *Ordered) lazyConstantSumRound(verts []uint32, curPrio int64,
 	if o.SumFloorIsCurrent {
 		floor = curPrio
 	}
-	updated := make([]uint32, 0, hist.Touched())
-	hist.Drain(func(v uint32, count int64) {
+	updated := t.sc.updated[:0]
+	t.hist.Drain(func(v uint32, count int64) {
 		if o.fin != nil && o.fin.IsSet(v) {
 			return
 		}
@@ -286,5 +208,6 @@ func (o *Ordered) lazyConstantSumRound(verts []uint32, curPrio int64,
 		o.Prio[v] = next
 		updated = append(updated, v)
 	})
-	return updated
+	t.sc.updated = updated
+	return updated, false
 }

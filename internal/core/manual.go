@@ -5,7 +5,6 @@ import (
 
 	"graphit/internal/atomicutil"
 	"graphit/internal/bucket"
-	"graphit/internal/histogram"
 	"graphit/internal/parallel"
 )
 
@@ -14,15 +13,13 @@ import (
 // 17–21), dequeuing ready sets and applying edge functions one round at a
 // time. Manual mode always uses lazy bucketing — the eager transformation
 // is only legal when the compiler (or RunOrdered) owns the whole loop and
-// can verify the bucket has no other uses (paper §5.2).
+// can verify the bucket has no other uses (paper §5.2). It composes the
+// same lazySource/traversal pair as RunContext, minus the round loop.
 type Manual struct {
-	o        *Ordered
-	lz       *bucket.Lazy
-	dedup    *atomicutil.Flags
-	updaters []*Updater
-	hist     *histogram.Counter
-	inFron   []bool
-	nextMap  []bool
+	o    *Ordered
+	src  *lazySource
+	trav traversal
+	ups  []*Updater
 
 	curBkt   int64
 	frontier []uint32
@@ -48,46 +45,30 @@ func NewManual(o *Ordered) (*Manual, error) {
 	if o.FinalizeOnPop {
 		o.fin = atomicutil.NewFlags(n)
 	}
-	bktOf := func(v uint32) int64 {
-		if o.fin != nil && o.fin.IsSet(v) {
-			return bucket.NullBkt
-		}
-		return o.bucketOf(atomicutil.Load(&o.Prio[v]))
+	active, err := o.initialActive()
+	if err != nil {
+		return nil, err
 	}
-	initBkt := bktOf
-	if o.Sources != nil {
-		mask := make([]bool, n)
-		for _, v := range o.Sources {
-			mask[v] = true
-		}
-		initBkt = func(v uint32) int64 {
-			if !mask[v] {
-				return bucket.NullBkt
-			}
-			return bktOf(v)
-		}
+	grain := o.Cfg.Grain
+	if grain <= 0 {
+		grain = parallel.DefaultGrain
 	}
-	m := &Manual{
-		o:     o,
-		lz:    bucket.NewLazy(n, o.Order, o.Cfg.NumBuckets, initBkt),
-		dedup: atomicutil.NewFlags(n),
-	}
-	m.lz.SetBktFunc(bktOf)
-	w := parallel.Workers()
-	m.updaters = make([]*Updater, w)
-	for i := range m.updaters {
-		m.updaters[i] = &Updater{o: o, atomics: true, dedup: m.dedup}
-	}
+	// Manual mode is long-lived (the user holds it across rounds), so its
+	// scratch is private, never pooled.
+	sc := &scratch{}
+	ups := sc.getUpdaters(o, parallel.Workers())
+	m := &Manual{o: o, src: o.newLazySource(active), ups: ups}
 	if o.Cfg.Strategy == LazyConstantSum {
-		m.hist = histogram.New(n)
-	}
-	if o.Cfg.Direction == DensePull {
-		m.inFron = make([]bool, n)
-		m.nextMap = make([]bool, n)
-		for _, u := range m.updaters {
-			u.atomics = false
-			u.next = m.nextMap
+		for _, u := range ups {
+			u.atomics = true
 		}
+		m.trav = &constSumTrav{o: o, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain}
+	} else {
+		t := &lazyTrav{o: o, sc: sc, ups: ups, grain: grain, dedup: sc.getDedup(n)}
+		if o.Cfg.Direction == DensePull {
+			t.inFron, t.nextMap = sc.getDense(n)
+		}
+		m.trav = t
 	}
 	return m, nil
 }
@@ -97,7 +78,7 @@ func (m *Manual) ensurePopped() {
 	if m.popped {
 		return
 	}
-	m.curBkt, m.frontier = m.lz.Next()
+	m.curBkt, m.frontier = m.src.next()
 	m.popped = true
 }
 
@@ -146,27 +127,21 @@ func (m *Manual) ApplyUpdatePriority(frontier []uint32, f EdgeFunc) {
 	o.Apply = f
 	m.st.Rounds++
 	curPrio := m.curBkt * o.Cfg.Delta
-	for _, u := range m.updaters {
+	for _, u := range m.ups {
 		u.curBin, u.curPrio = m.curBkt, curPrio
 	}
-	var updated []uint32
-	switch {
-	case o.Cfg.Strategy == LazyConstantSum:
-		updated = o.lazyConstantSumRound(frontier, curPrio, m.hist, m.updaters, &m.st)
-	case o.Cfg.Direction == DensePull:
-		updated = o.lazyPullRound(frontier, m.inFron, m.nextMap, m.updaters)
-	default:
-		updated = o.lazyPushRound(frontier, m.updaters)
-		m.dedup.ResetList(updated)
-	}
-	for _, u := range m.updaters {
+	updated, pull := m.trav.relax(m.curBkt, curPrio, frontier)
+	for _, u := range m.ups {
 		m.st.Relaxations += u.relaxations
 		m.st.Inversions += u.inversions
 		m.st.Processed += u.processed
-		u.relaxations, u.inversions, u.processed = 0, 0, 0
+		u.relaxations, u.inversions, u.processed, u.fused = 0, 0, 0, 0
+	}
+	if pull {
+		m.st.PullRounds++
 	}
 	m.st.GlobalSyncs++
-	m.lz.UpdateBuckets(updated)
+	m.src.update(updated)
 	m.popped = false
 	m.frontier = nil
 }
@@ -174,7 +149,7 @@ func (m *Manual) ApplyUpdatePriority(frontier []uint32, f EdgeFunc) {
 // Stats returns counters accumulated so far.
 func (m *Manual) Stats() Stats {
 	st := m.st
-	st.BucketInserts = m.lz.Inserts
-	st.WindowAdvances = m.lz.Rebuckets
+	st.BucketInserts = m.src.lz.Inserts
+	st.WindowAdvances = m.src.lz.Rebuckets
 	return st
 }

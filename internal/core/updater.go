@@ -33,6 +33,7 @@ type Updater struct {
 	relaxations int64
 	inversions  int64
 	processed   int64
+	fused       int64
 }
 
 // GetCurrentPriority returns the priority of the bucket being processed —

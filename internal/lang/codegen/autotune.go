@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,8 +15,10 @@ import (
 // concrete graph (paper §5.3): candidates are evaluated by executing the
 // plan, and the winner is returned along with its scheduling-language
 // rendering, ready to paste into the program's schedule block. The plan's
-// schedule for the ordered loop's label is left set to the winner.
-func (p *Plan) Autotune(opt ExecOptions, tune autotune.Options) (*autotune.Result, string, error) {
+// schedule for the ordered loop's label is left set to the winner. The
+// context bounds the whole search: cancellation is observed between trials,
+// and each trial's executions run under it.
+func (p *Plan) Autotune(ctx context.Context, opt ExecOptions, tune autotune.Options) (*autotune.Result, string, error) {
 	loop := p.Analysis.Loop
 	if loop == nil || loop.ExternDriven {
 		return nil, "", fmt.Errorf("codegen: autotuning requires a compilable ordered loop")
@@ -65,7 +68,10 @@ func (p *Plan) Autotune(opt ExecOptions, tune autotune.Options) (*autotune.Resul
 	}
 
 	prev, hadPrev := p.Schedules[label]
-	measure := func(cfg core.Config) (time.Duration, error) {
+	measure := func(ctx context.Context, cfg core.Config) (time.Duration, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		p.Schedules[label] = labelScheduleFromConfig(label, cfg)
 		start := time.Now()
 		if _, err := p.Execute(opt); err != nil {
@@ -73,7 +79,7 @@ func (p *Plan) Autotune(opt ExecOptions, tune autotune.Options) (*autotune.Resul
 		}
 		return time.Since(start), nil
 	}
-	res, err := autotune.Tune(space, measure, tune)
+	res, err := autotune.Tune(ctx, space, measure, tune)
 	if hadPrev {
 		p.Schedules[label] = prev
 	} else {

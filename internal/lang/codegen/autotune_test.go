@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestPlanAutotuneSSSP(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := planGraph(t)
-	res, text, err := plan.Autotune(ExecOptions{
+	res, text, err := plan.Autotune(context.Background(), ExecOptions{
 		Graph: g,
 		Argv:  []string{"sssp", "-", "1"},
 	}, autotune.Options{MaxTrials: 12, Seed: 3})
@@ -56,7 +57,7 @@ func TestPlanAutotuneKCoreNoCoarsening(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := planSymGraph(t)
-	res, text, err := plan.Autotune(ExecOptions{
+	res, text, err := plan.Autotune(context.Background(), ExecOptions{
 		Graph: g,
 		Argv:  []string{"kcore", "-"},
 	}, autotune.Options{MaxTrials: 10, Seed: 4})
@@ -89,7 +90,7 @@ func TestPlanAutotuneRejectsExternLoops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := plan.Autotune(ExecOptions{Graph: planSymGraph(t), Argv: []string{"sc", "-"}}, autotune.Options{MaxTrials: 3}); err == nil {
+	if _, _, err := plan.Autotune(context.Background(), ExecOptions{Graph: planSymGraph(t), Argv: []string{"sc", "-"}}, autotune.Options{MaxTrials: 3}); err == nil {
 		t.Fatal("extern-driven loop should not be tunable")
 	}
 }

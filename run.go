@@ -1,6 +1,8 @@
 package graphit
 
 import (
+	"context"
+
 	"graphit/internal/bucket"
 	"graphit/internal/core"
 )
@@ -34,10 +36,49 @@ type Ordered = core.Ordered
 
 // RunOrdered executes op under schedule s and returns execution counters.
 func RunOrdered(op *Ordered, s Schedule) (Stats, error) {
+	return RunOrderedContext(context.Background(), op, s)
+}
+
+// RunOrderedContext executes op under schedule s and context ctx. The
+// engine checks ctx cooperatively at every round barrier: a cancelled or
+// expired context halts the run within one round and returns the partial
+// Stats accumulated so far together with ctx.Err().
+func RunOrderedContext(ctx context.Context, op *Ordered, s Schedule) (Stats, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return Stats{}, err
 	}
 	op.Cfg = cfg
-	return op.Run()
+	return op.RunContext(ctx)
 }
+
+// Tracer observes engine execution with structured per-round events
+// (bucket id, frontier size, relaxations, fused iterations, wall time).
+// Attach one via the Ordered.Trace field or WithTracer.
+type Tracer = core.Tracer
+
+// RunInfo is the run-level trace record emitted before the first round.
+type RunInfo = core.RunInfo
+
+// RoundEvent is one per-round trace record.
+type RoundEvent = core.RoundEvent
+
+// NopTracer is the zero-cost default Tracer.
+type NopTracer = core.NopTracer
+
+// MemTracer records trace events in memory (tests, the autotuner).
+type MemTracer = core.MemTracer
+
+// NewJSONTracer returns a Tracer writing one JSON object per line per event
+// — the format behind `cmd/ordered -trace`.
+var NewJSONTracer = core.NewJSONTracer
+
+// WithTracer returns a context carrying t; runs started with that context
+// (RunOrderedContext, the algo Context entry points) report to it unless the
+// operator sets an explicit Trace.
+func WithTracer(ctx context.Context, t Tracer) context.Context {
+	return core.WithTracer(ctx, t)
+}
+
+// TracerFrom extracts the Tracer installed by WithTracer, if any.
+func TracerFrom(ctx context.Context) (Tracer, bool) { return core.TracerFrom(ctx) }
