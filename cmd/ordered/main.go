@@ -62,15 +62,19 @@ func main() {
 		Weighted: true, InEdges: true, Symmetrize: *symmetrize,
 	})
 	fatal(err)
-	if *workers > 0 {
-		graphit.SetWorkers(*workers)
-	}
 	sched := graphit.DefaultSchedule().
 		ConfigApplyPriorityUpdate(*strategy).
 		ConfigApplyPriorityUpdateDelta(*delta).
 		ConfigBucketFusionThreshold(*threshold).
 		ConfigNumBuckets(*numBuckets).
 		ConfigApplyDirection(*direction)
+	if *workers > 0 {
+		// Ordered runs size their own executor from the schedule's worker
+		// count; the global override remains for the unordered baselines,
+		// which use the package-level loops.
+		sched = sched.ConfigNumWorkers(*workers)
+		graphit.SetWorkers(*workers)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

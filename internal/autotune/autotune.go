@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"graphit/internal/core"
@@ -100,7 +101,10 @@ var grains = []int{0, 16, 64, 256, 1024}
 // duration for ranking. The context is the one given to Tune: measurements
 // should pass it down so a cancellation or deadline halts the run inside
 // the current trial rather than after it, and so a core.Tracer carried by
-// the context reaches each trial's engine rounds.
+// the context reaches each trial's engine rounds. With Options.Parallel > 1
+// the function is called from that many goroutines at once and must be safe
+// for concurrent use — engine runs are (each sizes its own executor from
+// Cfg.Workers), so a Measure that only runs the operator needs no locking.
 type Measure func(ctx context.Context, cfg core.Config) (time.Duration, error)
 
 // Options bound the search.
@@ -112,6 +116,11 @@ type Options struct {
 	// Repeats per candidate (default 1; the best time is kept).
 	Repeats int
 	Seed    int64
+	// Parallel evaluates up to this many candidates concurrently (default 1
+	// = serial). Concurrent trials contend for cores, so measured times are
+	// noisier; use it when trading per-trial fidelity for search throughput
+	// (e.g. counter-based Measure functions, or wide machines).
+	Parallel int
 }
 
 // Trial records one evaluated candidate.
@@ -151,32 +160,56 @@ func Tune(ctx context.Context, space Space, measure Measure, opt Options) (*Resu
 		space.Strategies = append(append([]core.Strategy{}, space.Strategies...), core.LazyConstantSum)
 	}
 
+	if opt.Parallel <= 0 {
+		opt.Parallel = 1
+	}
 	start := time.Now()
 	res := &Result{Cost: 1<<63 - 1}
 	seen := map[Candidate]bool{}
+
+	// evalBatch measures a batch of candidates — concurrently when
+	// opt.Parallel > 1, which is safe because every engine run executes on
+	// its own fixed-size executor — and folds the outcomes into res in
+	// batch order, keeping results deterministic for a given seed.
+	evalBatch := func(cands []Candidate) {
+		costs := make([]time.Duration, len(cands))
+		errs := make([]error, len(cands))
+		var wg sync.WaitGroup
+		for i := range cands {
+			wg.Add(1)
+			go func(i int, c Candidate) {
+				defer wg.Done()
+				best := time.Duration(1<<63 - 1)
+				var err error
+				for r := 0; r < opt.Repeats; r++ {
+					var d time.Duration
+					d, err = measure(ctx, c.Config())
+					if err != nil {
+						break
+					}
+					if d < best {
+						best = d
+					}
+				}
+				costs[i], errs[i] = best, err
+			}(i, cands[i])
+		}
+		wg.Wait()
+		for i, c := range cands {
+			res.Trials = append(res.Trials, Trial{Candidate: c, Cost: costs[i], Err: errs[i]})
+			if errs[i] == nil && costs[i] < res.Cost {
+				res.Cost = costs[i]
+				res.Best = c
+			}
+		}
+	}
 
 	evaluate := func(c Candidate) {
 		if ctx.Err() != nil || seen[c] {
 			return
 		}
 		seen[c] = true
-		best := time.Duration(1<<63 - 1)
-		var err error
-		for r := 0; r < opt.Repeats; r++ {
-			var d time.Duration
-			d, err = measure(ctx, c.Config())
-			if err != nil {
-				break
-			}
-			if d < best {
-				best = d
-			}
-		}
-		res.Trials = append(res.Trials, Trial{Candidate: c, Cost: best, Err: err})
-		if err == nil && best < res.Cost {
-			res.Cost = best
-			res.Best = c
-		}
+		evalBatch([]Candidate{c})
 	}
 
 	random := func() Candidate {
@@ -227,12 +260,34 @@ func Tune(ctx context.Context, space Space, measure Measure, opt Options) (*Resu
 		if opt.Budget > 0 && time.Since(start) > opt.Budget {
 			break
 		}
-		// Ensemble: 40% random restart, 60% mutate the incumbent.
-		if res.Cost == 1<<63-1 || rng.Float64() < 0.4 {
-			evaluate(random())
-		} else {
-			evaluate(mutate(res.Best))
+		// Draw the next wave of unseen candidates (serially, so the rng
+		// stream is deterministic), then measure the wave concurrently.
+		// Ensemble: 40% random restart, 60% mutate the incumbent. A bounded
+		// number of consecutive already-seen draws ends the search early
+		// when the space is (nearly) exhausted.
+		want := opt.Parallel
+		if rem := opt.MaxTrials - len(res.Trials); want > rem {
+			want = rem
 		}
+		var wave []Candidate
+		for misses := 0; len(wave) < want && misses < 200; {
+			var c Candidate
+			if res.Cost == 1<<63-1 || rng.Float64() < 0.4 {
+				c = random()
+			} else {
+				c = mutate(res.Best)
+			}
+			if seen[c] {
+				misses++
+				continue
+			}
+			seen[c] = true
+			wave = append(wave, c)
+		}
+		if len(wave) == 0 {
+			break
+		}
+		evalBatch(wave)
 	}
 	if res.Cost == 1<<63-1 {
 		if err := ctx.Err(); err != nil {

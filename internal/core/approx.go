@@ -55,10 +55,9 @@ func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 	}
 	q.outstanding.Store(int64(len(active)))
 
-	w := o.Cfg.Workers
-	if w <= 0 {
-		w = parallel.Workers()
-	}
+	// The run's executor fixes the worker count up front (no global
+	// SetWorkers dependence) and parks its workers for reuse by later runs.
+	ex := parallel.Acquire(o.Cfg.Workers)
 	batch := o.Cfg.Grain
 	if batch <= 0 {
 		batch = parallel.DefaultGrain
@@ -67,80 +66,75 @@ func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 	var st Stats
 	var stMu sync.Mutex
 	var stopped atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for wk := 0; wk < w; wk++ {
-		go func() {
-			defer wg.Done()
-			u := &Updater{o: o, atomics: true}
-			var pending []approxItem
-			u.sink = func(v uint32, newPrio int64) {
-				pending = append(pending, approxItem{bin: o.bucketOf(newPrio), v: v})
+	ex.Run(func(_ int) {
+		u := &Updater{o: o, atomics: true}
+		var pending []approxItem
+		u.sink = func(v uint32, newPrio int64) {
+			pending = append(pending, approxItem{bin: o.bucketOf(newPrio), v: v})
+		}
+		var batches int64
+		buf := make([]uint32, 0, batch)
+		for {
+			if stopped.Load() {
+				break
 			}
-			var batches int64
-			buf := make([]uint32, 0, batch)
-			for {
-				if stopped.Load() {
+			if ctx.Err() != nil {
+				stopped.Store(true)
+				break
+			}
+			bin, items := q.popBatch(batch, buf[:0])
+			if len(items) == 0 {
+				if q.outstanding.Load() == 0 {
 					break
 				}
-				if ctx.Err() != nil {
-					stopped.Store(true)
-					break
-				}
-				bin, items := q.popBatch(batch, buf[:0])
-				if len(items) == 0 {
-					if q.outstanding.Load() == 0 {
-						break
-					}
-					runtime.Gosched()
-					continue
-				}
-				batches++
-				if o.Stop != nil && o.Stop(bin*o.Cfg.Delta) {
-					q.outstanding.Add(-int64(len(items)))
-					stopped.Store(true)
-					break
-				}
-				u.curBin, u.curPrio = bin, bin*o.Cfg.Delta
-				for _, v := range items {
-					// Approximate stale filter: skip vertices whose
-					// priority has moved to an earlier bucket (already
-					// handled); later buckets still get processed — the
-					// priority inversion Galois tolerates.
-					b := o.bucketOf(u.Priority(v))
-					if b != bucket.NullBkt && b >= bin {
-						u.processed++
-						wts := o.G.OutWts(v)
-						for i, d := range o.G.OutNeigh(v) {
-							var wt int32
-							if wts != nil {
-								wt = wts[i]
-							}
-							u.relaxations++
-							o.Apply(v, d, wt, u)
-						}
-						if b > bin {
-							u.inversions++
-						}
-					}
-				}
-				// Publish new work before retiring the batch, so outstanding
-				// can never read zero while work exists.
-				if len(pending) > 0 {
-					q.pushBatch(pending)
-					pending = pending[:0]
-				}
+				runtime.Gosched()
+				continue
+			}
+			batches++
+			if o.Stop != nil && o.Stop(bin*o.Cfg.Delta) {
 				q.outstanding.Add(-int64(len(items)))
+				stopped.Store(true)
+				break
 			}
-			stMu.Lock()
-			st.Relaxations += u.relaxations
-			st.Inversions += u.inversions
-			st.Processed += u.processed
-			st.Rounds += batches // "rounds" = batches: no global rounds exist
-			stMu.Unlock()
-		}()
-	}
-	wg.Wait()
+			u.curBin, u.curPrio = bin, bin*o.Cfg.Delta
+			for _, v := range items {
+				// Approximate stale filter: skip vertices whose
+				// priority has moved to an earlier bucket (already
+				// handled); later buckets still get processed — the
+				// priority inversion Galois tolerates.
+				b := o.bucketOf(u.Priority(v))
+				if b != bucket.NullBkt && b >= bin {
+					u.processed++
+					wts := o.G.OutWts(v)
+					for i, d := range o.G.OutNeigh(v) {
+						var wt int32
+						if wts != nil {
+							wt = wts[i]
+						}
+						u.relaxations++
+						o.Apply(v, d, wt, u)
+					}
+					if b > bin {
+						u.inversions++
+					}
+				}
+			}
+			// Publish new work before retiring the batch, so outstanding
+			// can never read zero while work exists.
+			if len(pending) > 0 {
+				q.pushBatch(pending)
+				pending = pending[:0]
+			}
+			q.outstanding.Add(-int64(len(items)))
+		}
+		stMu.Lock()
+		st.Relaxations += u.relaxations
+		st.Inversions += u.inversions
+		st.Processed += u.processed
+		st.Rounds += batches // "rounds" = batches: no global rounds exist
+		stMu.Unlock()
+	})
+	parallel.Release(ex)
 	st.BucketInserts = q.inserts
 	if err := ctx.Err(); err != nil {
 		return st, err

@@ -116,10 +116,10 @@ var directionByName = func() map[string]Direction {
 }()
 
 func (d Direction) String() string {
-	if d > 0 && int(d) < len(directionNames) {
+	if d >= 0 && int(d) < len(directionNames) {
 		return directionNames[d]
 	}
-	return "SparsePush"
+	return fmt.Sprintf("Direction(%d)", int(d))
 }
 
 // ParseDirection parses a scheduling-language direction name.

@@ -55,6 +55,7 @@ func (e *eagerBins) finish(st *Stats) {
 // 14–21).
 type eagerPush struct {
 	o      *Ordered
+	ex     *parallel.Executor
 	ups    []*Updater
 	bins   []*bucket.LocalBins
 	fusion bool
@@ -66,7 +67,7 @@ func (t *eagerPush) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool
 	o := t.o
 	t.cursor.Store(0)
 	fsize := len(frontier)
-	parallel.Run(func(worker int) {
+	t.ex.Run(func(worker int) {
 		u := t.ups[worker]
 		for {
 			lo := int(t.cursor.Add(int64(t.grain))) - t.grain
@@ -106,6 +107,7 @@ func (t *eagerPush) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool
 // 9(b)) — and land in the owning worker's bins.
 type eagerPull struct {
 	o      *Ordered
+	ex     *parallel.Executor
 	ups    []*Updater
 	inFron []bool
 	grain  int
@@ -123,7 +125,7 @@ func (t *eagerPull) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool
 		t.inFron[v] = true
 	}
 	n := o.G.NumVertices()
-	parallel.ForChunks(n, t.grain, func(lo, hi, worker int) {
+	t.ex.ForChunks(n, t.grain, func(lo, hi, worker int) {
 		u := t.ups[worker]
 		for v := lo; v < hi; v++ {
 			o.processPull(uint32(v), t.inFron, u)

@@ -36,12 +36,14 @@ type traversal interface {
 }
 
 // engine is one composed (bucketSource, traversal) pair plus the per-worker
-// updaters whose counters the round loop folds.
+// updaters whose counters the round loop folds. All parallel phases run on
+// ex, the run's private executor, whose fixed worker count sized ups.
 type engine struct {
 	o    *Ordered
 	src  bucketSource
 	trav traversal
 	ups  []*Updater
+	ex   *parallel.Executor
 }
 
 // Run executes the ordered operator to completion and returns its counters.
@@ -63,10 +65,6 @@ func (o *Ordered) RunContext(ctx context.Context) (Stats, error) {
 	default:
 		return Stats{}, fmt.Errorf("core: unknown strategy %d", int(o.Cfg.Strategy))
 	}
-	if o.Cfg.Workers > 0 {
-		prev := parallel.SetWorkers(o.Cfg.Workers)
-		defer parallel.SetWorkers(prev)
-	}
 	if o.FinalizeOnPop {
 		o.fin = atomicutil.NewFlags(o.G.NumVertices())
 	}
@@ -85,8 +83,14 @@ func (o *Ordered) RunContext(ctx context.Context) (Stats, error) {
 		return Stats{}, nil
 	}
 
+	// The run's private executor: a persistent worker pool with a count
+	// fixed at Cfg.Workers (default Workers()) for the whole run, so
+	// concurrent runs with different counts are isolated — no global
+	// SetWorkers override — and per-round parallel phases reuse parked
+	// workers instead of spawning goroutines.
+	ex := parallel.Acquire(o.Cfg.Workers)
 	sc := getScratch()
-	e := o.buildEngine(sc, active)
+	e := o.buildEngine(sc, ex, active)
 	if trace {
 		tr.RunStart(o.runInfo(len(active)))
 	}
@@ -97,8 +101,10 @@ func (o *Ordered) RunContext(ctx context.Context) (Stats, error) {
 		tr.RunEnd(st, runErr)
 	}
 	// Not deferred on purpose: if a user edge function panics mid-round the
-	// scratch state is dirty and must not be pooled.
+	// scratch state is dirty and must not be pooled, and the executor may
+	// still have the panicked phase in flight.
 	putScratch(sc)
+	parallel.Release(ex)
 	return st, runErr
 }
 
@@ -126,16 +132,18 @@ func (o *Ordered) runInfo(frontier int) RunInfo {
 }
 
 // buildEngine composes the (bucketSource, traversal) pair for the
-// configured schedule and seeds it with the initial active set.
-func (o *Ordered) buildEngine(sc *scratch, active []uint32) *engine {
+// configured schedule and seeds it with the initial active set. Per-worker
+// state (updaters, bins) is sized from ex's immutable worker count, the
+// same count every traversal phase will run with.
+func (o *Ordered) buildEngine(sc *scratch, ex *parallel.Executor, active []uint32) *engine {
 	n := o.G.NumVertices()
-	w := parallel.Workers()
+	w := ex.Workers()
 	grain := o.Cfg.Grain
 	if grain <= 0 {
 		grain = parallel.DefaultGrain
 	}
 	ups := sc.getUpdaters(o, w)
-	e := &engine{o: o, ups: ups}
+	e := &engine{o: o, ups: ups, ex: ex}
 
 	switch o.Cfg.Strategy {
 	case EagerWithFusion, EagerNoFusion:
@@ -149,13 +157,13 @@ func (o *Ordered) buildEngine(sc *scratch, active []uint32) *engine {
 		e.src = &eagerBins{o: o, bins: bins, sc: sc}
 		if o.Cfg.Direction == DensePull {
 			inFron, _ := sc.getDense(n)
-			e.trav = &eagerPull{o: o, ups: ups, inFron: inFron, grain: grain}
+			e.trav = &eagerPull{o: o, ex: ex, ups: ups, inFron: inFron, grain: grain}
 		} else {
 			for _, u := range ups {
 				u.atomics = true
 			}
 			e.trav = &eagerPush{
-				o: o, ups: ups, bins: bins,
+				o: o, ex: ex, ups: ups, bins: bins,
 				fusion: o.Cfg.Strategy == EagerWithFusion,
 				grain:  grain,
 			}
@@ -165,11 +173,11 @@ func (o *Ordered) buildEngine(sc *scratch, active []uint32) *engine {
 			u.atomics = true
 		}
 		e.src = o.newLazySource(active)
-		e.trav = &constSumTrav{o: o, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain}
+		e.trav = &constSumTrav{o: o, ex: ex, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain}
 	default: // Lazy
 		e.src = o.newLazySource(active)
 		t := &lazyTrav{
-			o: o, sc: sc, ups: ups, grain: grain,
+			o: o, ex: ex, sc: sc, ups: ups, grain: grain,
 			pullThreshold: int64(o.G.NumEdges()) / 20,
 		}
 		if !o.Cfg.NoDedup {
@@ -252,13 +260,29 @@ func (o *Ordered) initialActive() ([]uint32, error) {
 	null := o.nullPrio()
 	if o.Sources != nil {
 		act := make([]uint32, 0, len(o.Sources))
+		// A repeated source would enter the bins/buckets twice and could be
+		// processed twice in the same bucket, inflating Processed and
+		// corrupting constant-sum counts; build the active set deduplicated.
+		var seen map[uint32]struct{}
+		if len(o.Sources) > 1 {
+			seen = make(map[uint32]struct{}, len(o.Sources))
+		}
 		for _, v := range o.Sources {
+			if int(v) >= len(o.Prio) {
+				return nil, fmt.Errorf("core: source vertex %d out of range (graph has %d vertices)", v, len(o.Prio))
+			}
 			p := o.Prio[v]
 			if p == null {
 				continue
 			}
 			if p < 0 {
 				return nil, fmt.Errorf("core: vertex %d has negative priority %d (priorities must be non-negative)", v, p)
+			}
+			if seen != nil {
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
 			}
 			act = append(act, v)
 		}

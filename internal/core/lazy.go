@@ -48,6 +48,7 @@ func (s *lazySource) finish(st *Stats) {
 // optimizer, pulling when the frontier's out-degree volume exceeds |E|/20.
 type lazyTrav struct {
 	o             *Ordered
+	ex            *parallel.Executor
 	sc            *scratch
 	ups           []*Updater
 	dedup         *atomicutil.Flags // nil under configDeduplication off
@@ -92,7 +93,7 @@ func (t *lazyTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool)
 func (t *lazyTrav) pushRound(verts []uint32) []uint32 {
 	o := t.o
 	g := o.G
-	parallel.ForChunks(len(verts), t.grain, func(lo, hi, worker int) {
+	t.ex.ForChunks(len(verts), t.grain, func(lo, hi, worker int) {
 		u := t.ups[worker]
 		for _, v := range verts[lo:hi] {
 			u.processed++
@@ -128,14 +129,14 @@ func (t *lazyTrav) pullRound(verts []uint32) []uint32 {
 	for _, v := range verts {
 		t.inFron[v] = true
 	}
-	parallel.ForChunks(n, t.grain, func(lo, hi, worker int) {
+	t.ex.ForChunks(n, t.grain, func(lo, hi, worker int) {
 		u := t.ups[worker]
 		for v := lo; v < hi; v++ {
 			o.processPull(uint32(v), t.inFron, u)
 		}
 	})
-	ids := parallel.IotaU32(n)
-	updated := parallel.PackU32(ids, func(i int) bool { return t.nextMap[i] })
+	ids := t.ex.IotaU32(n)
+	updated := t.ex.PackU32(ids, func(i int) bool { return t.nextMap[i] })
 	for _, v := range verts {
 		t.inFron[v] = false
 	}
@@ -150,6 +151,7 @@ func (t *lazyTrav) pullRound(verts []uint32) []uint32 {
 // compiler-transformed UDF once per touched vertex.
 type constSumTrav struct {
 	o     *Ordered
+	ex    *parallel.Executor
 	sc    *scratch
 	ups   []*Updater
 	hist  *histogram.Counter
@@ -164,7 +166,7 @@ func (t *constSumTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, b
 			o.fin.TrySet(v)
 		}
 	}
-	parallel.ForChunks(len(frontier), t.grain, func(lo, hi, worker int) {
+	t.ex.ForChunks(len(frontier), t.grain, func(lo, hi, worker int) {
 		u := t.ups[worker]
 		for _, v := range frontier[lo:hi] {
 			u.processed++

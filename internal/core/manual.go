@@ -20,10 +20,12 @@ type Manual struct {
 	src  *lazySource
 	trav traversal
 	ups  []*Updater
+	ex   *parallel.Executor
 
 	curBkt   int64
 	frontier []uint32
 	popped   bool
+	closed   bool
 	st       Stats
 }
 
@@ -54,23 +56,39 @@ func NewManual(o *Ordered) (*Manual, error) {
 		grain = parallel.DefaultGrain
 	}
 	// Manual mode is long-lived (the user holds it across rounds), so its
-	// scratch is private, never pooled.
+	// scratch is private, never pooled. Its executor is acquired for the
+	// whole loop and returned by Close (or by the executor's finalizer if
+	// the Manual is simply dropped), and its fixed count sizes the
+	// per-worker updaters — the same race fix RunContext gets.
 	sc := &scratch{}
-	ups := sc.getUpdaters(o, parallel.Workers())
-	m := &Manual{o: o, src: o.newLazySource(active), ups: ups}
+	ex := parallel.Acquire(o.Cfg.Workers)
+	ups := sc.getUpdaters(o, ex.Workers())
+	m := &Manual{o: o, src: o.newLazySource(active), ups: ups, ex: ex}
 	if o.Cfg.Strategy == LazyConstantSum {
 		for _, u := range ups {
 			u.atomics = true
 		}
-		m.trav = &constSumTrav{o: o, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain}
+		m.trav = &constSumTrav{o: o, ex: ex, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain}
 	} else {
-		t := &lazyTrav{o: o, sc: sc, ups: ups, grain: grain, dedup: sc.getDedup(n)}
+		t := &lazyTrav{o: o, ex: ex, sc: sc, ups: ups, grain: grain, dedup: sc.getDedup(n)}
 		if o.Cfg.Direction == DensePull {
 			t.inFron, t.nextMap = sc.getDense(n)
 		}
 		m.trav = t
 	}
 	return m, nil
+}
+
+// Close releases the loop's executor back to the pool. The Manual remains
+// queryable (Stats, Finished) but must not apply further rounds. Close is
+// optional — an unclosed Manual's workers are reclaimed when it becomes
+// unreachable — and idempotent.
+func (m *Manual) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	parallel.Release(m.ex)
 }
 
 // ensurePopped extracts the next ready set if none is pending.

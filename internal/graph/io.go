@@ -179,59 +179,155 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a snapshot written by WriteBinary.
+// ReadBinary reads a snapshot written by WriteBinary. The header and every
+// CSR section are validated — dimension bounds, section sizes against the
+// stream length (when r is seekable), offset monotonicity, and neighbor id
+// range — so a corrupt or truncated file yields an error rather than a
+// panic or an absurd allocation.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	// With a seekable stream (the normal *os.File case) the byte budget is
+	// known up front, so a lying header is rejected before any allocation.
+	remaining := int64(-1)
+	if s, ok := r.(io.Seeker); ok {
+		if cur, err := s.Seek(0, io.SeekCurrent); err == nil {
+			end, err := s.Seek(0, io.SeekEnd)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := s.Seek(cur, io.SeekStart); err != nil {
+				return nil, err
+			}
+			remaining = end - cur
+		}
+	}
 	br := bufio.NewReader(r)
 	var hdr [4]uint64
 	for i := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("graph: truncated binary header: %w", err)
 		}
 	}
 	if hdr[0] != binaryMagic {
 		return nil, fmt.Errorf("graph: bad binary magic %#x", hdr[0])
 	}
-	n, m, flags := int(hdr[1]), int(hdr[2]), hdr[3]
-	g := &Graph{
-		n: n, m: m,
-		Off:       make([]int64, n+1),
-		Neigh:     make([]VertexID, m),
-		symmetric: flags&8 != 0,
+	nU, mU, flags := hdr[1], hdr[2], hdr[3]
+	if flags&^uint64(15) != 0 {
+		return nil, fmt.Errorf("graph: unknown binary flags %#x", flags)
 	}
-	read := func(dst any) error { return binary.Read(br, binary.LittleEndian, dst) }
-	if err := read(g.Off); err != nil {
+	// Vertex ids are uint32, so a valid snapshot can never exceed 2^32
+	// vertices; edges are bounded by the int64 offset range with 4 bytes
+	// per stored neighbor.
+	const maxVerts = int64(1) << 32
+	if nU > uint64(maxVerts) {
+		return nil, fmt.Errorf("graph: binary header claims %d vertices (max %d)", nU, maxVerts)
+	}
+	if mU > uint64(1)<<56 {
+		return nil, fmt.Errorf("graph: binary header claims %d edges", mU)
+	}
+	n, m := int(nU), int(mU)
+	if remaining >= 0 {
+		need := int64(32) + 8*int64(n+1) + 4*int64(m) // header + Off + Neigh
+		if flags&1 != 0 {
+			need += 4 * int64(m) // Wts
+		}
+		if flags&2 != 0 {
+			need += 8*int64(n+1) + 4*int64(m) // InOff + InNeigh
+			if flags&1 != 0 {
+				need += 4 * int64(m) // InWts
+			}
+		}
+		if flags&4 != 0 {
+			need += 8 * int64(n) // Coord
+		}
+		if need != remaining {
+			return nil, fmt.Errorf("graph: binary snapshot is %d bytes, header implies %d (truncated or corrupt)", remaining, need)
+		}
+	}
+	g := &Graph{n: n, m: m, symmetric: flags&8 != 0}
+	var err error
+	if g.Off, err = readSection[int64](br, n+1, "Off"); err != nil {
 		return nil, err
 	}
-	if err := read(g.Neigh); err != nil {
+	if g.Neigh, err = readSection[VertexID](br, m, "Neigh"); err != nil {
+		return nil, err
+	}
+	if err := validateCSR(g.Off, g.Neigh, n, m, "out"); err != nil {
 		return nil, err
 	}
 	if flags&1 != 0 {
-		g.Wts = make([]Weight, m)
-		if err := read(g.Wts); err != nil {
+		if g.Wts, err = readSection[Weight](br, m, "Wts"); err != nil {
 			return nil, err
 		}
 	}
 	if flags&2 != 0 {
-		g.InOff = make([]int64, n+1)
-		g.InNeigh = make([]VertexID, m)
-		if err := read(g.InOff); err != nil {
+		if g.InOff, err = readSection[int64](br, n+1, "InOff"); err != nil {
 			return nil, err
 		}
-		if err := read(g.InNeigh); err != nil {
+		if g.InNeigh, err = readSection[VertexID](br, m, "InNeigh"); err != nil {
+			return nil, err
+		}
+		if err := validateCSR(g.InOff, g.InNeigh, n, m, "in"); err != nil {
 			return nil, err
 		}
 		if flags&1 != 0 {
-			g.InWts = make([]Weight, m)
-			if err := read(g.InWts); err != nil {
+			if g.InWts, err = readSection[Weight](br, m, "InWts"); err != nil {
 				return nil, err
 			}
 		}
 	}
 	if flags&4 != 0 {
-		g.Coord = make([]Point, n)
-		if err := read(g.Coord); err != nil {
+		if g.Coord, err = readSection[Point](br, n, "Coord"); err != nil {
 			return nil, err
 		}
 	}
 	return g, nil
+}
+
+// readSection reads count fixed-size values in bounded chunks, so that when
+// the stream length is unknown (non-seekable reader) a lying header hits a
+// truncation error after at most one chunk instead of forcing an up-front
+// allocation sized by the claim.
+func readSection[T any](br io.Reader, count int, name string) ([]T, error) {
+	const maxChunk = 1 << 16
+	first := count
+	if first > maxChunk {
+		first = maxChunk
+	}
+	out := make([]T, 0, first)
+	for count > 0 {
+		c := count
+		if c > maxChunk {
+			c = maxChunk
+		}
+		chunk := make([]T, c)
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("graph: truncated binary section %s: %w", name, err)
+		}
+		out = append(out, chunk...)
+		count -= c
+	}
+	return out, nil
+}
+
+// validateCSR checks the structural invariants of one CSR half: offsets
+// start at 0, never decrease, end exactly at m, and every neighbor id names
+// a real vertex.
+func validateCSR(off []int64, neigh []VertexID, n, m int, kind string) error {
+	if off[0] != 0 {
+		return fmt.Errorf("graph: %s-CSR offsets start at %d, want 0", kind, off[0])
+	}
+	for v := 1; v <= n; v++ {
+		if off[v] < off[v-1] {
+			return fmt.Errorf("graph: %s-CSR offsets decrease at vertex %d (%d < %d)", kind, v, off[v], off[v-1])
+		}
+	}
+	if off[n] != int64(m) {
+		return fmt.Errorf("graph: %s-CSR offsets end at %d, want %d edges", kind, off[n], m)
+	}
+	for i, d := range neigh {
+		if int64(d) >= int64(n) {
+			return fmt.Errorf("graph: %s-CSR edge %d targets vertex %d (graph has %d vertices)", kind, i, d, n)
+		}
+	}
+	return nil
 }

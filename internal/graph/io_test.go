@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// validSnapshot builds a weighted graph with in-edges and coordinates and
+// returns its binary snapshot bytes. Layout for n=3, m=3 (all sections
+// present, flags=7): header [magic n m flags] at 0..31, Off (4×int64) at
+// 32..63, Neigh (3×uint32) at 64..75, then Wts, InOff, InNeigh, InWts,
+// Coord.
+func validSnapshot(t *testing.T) []byte {
+	t.Helper()
+	g, err := Build([]Edge{{0, 1, 5}, {1, 2, 3}, {2, 0, 4}}, BuildOptions{
+		Weighted: true, InEdges: true,
+		Coords: []Point{{0, 0}, {10, 0}, {0, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func putU64(data []byte, off int, v uint64) {
+	binary.LittleEndian.PutUint64(data[off:], v)
+}
+
+// TestReadBinaryCorruptInputs feeds ReadBinary a table of corrupted and
+// truncated snapshots. Every case must return an error — never panic and
+// never attempt an allocation sized by a lying header — on both a seekable
+// reader (size pre-check path) and a plain stream (chunked-read path).
+func TestReadBinaryCorruptInputs(t *testing.T) {
+	valid := validSnapshot(t)
+	cases := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+		// seekOnly marks corruption only the seekable size pre-check can
+		// see: a plain stream never reads past the last section, so bytes
+		// dangling after it are invisible there.
+		seekOnly bool
+	}{
+		{name: "empty", corrupt: func(d []byte) []byte { return nil }},
+		{name: "truncated mid-header", corrupt: func(d []byte) []byte { return d[:20] }},
+		{name: "truncated mid-Off", corrupt: func(d []byte) []byte { return d[:40] }},
+		{name: "truncated mid-Neigh", corrupt: func(d []byte) []byte { return d[:66] }},
+		{name: "truncated last byte", corrupt: func(d []byte) []byte { return d[:len(d)-1] }},
+		{name: "one trailing byte", corrupt: func(d []byte) []byte { return append(d, 0) }, seekOnly: true},
+		{name: "bad magic", corrupt: func(d []byte) []byte {
+			putU64(d, 0, 0xdeadbeef)
+			return d
+		}},
+		{name: "unknown flag bit", corrupt: func(d []byte) []byte {
+			putU64(d, 24, binary.LittleEndian.Uint64(d[24:])|0x10)
+			return d
+		}},
+		{name: "absurd vertex count", corrupt: func(d []byte) []byte {
+			putU64(d, 8, 1<<40)
+			return d
+		}},
+		{name: "absurd edge count", corrupt: func(d []byte) []byte {
+			putU64(d, 16, 1<<57)
+			return d
+		}},
+		// A header that lies plausibly: n passes the dimension bound but the
+		// stream holds nowhere near the implied bytes. The seekable path
+		// rejects it by size; the stream path must hit truncation after at
+		// most one bounded chunk instead of allocating gigabytes up front.
+		{name: "plausible lying vertex count", corrupt: func(d []byte) []byte {
+			putU64(d, 8, 1<<28)
+			return d
+		}},
+		{name: "plausible lying edge count", corrupt: func(d []byte) []byte {
+			putU64(d, 16, 1<<30)
+			return d
+		}},
+		{name: "negative offset", corrupt: func(d []byte) []byte {
+			putU64(d, 40, ^uint64(0)) // Off[1] = -1 < Off[0] = 0
+			return d
+		}},
+		{name: "offsets exceed edges", corrupt: func(d []byte) []byte {
+			putU64(d, 56, 4) // Off[3] = 4 but m = 3
+			return d
+		}},
+		{name: "neighbor out of range", corrupt: func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[64:], 0xFFFFFFFF) // Neigh[0]
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.corrupt(append([]byte(nil), valid...))
+			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Error("seekable reader: expected an error, got a graph")
+			}
+			if tc.seekOnly {
+				return
+			}
+			// Hide the Seeker so the size pre-check cannot run and the
+			// chunked section reads must catch the corruption themselves.
+			if _, err := ReadBinary(struct{ io.Reader }{bytes.NewReader(data)}); err == nil {
+				t.Error("plain stream: expected an error, got a graph")
+			}
+		})
+	}
+
+	// The untouched snapshot still reads back through both paths.
+	for _, mk := range []func() io.Reader{
+		func() io.Reader { return bytes.NewReader(valid) },
+		func() io.Reader { return struct{ io.Reader }{bytes.NewReader(valid)} },
+	} {
+		g, err := ReadBinary(mk())
+		if err != nil {
+			t.Fatalf("valid snapshot rejected: %v", err)
+		}
+		if g.NumVertices() != 3 || g.NumEdges() != 3 || !g.HasInEdges() || !g.HasCoords() {
+			t.Fatalf("valid snapshot misread: %v", g)
+		}
+	}
+}

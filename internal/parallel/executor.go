@@ -1,0 +1,312 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor is a persistent pool of parked worker goroutines with a fixed,
+// immutable worker count. It provides the same loop primitives as the
+// package-level functions (Run, For, ForChunks, ForStatic, and the
+// scan/pack helpers), but bound to its own workers: the count never changes
+// after construction, so callers that size per-worker state from Workers()
+// cannot race with a concurrent SetWorkers, and repeated invocations reuse
+// the same parked goroutines instead of spawning a fresh set per call —
+// the persistent-thread-pool execution model of the OpenMP/Cilk runtimes
+// the paper's generated code runs on.
+//
+// One invocation (Run/ForChunks/...) executes at a time on an executor's
+// pooled workers; the calling goroutine participates as worker 0 and the
+// remaining w-1 workers park on their dispatch channels between calls. If
+// an invocation arrives while another is in flight — concurrent callers
+// sharing the default executor, or a loop body re-entering its own
+// executor — it transparently degrades to transient goroutines, which is
+// exactly the old spawn-per-call behavior, so nesting and sharing remain
+// safe (just not accelerated).
+type Executor struct {
+	w   int
+	chs []chan func(worker int)
+	sh  *execShared
+
+	mu     sync.Mutex // serializes pooled invocations; guards closed
+	closed bool
+}
+
+// execShared is the state shared between an executor and its workers. It is
+// deliberately a separate allocation: workers hold only this and their
+// channel, so an abandoned Executor can become unreachable (and its
+// finalizer close the workers down) even while they are parked.
+type execShared struct {
+	wg sync.WaitGroup
+}
+
+// NewExecutor returns an executor with w persistent workers. w <= 0 sizes
+// it from Workers(). The workers are reclaimed by Close, or by a finalizer
+// if the executor is dropped without one.
+func NewExecutor(w int) *Executor {
+	if w <= 0 {
+		w = Workers()
+	}
+	e := &Executor{w: w}
+	if w > 1 {
+		e.sh = &execShared{}
+		e.chs = make([]chan func(worker int), w-1)
+		for i := range e.chs {
+			// Buffer 1 so dispatch never blocks on worker wakeup: the
+			// invocation protocol guarantees the previous task was joined
+			// (sh.wg) before the next send, so the slot is always free.
+			ch := make(chan func(worker int), 1)
+			e.chs[i] = ch
+			go executorWorker(i+1, ch, e.sh)
+		}
+		runtime.SetFinalizer(e, (*Executor).finalize)
+	}
+	return e
+}
+
+// finalize is the backstop for executors dropped without Close (e.g. an
+// abandoned Manual run). It must not block the finalizer goroutine, so a
+// mutex left locked by a panicked invocation makes it give up — those
+// workers leak, as the transient goroutines of a panicked spawn always did.
+func (e *Executor) finalize() {
+	if !e.mu.TryLock() {
+		return
+	}
+	if !e.closed {
+		e.closed = true
+		for _, ch := range e.chs {
+			close(ch)
+		}
+	}
+	e.mu.Unlock()
+}
+
+func executorWorker(worker int, ch <-chan func(worker int), sh *execShared) {
+	for fn := range ch {
+		fn(worker)
+		sh.wg.Done()
+	}
+}
+
+// Workers returns the executor's fixed worker count.
+func (e *Executor) Workers() int { return e.w }
+
+// Close parks the executor permanently: its worker goroutines exit and
+// later invocations fall back to transient goroutines. Close is idempotent
+// and waits for an in-flight invocation to finish first.
+func (e *Executor) Close() {
+	if e.w <= 1 {
+		return
+	}
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for _, ch := range e.chs {
+			close(ch)
+		}
+	}
+	e.mu.Unlock()
+	runtime.SetFinalizer(e, nil)
+}
+
+// spawnRun is the transient fallback: the historical spawn-per-call
+// parallel region, used when an executor is busy, closed, or absent.
+func spawnRun(w int, fn func(worker int)) {
+	if w <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(worker int) {
+			defer wg.Done()
+			fn(worker)
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// Run executes fn(worker) once on each of the executor's workers and waits
+// for all of them — an OpenMP parallel region on persistent threads. The
+// caller's goroutine runs worker 0.
+func (e *Executor) Run(fn func(worker int)) {
+	if e.w <= 1 {
+		fn(0)
+		return
+	}
+	if !e.mu.TryLock() {
+		spawnRun(e.w, fn)
+		return
+	}
+	if e.closed {
+		e.mu.Unlock()
+		spawnRun(e.w, fn)
+		return
+	}
+	e.sh.wg.Add(e.w - 1)
+	for _, ch := range e.chs {
+		ch <- fn
+	}
+	fn(0)
+	e.sh.wg.Wait()
+	e.mu.Unlock()
+}
+
+// ForChunks divides [0, n) into chunks of at most grain iterations and
+// hands each chunk to body(lo, hi, worker) using dynamic (atomic-counter)
+// scheduling, on the executor's workers.
+func (e *Executor) ForChunks(n, grain int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if e.w <= 1 || n <= grain {
+		body(0, n, 0)
+		return
+	}
+	var next atomic.Int64
+	e.Run(func(worker int) {
+		for {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi, worker)
+		}
+	})
+}
+
+// ForStatic divides [0, n) into Workers() contiguous slabs, one per worker.
+func (e *Executor) ForStatic(n int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.w
+	if w <= 1 {
+		body(0, n, 0)
+		return
+	}
+	per := (n + w - 1) / w
+	e.Run(func(worker int) {
+		lo := worker * per
+		hi := lo + per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			body(lo, hi, worker)
+		}
+	})
+}
+
+// For runs body(i) for every i in [0, n) with dynamic scheduling and
+// DefaultGrain.
+func (e *Executor) For(n int, body func(i int)) {
+	e.ForGrain(n, DefaultGrain, body)
+}
+
+// ForGrain is For with an explicit grain size.
+func (e *Executor) ForGrain(n, grain int, body func(i int)) {
+	e.ForChunks(n, grain, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// executorPool recycles executors between engine runs, keyed by worker
+// count, so back-to-back runs (autotune trials, PPSP query batches) reuse
+// parked workers instead of spawning a pool per run. Executors evicted at
+// the cap are closed; abandoned ones are reclaimed by their finalizer.
+var executorPool = struct {
+	mu   sync.Mutex
+	free map[int][]*Executor
+}{free: make(map[int][]*Executor)}
+
+// maxPooledExecutors bounds the free list per worker count; it caps parked
+// goroutines at maxPooledExecutors*(w-1) per distinct count while letting
+// that many runs proceed concurrently without construction cost.
+const maxPooledExecutors = 8
+
+// Acquire checks an executor with w workers out of the pool (w <= 0 =
+// Workers()), constructing one if none is free. Pair with Release.
+func Acquire(w int) *Executor {
+	if w <= 0 {
+		w = Workers()
+	}
+	executorPool.mu.Lock()
+	if list := executorPool.free[w]; len(list) > 0 {
+		e := list[len(list)-1]
+		list[len(list)-1] = nil
+		executorPool.free[w] = list[:len(list)-1]
+		executorPool.mu.Unlock()
+		return e
+	}
+	executorPool.mu.Unlock()
+	return NewExecutor(w)
+}
+
+// Release returns an executor obtained from Acquire to the pool. Closed
+// executors and executors still mid-invocation (possible only if a loop
+// body panicked past its join) are dropped instead of pooled.
+func Release(e *Executor) {
+	if e == nil {
+		return
+	}
+	if e.w <= 1 {
+		return
+	}
+	if !e.mu.TryLock() {
+		return
+	}
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	executorPool.mu.Lock()
+	if len(executorPool.free[e.w]) < maxPooledExecutors {
+		executorPool.free[e.w] = append(executorPool.free[e.w], e)
+		e = nil
+	}
+	executorPool.mu.Unlock()
+	if e != nil {
+		e.Close()
+	}
+}
+
+// defaultExec backs the package-level loop functions: one shared executor
+// sized to the current Workers() value, rebuilt when SetWorkers changes it.
+var defaultExec atomic.Pointer[Executor]
+
+func defaultExecutor() *Executor {
+	w := Workers()
+	for {
+		e := defaultExec.Load()
+		if e != nil && e.w == w {
+			return e
+		}
+		ne := NewExecutor(w)
+		if defaultExec.CompareAndSwap(e, ne) {
+			if e != nil {
+				// In-flight invocations on the old executor finish first
+				// (Close takes the invocation lock); racers that already
+				// loaded it degrade to transient goroutines.
+				e.Close()
+			}
+			return ne
+		}
+		ne.Close()
+	}
+}

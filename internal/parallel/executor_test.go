@@ -1,0 +1,256 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestExecutorWorkerIDStability: every invocation hands out each worker id
+// in [0, w) exactly once, invocation after invocation — the property the
+// engine's ups[worker] indexing depends on.
+func TestExecutorWorkerIDStability(t *testing.T) {
+	const w = 4
+	e := NewExecutor(w)
+	defer e.Close()
+	if e.Workers() != w {
+		t.Fatalf("Workers() = %d, want %d", e.Workers(), w)
+	}
+	for round := 0; round < 50; round++ {
+		var hits [w]atomic.Int64
+		e.Run(func(worker int) {
+			if worker < 0 || worker >= w {
+				t.Errorf("round %d: worker id %d out of [0,%d)", round, worker, w)
+				return
+			}
+			hits[worker].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("round %d: worker %d ran %d times, want 1", round, i, got)
+			}
+		}
+	}
+}
+
+// TestExecutorFixedCountIgnoresSetWorkers: an executor's count is immutable;
+// a concurrent SetWorkers override must not change how many workers its
+// invocations see. This is the global-state race the engine used to have.
+func TestExecutorFixedCountIgnoresSetWorkers(t *testing.T) {
+	e := NewExecutor(3)
+	defer e.Close()
+	prev := SetWorkers(7)
+	defer SetWorkers(prev)
+	var max atomic.Int64
+	var count atomic.Int64
+	e.Run(func(worker int) {
+		count.Add(1)
+		for {
+			cur := max.Load()
+			if int64(worker) <= cur || max.CompareAndSwap(cur, int64(worker)) {
+				return
+			}
+		}
+	})
+	if count.Load() != 3 {
+		t.Errorf("%d workers ran, want 3 despite SetWorkers(7)", count.Load())
+	}
+	if max.Load() != 2 {
+		t.Errorf("max worker id %d, want 2", max.Load())
+	}
+}
+
+// TestExecutorReuseAcrossRounds: repeated invocations reuse the parked
+// workers — the goroutine count does not grow with invocations.
+func TestExecutorReuseAcrossRounds(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	e.Run(func(int) {}) // warm up
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		e.ForChunks(10_000, 64, func(lo, hi, worker int) {})
+	}
+	// A tolerance of a few absorbs unrelated runtime goroutines; per-round
+	// spawning would add hundreds.
+	if after := runtime.NumGoroutine(); after > before+3 {
+		t.Errorf("goroutines grew from %d to %d across 200 rounds", before, after)
+	}
+}
+
+// TestExecutorForChunksCoverage: dynamic chunking visits every index exactly
+// once with in-range worker ids.
+func TestExecutorForChunksCoverage(t *testing.T) {
+	const n = 10_000
+	e := NewExecutor(5)
+	defer e.Close()
+	visits := make([]atomic.Int32, n)
+	e.ForChunks(n, 7, func(lo, hi, worker int) {
+		if worker < 0 || worker >= 5 {
+			t.Errorf("worker id %d out of range", worker)
+		}
+		for i := lo; i < hi; i++ {
+			visits[i].Add(1)
+		}
+	})
+	for i := range visits {
+		if v := visits[i].Load(); v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+// TestExecutorForStaticSlabs: static scheduling covers [0, n) in disjoint
+// per-worker slabs.
+func TestExecutorForStaticSlabs(t *testing.T) {
+	const n = 1001
+	e := NewExecutor(4)
+	defer e.Close()
+	owner := make([]atomic.Int32, n)
+	e.ForStatic(n, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			owner[i].Add(int32(worker) + 1)
+		}
+	})
+	seen := map[int32]bool{}
+	for i := range owner {
+		v := owner[i].Load()
+		if v < 1 || v > 4 {
+			t.Fatalf("index %d claimed by %d (want exactly one worker)", i, v-1)
+		}
+		seen[v-1] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("%d workers received slabs, want 4", len(seen))
+	}
+}
+
+// TestExecutorCloseSemantics: Close is idempotent, and invocations after
+// Close still complete correctly by falling back to transient goroutines.
+func TestExecutorCloseSemantics(t *testing.T) {
+	e := NewExecutor(4)
+	e.Close()
+	e.Close() // idempotent
+	var hits [4]atomic.Int64
+	e.Run(func(worker int) { hits[worker].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("after Close: worker %d ran %d times, want 1", i, got)
+		}
+	}
+	if e.Workers() != 4 {
+		t.Errorf("Workers() changed after Close: %d", e.Workers())
+	}
+}
+
+// TestExecutorConcurrentInvocations: callers racing for the same executor
+// all complete with full worker coverage (the loser degrades to transient
+// goroutines rather than deadlocking or corrupting the pooled dispatch).
+func TestExecutorConcurrentInvocations(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				var count atomic.Int64
+				e.Run(func(worker int) { count.Add(1) })
+				if count.Load() != 4 {
+					t.Errorf("concurrent Run saw %d workers, want 4", count.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestExecutorNestedInvocation: a loop body that re-enters its own executor
+// must not deadlock; the nested call runs on transient goroutines.
+func TestExecutorNestedInvocation(t *testing.T) {
+	e := NewExecutor(3)
+	defer e.Close()
+	var inner atomic.Int64
+	e.Run(func(worker int) {
+		e.Run(func(int) { inner.Add(1) })
+	})
+	if inner.Load() != 9 {
+		t.Errorf("nested Run bodies ran %d times, want 9", inner.Load())
+	}
+}
+
+// TestExecutorScanPack: the scan/pack methods agree with their serial
+// definitions on sizes that exercise the parallel paths.
+func TestExecutorScanPack(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	n := 1 << 15 // above PrefixSum's serial cutoff
+	xs := make([]int64, n)
+	var total int64
+	for i := range xs {
+		xs[i] = int64(i%5) - 1
+	}
+	want := make([]int64, n)
+	for i := range xs {
+		want[i] = total
+		total += xs[i]
+	}
+	if got := e.PrefixSum(xs); got != total {
+		t.Fatalf("PrefixSum total = %d, want %d", got, total)
+	}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("PrefixSum[%d] = %d, want %d", i, xs[i], want[i])
+		}
+	}
+
+	ids := e.IotaU32(n)
+	for i, v := range ids {
+		if v != uint32(i) {
+			t.Fatalf("IotaU32[%d] = %d", i, v)
+		}
+	}
+	kept := e.PackU32(ids, func(i int) bool { return i%3 == 0 })
+	if len(kept) != (n+2)/3 {
+		t.Fatalf("PackU32 kept %d, want %d", len(kept), (n+2)/3)
+	}
+	for i, v := range kept {
+		if v != uint32(i*3) {
+			t.Fatalf("PackU32[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+// TestAcquireReleaseReuse: the executor pool hands a released executor back
+// to the next acquirer of the same count, and sizes from Workers() when the
+// requested count is non-positive.
+func TestAcquireReleaseReuse(t *testing.T) {
+	a := Acquire(3)
+	if a.Workers() != 3 {
+		t.Fatalf("Acquire(3).Workers() = %d", a.Workers())
+	}
+	Release(a)
+	b := Acquire(3)
+	if a != b {
+		t.Error("Acquire after Release did not reuse the pooled executor")
+	}
+	Release(b)
+
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	c := Acquire(0)
+	if c.Workers() != 5 {
+		t.Errorf("Acquire(0) under SetWorkers(5) sized %d workers", c.Workers())
+	}
+	Release(c)
+
+	// A closed executor must not be pooled.
+	d := NewExecutor(3)
+	d.Close()
+	Release(d)
+	if got := Acquire(3); got == d {
+		t.Error("Release pooled a closed executor")
+	}
+}

@@ -6,6 +6,14 @@
 // the paper's C++ frameworks: a fixed pool of workers, each of which may keep
 // worker-local state (e.g. the thread-local bucket bins of the eager engine),
 // with explicit barriers between phases.
+//
+// Two layers are exposed. The Executor type is a persistent worker pool with
+// a fixed, immutable count: the engine acquires one per run (Acquire /
+// Release) so concurrent runs with different worker counts are isolated and
+// rounds reuse parked goroutines instead of spawning. The package-level
+// functions below are thin wrappers over a shared default executor sized
+// from Workers(); they serve callers outside a run (graph build, generators,
+// benchmarks) where a process-wide worker count is the right scope.
 package parallel
 
 import (
@@ -31,9 +39,15 @@ func Workers() int {
 
 var workerOverride atomic.Int64
 
-// SetWorkers overrides the worker count for subsequent loops. n <= 0 restores
-// the GOMAXPROCS default. It returns the previous override (0 if none). It is
-// used by the scalability harness (paper Figure 11) to sweep thread counts.
+// SetWorkers overrides the worker count for subsequent package-level loops.
+// n <= 0 restores the GOMAXPROCS default. It returns the previous override
+// (0 if none). It is used by the scalability harness (paper Figure 11) to
+// sweep thread counts.
+//
+// SetWorkers is process-global and therefore deprecated for engine use: an
+// ordered run sizes its own Executor from Cfg.Workers, so concurrent runs
+// with different counts never observe each other. Only the default executor
+// behind the package-level loops follows SetWorkers.
 func SetWorkers(n int) int {
 	if n < 0 {
 		n = 0
@@ -44,16 +58,12 @@ func SetWorkers(n int) int {
 // For runs body(i) for every i in [0, n) using dynamic scheduling with
 // DefaultGrain. It blocks until all iterations complete.
 func For(n int, body func(i int)) {
-	ForGrain(n, DefaultGrain, body)
+	defaultExecutor().ForGrain(n, DefaultGrain, body)
 }
 
 // ForGrain is For with an explicit grain size.
 func ForGrain(n, grain int, body func(i int)) {
-	ForChunks(n, grain, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	defaultExecutor().ForGrain(n, grain, body)
 }
 
 // ForChunks divides [0, n) into chunks of at most grain iterations and hands
@@ -61,71 +71,14 @@ func ForGrain(n, grain int, body func(i int)) {
 // scheduling. worker identifies the executing worker in [0, Workers()) so
 // that body can use worker-local state without synchronization.
 func ForChunks(n, grain int, body func(lo, hi, worker int)) {
-	if n <= 0 {
-		return
-	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	w := Workers()
-	if w <= 1 || n <= grain {
-		body(0, n, 0)
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for wk := 0; wk < w; wk++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi, worker)
-			}
-		}(wk)
-	}
-	wg.Wait()
+	defaultExecutor().ForChunks(n, grain, body)
 }
 
 // ForStatic divides [0, n) into Workers() contiguous slabs, one per worker.
 // Static scheduling is used where per-worker slabs must be deterministic
 // (e.g. copying thread-local bins into a global frontier).
 func ForStatic(n int, body func(lo, hi, worker int)) {
-	if n <= 0 {
-		return
-	}
-	w := Workers()
-	if w <= 1 {
-		body(0, n, 0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	per := (n + w - 1) / w
-	for wk := 0; wk < w; wk++ {
-		go func(worker int) {
-			defer wg.Done()
-			lo := worker * per
-			hi := lo + per
-			if lo > n {
-				lo = n
-			}
-			if hi > n {
-				hi = n
-			}
-			if lo < hi {
-				body(lo, hi, worker)
-			}
-		}(wk)
-	}
-	wg.Wait()
+	defaultExecutor().ForStatic(n, body)
 }
 
 // Run executes fn(worker) once on each of Workers() workers concurrently and
@@ -133,20 +86,7 @@ func ForStatic(n int, body func(lo, hi, worker int)) {
 // (paper Figure 9(c), line 12): the body typically loops over shared work
 // queues and synchronizes with Barrier.
 func Run(fn func(worker int)) {
-	w := Workers()
-	if w <= 1 {
-		fn(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for wk := 0; wk < w; wk++ {
-		go func(worker int) {
-			defer wg.Done()
-			fn(worker)
-		}(wk)
-	}
-	wg.Wait()
+	defaultExecutor().Run(fn)
 }
 
 // Barrier is a reusable cyclic barrier for n participants, the analogue of

@@ -5,10 +5,10 @@ package parallel
 // It is the primitive behind the lazy engine's setupFrontier (paper §5.1):
 // the synchronized-append buffer is reduced with a prefix sum to avoid
 // atomics.
-func PrefixSum(xs []int64) int64 {
+func (e *Executor) PrefixSum(xs []int64) int64 {
 	n := len(xs)
 	const serialCutoff = 1 << 14
-	w := Workers()
+	w := e.w
 	if n < serialCutoff || w <= 1 {
 		var sum int64
 		for i, x := range xs {
@@ -22,7 +22,7 @@ func PrefixSum(xs []int64) int64 {
 	blocks := w * 4
 	per := (n + blocks - 1) / blocks
 	sums := make([]int64, blocks)
-	ForGrain(blocks, 1, func(b int) {
+	e.ForGrain(blocks, 1, func(b int) {
 		lo, hi := b*per, (b+1)*per
 		if hi > n {
 			hi = n
@@ -39,7 +39,7 @@ func PrefixSum(xs []int64) int64 {
 		sums[b] = total
 		total += s
 	}
-	ForGrain(blocks, 1, func(b int) {
+	e.ForGrain(blocks, 1, func(b int) {
 		lo, hi := b*per, (b+1)*per
 		if hi > n {
 			hi = n
@@ -54,23 +54,27 @@ func PrefixSum(xs []int64) int64 {
 	return total
 }
 
+// PrefixSum is the package-level form of Executor.PrefixSum, run on the
+// default executor.
+func PrefixSum(xs []int64) int64 { return defaultExecutor().PrefixSum(xs) }
+
 // PackU32 returns the elements of xs whose index passes keep, preserving
 // order. It parallelizes via a flag array and prefix sum, the standard
 // Ligra/Julienne "pack" used to build sparse frontiers from dense flags.
-func PackU32(xs []uint32, keep func(i int) bool) []uint32 {
+func (e *Executor) PackU32(xs []uint32, keep func(i int) bool) []uint32 {
 	n := len(xs)
 	if n == 0 {
 		return nil
 	}
 	flags := make([]int64, n)
-	For(n, func(i int) {
+	e.For(n, func(i int) {
 		if keep(i) {
 			flags[i] = 1
 		}
 	})
-	total := PrefixSum(flags)
+	total := e.PrefixSum(flags)
 	out := make([]uint32, total)
-	For(n, func(i int) {
+	e.For(n, func(i int) {
 		// After the exclusive scan, index i was kept iff its slot differs
 		// from the next prefix value.
 		var next int64
@@ -86,12 +90,22 @@ func PackU32(xs []uint32, keep func(i int) bool) []uint32 {
 	return out
 }
 
+// PackU32 is the package-level form of Executor.PackU32, run on the default
+// executor.
+func PackU32(xs []uint32, keep func(i int) bool) []uint32 {
+	return defaultExecutor().PackU32(xs, keep)
+}
+
 // IotaU32 returns [0, 1, ..., n-1] as uint32, filled in parallel.
-func IotaU32(n int) []uint32 {
+func (e *Executor) IotaU32(n int) []uint32 {
 	out := make([]uint32, n)
-	For(n, func(i int) { out[i] = uint32(i) })
+	e.For(n, func(i int) { out[i] = uint32(i) })
 	return out
 }
+
+// IotaU32 is the package-level form of Executor.IotaU32, run on the default
+// executor.
+func IotaU32(n int) []uint32 { return defaultExecutor().IotaU32(n) }
 
 // MaxInt64 returns the maximum of xs, or def if xs is empty.
 func MaxInt64(xs []int64, def int64) int64 {

@@ -115,3 +115,8 @@ func (pq *PriorityQueue) ApplyUpdatePriority(bucket []VertexID, f EdgeFunc) {
 
 // Stats returns counters accumulated across rounds so far.
 func (pq *PriorityQueue) Stats() Stats { return pq.m.Stats() }
+
+// Close releases the queue's worker pool for reuse by later runs. It is
+// optional (an unreferenced queue's workers are reclaimed automatically)
+// and idempotent; after Close the queue must not apply further rounds.
+func (pq *PriorityQueue) Close() { pq.m.Close() }
