@@ -11,10 +11,25 @@
 package algo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"graphit"
 )
+
+// halted reports whether err left a meaningful partial result behind:
+// cancellation or deadline expiry, a contained engine panic, or a watchdog
+// abort. The wrappers return the partial vector together with err in these
+// cases, so callers can summarize what was computed before the halt.
+func halted(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	var pe *graphit.PanicError
+	var se *graphit.StuckError
+	return errors.As(err, &pe) || errors.As(err, &se)
+}
 
 // checkWeighted returns an error if g lacks weights.
 func checkWeighted(g *graphit.Graph) error {

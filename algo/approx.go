@@ -43,7 +43,7 @@ func SSSPApproxContext(ctx context.Context, g *graphit.Graph, src graphit.Vertex
 	op.Cfg = cfg
 	st, err := op.RunApproxContext(ctx)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &SSSPResult{Dist: dist, Stats: st}, err
 		}
 		return nil, err
@@ -83,7 +83,7 @@ func PPSPApproxContext(ctx context.Context, g *graphit.Graph, src, dst graphit.V
 	op.Cfg = cfg
 	st, err := op.RunApproxContext(ctx)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &SSSPResult{Dist: dist, Stats: st}, err
 		}
 		return nil, err
@@ -141,7 +141,7 @@ func AStarApproxContext(ctx context.Context, g *graphit.Graph, src, dst graphit.
 	op.Cfg = cfg
 	st, err := op.RunApproxContext(ctx)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &AStarResult{Dist: dist, Estimate: est, Stats: st}, err
 		}
 		return nil, err

@@ -77,7 +77,7 @@ func AStarContext(ctx context.Context, g *graphit.Graph, src, dst graphit.Vertex
 	}
 	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &AStarResult{Dist: dist, Estimate: est, Stats: st}, err
 		}
 		return nil, err

@@ -63,7 +63,7 @@ func KCoreContext(ctx context.Context, g *graphit.Graph, sched graphit.Schedule)
 	}
 	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &KCoreResult{Coreness: deg, Stats: st}, err
 		}
 		return nil, err

@@ -45,7 +45,7 @@ func SSSPContext(ctx context.Context, g *graphit.Graph, src graphit.VertexID, sc
 	}
 	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &SSSPResult{Dist: dist, Stats: st}, err
 		}
 		return nil, err
@@ -94,7 +94,7 @@ func PPSPContext(ctx context.Context, g *graphit.Graph, src, dst graphit.VertexI
 	}
 	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &SSSPResult{Dist: dist, Stats: st}, err
 		}
 		return nil, err

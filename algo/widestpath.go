@@ -65,7 +65,7 @@ func WidestPathContext(ctx context.Context, g *graphit.Graph, src graphit.Vertex
 	}
 	st, err := graphit.RunOrderedContext(ctx, op, sched)
 	if err != nil {
-		if ctx.Err() != nil {
+		if halted(ctx, err) {
 			return &WidestPathResult{Capacity: cap, Stats: st}, err
 		}
 		return nil, err

@@ -23,7 +23,7 @@ const benchScale = bench.ScaleSmall
 // BenchmarkFig1_OrderedVsUnordered times the ordered and unordered
 // variants of SSSP and k-core (paper Figure 1's speedup bars).
 func BenchmarkFig1_OrderedVsUnordered(b *testing.B) {
-	for _, d := range bench.All(benchScale) {
+	for _, d := range mustDatasets(b)(bench.All(benchScale)) {
 		src := firstSource(d)
 		b.Run(d.Name+"/SSSP-ordered", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -51,7 +51,7 @@ func BenchmarkFig1_OrderedVsUnordered(b *testing.B) {
 // BenchmarkFig4_FrameworkHeatmap times SSSP and k-core under every
 // framework stand-in (paper Figure 4's heatmap columns).
 func BenchmarkFig4_FrameworkHeatmap(b *testing.B) {
-	for _, d := range bench.All(benchScale) {
+	for _, d := range mustDatasets(b)(bench.All(benchScale)) {
 		src := firstSource(d)
 		for _, fw := range []bench.Framework{bench.FwGraphIt, bench.FwGAPBS, bench.FwJulienne, bench.FwGalois} {
 			b.Run(fmt.Sprintf("%s/SSSP/%s", d.Name, fw), func(b *testing.B) {
@@ -73,7 +73,7 @@ func BenchmarkFig4_FrameworkHeatmap(b *testing.B) {
 // BenchmarkTable4_MainComparison times all six algorithms under the best
 // GraphIt schedule (paper Table 4's GraphIt row).
 func BenchmarkTable4_MainComparison(b *testing.B) {
-	for _, d := range bench.All(benchScale) {
+	for _, d := range mustDatasets(b)(bench.All(benchScale)) {
 		src := firstSource(d)
 		dst := graphit.VertexID(uint32(d.Graph.NumVertices() / 2))
 		b.Run(d.Name+"/SSSP", func(b *testing.B) {
@@ -97,7 +97,7 @@ func BenchmarkTable4_MainComparison(b *testing.B) {
 			}
 		})
 	}
-	for _, d := range bench.Social(benchScale) {
+	for _, d := range mustDatasets(b)(bench.Social(benchScale)) {
 		src := firstSource(d)
 		b.Run(d.Name+"/wBFS", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -105,7 +105,7 @@ func BenchmarkTable4_MainComparison(b *testing.B) {
 			}
 		})
 	}
-	for _, d := range bench.Road(benchScale) {
+	for _, d := range mustDatasets(b)(bench.Road(benchScale)) {
 		src := firstSource(d)
 		dst := graphit.VertexID(uint32(d.Graph.NumVertices() - 1))
 		b.Run(d.Name+"/AStar", func(b *testing.B) {
@@ -134,7 +134,7 @@ func BenchmarkTable5_LineCounts(b *testing.B) {
 // BenchmarkTable6_BucketFusion times SSSP with and without bucket fusion
 // and reports the synchronized-round counts (paper Table 6).
 func BenchmarkTable6_BucketFusion(b *testing.B) {
-	for _, d := range bench.All(benchScale) {
+	for _, d := range mustDatasets(b)(bench.All(benchScale)) {
 		src := firstSource(d)
 		b.Run(d.Name+"/with-fusion", func(b *testing.B) {
 			var rounds int64
@@ -160,9 +160,12 @@ func BenchmarkTable6_BucketFusion(b *testing.B) {
 // BenchmarkTable7_EagerVsLazy times eager versus lazy bucket updates for
 // k-core and SSSP (paper Table 7).
 func BenchmarkTable7_EagerVsLazy(b *testing.B) {
-	for _, d := range bench.All(benchScale) {
+	for _, d := range mustDatasets(b)(bench.All(benchScale)) {
 		src := firstSource(d)
-		g := d.Symmetrized()
+		g, err := d.Symmetrized()
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(d.Name+"/kcore-eager", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := algo.KCore(g, graphit.DefaultSchedule().
@@ -196,7 +199,7 @@ func BenchmarkTable7_EagerVsLazy(b *testing.B) {
 // 11). On a single-core host the series exercises the multi-worker code
 // paths; the wall-clock shape needs real cores.
 func BenchmarkFig11_Scalability(b *testing.B) {
-	d := bench.Road(benchScale)[0]
+	d := mustDatasets(b)(bench.Road(benchScale))[0]
 	src := firstSource(d)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
@@ -212,7 +215,7 @@ func BenchmarkFig11_Scalability(b *testing.B) {
 // BenchmarkDeltaSweep times SSSP across priority-coarsening factors (the
 // ∆-selection analysis of paper §6.2).
 func BenchmarkDeltaSweep(b *testing.B) {
-	for _, d := range bench.All(benchScale) {
+	for _, d := range mustDatasets(b)(bench.All(benchScale)) {
 		src := firstSource(d)
 		for _, exp := range []int{0, 4, 9, 13} {
 			sched := graphit.DefaultSchedule().
@@ -226,6 +229,18 @@ func BenchmarkDeltaSweep(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// mustDatasets unwraps a roster builder, failing the benchmark on a
+// generation error.
+func mustDatasets(b *testing.B) func([]*bench.Dataset, error) []*bench.Dataset {
+	return func(ds []*bench.Dataset, err error) []*bench.Dataset {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ds
 	}
 }
 
@@ -254,7 +269,7 @@ func mustRun(b *testing.B, r bench.RunResult) {
 // and the dynamic-scheduling grain.
 
 func BenchmarkAblation_FusionThreshold(b *testing.B) {
-	d := bench.Road(benchScale)[0]
+	d := mustDatasets(b)(bench.Road(benchScale))[0]
 	src := firstSource(d)
 	for _, thr := range []int{1, 16, 256, 1000, 16384} {
 		sched := graphit.DefaultSchedule().
@@ -277,8 +292,11 @@ func BenchmarkAblation_FusionThreshold(b *testing.B) {
 }
 
 func BenchmarkAblation_NumBuckets(b *testing.B) {
-	d := bench.Social(benchScale)[0]
-	g := d.Symmetrized()
+	d := mustDatasets(b)(bench.Social(benchScale))[0]
+	g, err := d.Symmetrized()
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, nb := range []int{4, 32, 128, 1024} {
 		sched := graphit.DefaultSchedule().
 			ConfigApplyPriorityUpdate("lazy_constant_sum").
@@ -298,7 +316,7 @@ func BenchmarkAblation_NumBuckets(b *testing.B) {
 }
 
 func BenchmarkAblation_Grain(b *testing.B) {
-	d := bench.Social(benchScale)[1]
+	d := mustDatasets(b)(bench.Social(benchScale))[1]
 	src := firstSource(d)
 	for _, grain := range []int{8, 64, 512} {
 		sched := graphit.DefaultSchedule().
@@ -319,7 +337,7 @@ func BenchmarkAblation_Grain(b *testing.B) {
 // an out-degree sum every round and rarely helps ∆-stepping, so plain
 // SparsePush wins.
 func BenchmarkAblation_DirectionOptimization(b *testing.B) {
-	for _, d := range bench.All(benchScale) {
+	for _, d := range mustDatasets(b)(bench.All(benchScale)) {
 		src := firstSource(d)
 		for _, dir := range []string{"SparsePush", "DensePull-SparsePush"} {
 			sched := graphit.DefaultSchedule().

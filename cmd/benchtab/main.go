@@ -65,7 +65,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	run := func(name string, f func()) {
+	run := func(name string, f func() error) {
 		if !all && !want[name] {
 			return
 		}
@@ -74,38 +74,46 @@ func main() {
 			return
 		}
 		start := time.Now()
-		f()
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			fmt.Printf("[%s failed after %.1fs]\n\n", name, time.Since(start).Seconds())
+			return
+		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
 	}
 
-	run("fig1", func() {
-		t, _ := bench.Fig1(ctx, s)
-		fmt.Println(t)
-	})
-	run("fig4", func() {
-		t, _ := bench.Fig4(ctx, s)
-		fmt.Println(t)
-	})
-	run("table4", func() { fmt.Println(bench.Table4(ctx, s)) })
-	run("table5", func() {
-		t, err := bench.Table5()
+	print1 := func(t *bench.Table, err error) error {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			return
+			return err
 		}
 		fmt.Println(t)
+		return nil
+	}
+	run("fig1", func() error {
+		t, _, err := bench.Fig1(ctx, s)
+		return print1(t, err)
 	})
-	run("table6", func() {
-		t, _ := bench.Table6(ctx, s)
-		fmt.Println(t)
+	run("fig4", func() error {
+		t, _, err := bench.Fig4(ctx, s)
+		return print1(t, err)
 	})
-	run("table7", func() { fmt.Println(bench.Table7(ctx, s)) })
-	run("fig11", func() { fmt.Println(bench.Fig11(ctx, s, ws)) })
-	run("delta", func() { fmt.Println(bench.DeltaSweep(ctx, s)) })
-	run("reuse", func() { fmt.Println(bench.EngineReuse(ctx, s)) })
-	run("autotune", func() {
-		t, worst := bench.Autotune(ctx, s)
+	run("table4", func() error { return print1(bench.Table4(ctx, s)) })
+	run("table5", func() error { return print1(bench.Table5()) })
+	run("table6", func() error {
+		t, _, err := bench.Table6(ctx, s)
+		return print1(t, err)
+	})
+	run("table7", func() error { return print1(bench.Table7(ctx, s)) })
+	run("fig11", func() error { return print1(bench.Fig11(ctx, s, ws)) })
+	run("delta", func() error { return print1(bench.DeltaSweep(ctx, s)) })
+	run("reuse", func() error { return print1(bench.EngineReuse(ctx, s)) })
+	run("autotune", func() error {
+		t, worst, err := bench.Autotune(ctx, s)
+		if err != nil {
+			return err
+		}
 		fmt.Println(t)
 		fmt.Printf("worst autotuned/hand-tuned ratio: %.3f\n", worst)
+		return nil
 	})
 }

@@ -13,6 +13,7 @@
 //	ordered -algo bellmanford -graph g.wel -src 0      # unordered baseline
 //	ordered -algo sssp -graph g.wel -trace trace.jsonl # per-round JSON lines
 //	ordered -algo sssp -graph huge.bin -timeout 30s    # bounded run
+//	ordered -algo sssp -graph g.wel -round-timeout 5s -on-fault retry_serial
 //
 // -trace writes one JSON object per line ("-" for stdout): a run_start
 // record with the schedule and graph shape, one round record per engine
@@ -20,10 +21,20 @@
 // run_end record with the final counters. -timeout (and ^C) cancel the
 // run at the next round barrier; the partial result is still summarized,
 // marked "halted early".
+//
+// -timeout bounds the whole run; -round-timeout arms the engine's per-round
+// watchdog instead, aborting any single round that stalls (with a
+// diagnosable StuckError carrying recent round trace events). -stuck-rounds
+// aborts after that many consecutive zero-progress rounds. -on-fault
+// chooses what a contained fault (an edge-function panic, or a watchdog
+// abort) does to the run: "fail" halts with the partial result, and
+// "retry_serial" re-executes the faulted round serially and resumes. In
+// every case the process stays alive and prints what was computed.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +63,9 @@ func main() {
 		verify     = flag.Bool("verify", false, "verify against the sequential reference")
 		tracePath  = flag.String("trace", "", "write per-round JSON lines to this file (\"-\" = stdout)")
 		timeout    = flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
+		roundTO    = flag.Duration("round-timeout", 0, "abort any single round exceeding this (0 = no watchdog)")
+		stuckK     = flag.Int("stuck-rounds", 0, "abort after this many consecutive zero-progress rounds (0 = off)")
+		onFault    = flag.String("on-fault", "fail", "reaction to a contained fault: fail | retry_serial")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -67,7 +81,10 @@ func main() {
 		ConfigApplyPriorityUpdateDelta(*delta).
 		ConfigBucketFusionThreshold(*threshold).
 		ConfigNumBuckets(*numBuckets).
-		ConfigApplyDirection(*direction)
+		ConfigApplyDirection(*direction).
+		ConfigRoundTimeout(*roundTO).
+		ConfigStuckRounds(*stuckK).
+		ConfigOnFault(*onFault)
 	if *workers > 0 {
 		// Ordered runs size their own executor from the schedule's worker
 		// count; the global override remains for the unordered baselines,
@@ -177,12 +194,21 @@ func main() {
 // the JSON trace owns stdout.
 var sumOut io.Writer = os.Stdout
 
-// halted separates cancellation (return the error, print a partial result)
-// from real failures (fatal). A nil err passes through.
+// halted separates conditions that leave a meaningful partial result —
+// cancellation (-timeout, ^C), a contained engine panic, or a watchdog
+// abort (-round-timeout, -stuck-rounds) — from real failures (fatal). For
+// the former the error is returned and the partial result is summarized;
+// the process stays alive either way. A nil err passes through.
 func halted(err error, ctx context.Context) error {
-	if err != nil && ctx.Err() == nil {
-		fatal(err)
+	if err == nil || ctx.Err() != nil {
+		return err
 	}
+	var pe *graphit.PanicError
+	var se *graphit.StuckError
+	if errors.As(err, &pe) || errors.As(err, &se) {
+		return err
+	}
+	fatal(err)
 	return err
 }
 

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -105,6 +106,8 @@ var grains = []int{0, 16, 64, 256, 1024}
 // the function is called from that many goroutines at once and must be safe
 // for concurrent use — engine runs are (each sizes its own executor from
 // Cfg.Workers), so a Measure that only runs the operator needs no locking.
+// A panic escaping Measure is contained by the tuner: the trial is recorded
+// with a *core.PanicError in Trial.Err and skipped.
 type Measure func(ctx context.Context, cfg core.Config) (time.Duration, error)
 
 // Options bound the search.
@@ -167,6 +170,23 @@ func Tune(ctx context.Context, space Space, measure Measure, opt Options) (*Resu
 	res := &Result{Cost: 1<<63 - 1}
 	seen := map[Candidate]bool{}
 
+	// safeMeasure contains panics escaping a Measure (a faulty candidate
+	// path, or a user measure function running outside the engine's own
+	// containment): the trial is recorded with a *core.PanicError and
+	// skipped, and the search goes on.
+	safeMeasure := func(ctx context.Context, cfg core.Config) (d time.Duration, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pe, ok := r.(*core.PanicError); ok {
+					err = pe
+					return
+				}
+				err = &core.PanicError{Phase: "autotune.measure", Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return measure(ctx, cfg)
+	}
+
 	// evalBatch measures a batch of candidates — concurrently when
 	// opt.Parallel > 1, which is safe because every engine run executes on
 	// its own fixed-size executor — and folds the outcomes into res in
@@ -183,7 +203,7 @@ func Tune(ctx context.Context, space Space, measure Measure, opt Options) (*Resu
 				var err error
 				for r := 0; r < opt.Repeats; r++ {
 					var d time.Duration
-					d, err = measure(ctx, c.Config())
+					d, err = safeMeasure(ctx, c.Config())
 					if err != nil {
 						break
 					}

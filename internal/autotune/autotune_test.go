@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -162,5 +163,37 @@ func TestConstantSumGating(t *testing.T) {
 	}
 	if res.Best.Strategy != core.LazyConstantSum {
 		t.Errorf("best = %v", res.Best.Strategy)
+	}
+}
+
+// TestTuneSurvivesPanickingMeasure: a Measure that panics on part of the
+// space is contained — the faulted trials are recorded with a *PanicError
+// and skipped, and the search still ranks the surviving candidates.
+func TestTuneSurvivesPanickingMeasure(t *testing.T) {
+	measure := func(ctx context.Context, cfg core.Config) (time.Duration, error) {
+		if cfg.Strategy == core.Lazy {
+			panic("measure fault")
+		}
+		return syntheticMeasure(ctx, cfg)
+	}
+	res, err := Tune(context.Background(), DefaultSpace(), measure, Options{MaxTrials: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Strategy == core.Lazy {
+		t.Fatalf("panicking candidate won: %v", res.Best)
+	}
+	var faulted int
+	for _, tr := range res.Trials {
+		var pe *core.PanicError
+		if errors.As(tr.Err, &pe) {
+			faulted++
+			if pe.Value != "measure fault" {
+				t.Fatalf("unexpected panic value %v", pe.Value)
+			}
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("no faulted trial was recorded")
 	}
 }

@@ -4,14 +4,30 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"graphit/internal/graph"
 )
+
+// must fails the test on a dataset/experiment error and returns v.
+func must[V any](t *testing.T) func(V, error) V {
+	return func(v V, err error) V {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+}
 
 // These tests run every experiment at small scale and assert the *shape*
 // of the paper's results (who wins, directionally) rather than absolute
 // numbers — the fidelity contract of DESIGN.md §3.
 
 func TestFig1OrderedBeatsUnordered(t *testing.T) {
-	tbl, rows := Fig1(context.Background(), ScaleSmall)
+	tbl, rows, err := Fig1(context.Background(), ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := tbl.String()
 	if !strings.Contains(out, "SSSP") || !strings.Contains(out, "k-core") {
 		t.Fatalf("missing rows:\n%s", out)
@@ -35,7 +51,10 @@ func TestFig1OrderedBeatsUnordered(t *testing.T) {
 }
 
 func TestTable6FusionReducesRounds(t *testing.T) {
-	_, rows := Table6(context.Background(), ScaleSmall)
+	_, rows, err := Table6(context.Background(), ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if r.WithRounds >= r.WithoutRounds {
 			t.Errorf("%s: fusion did not reduce rounds: with=%d without=%d",
@@ -56,7 +75,10 @@ func TestTable6FusionReducesRounds(t *testing.T) {
 }
 
 func TestFig4GraySupportMatrix(t *testing.T) {
-	_, cells := Fig4(context.Background(), ScaleSmall)
+	_, cells, err := Fig4(context.Background(), ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gray := map[string]bool{}
 	for _, c := range cells {
 		if c.Gray {
@@ -98,7 +120,7 @@ func TestTable5LineCounts(t *testing.T) {
 }
 
 func TestTable7Shape(t *testing.T) {
-	tbl := Table7(context.Background(), ScaleSmall)
+	tbl := must[*Table](t)(Table7(context.Background(), ScaleSmall))
 	if len(tbl.Rows) == 0 {
 		t.Fatal("empty table")
 	}
@@ -106,7 +128,7 @@ func TestTable7Shape(t *testing.T) {
 }
 
 func TestDeltaSweepRoundsDecrease(t *testing.T) {
-	tbl := DeltaSweep(context.Background(), ScaleSmall)
+	tbl := must[*Table](t)(DeltaSweep(context.Background(), ScaleSmall))
 	// Rounds must be non-increasing in delta for each graph (coarser
 	// buckets merge rounds).
 	rounds := map[string][]string{}
@@ -122,15 +144,15 @@ func TestDeltaSweepRoundsDecrease(t *testing.T) {
 }
 
 func TestDatasetsCachedAndShaped(t *testing.T) {
-	a := Social(ScaleSmall)[0]
-	b := Social(ScaleSmall)[0]
+	a := must[[]*Dataset](t)(Social(ScaleSmall))[0]
+	b := must[[]*Dataset](t)(Social(ScaleSmall))[0]
 	if a != b {
 		t.Error("datasets not cached")
 	}
 	if a.Graph.NumVertices() == 0 || a.Graph.NumEdges() == 0 {
 		t.Error("empty social graph")
 	}
-	rd := Road(ScaleSmall)[0]
+	rd := must[[]*Dataset](t)(Road(ScaleSmall))[0]
 	if !rd.Graph.HasCoords() {
 		t.Error("road graph must carry coordinates for A*")
 	}
@@ -147,8 +169,8 @@ func TestDatasetsCachedAndShaped(t *testing.T) {
 }
 
 func TestLogWeightedVariant(t *testing.T) {
-	d := Social(ScaleSmall)[0]
-	g := d.LogWeighted()
+	d := must[[]*Dataset](t)(Social(ScaleSmall))[0]
+	g := must[*graph.Graph](t)(d.LogWeighted())
 	maxW := int32(0)
 	for _, w := range g.Wts {
 		if w > maxW {
@@ -164,7 +186,7 @@ func TestLogWeightedVariant(t *testing.T) {
 }
 
 func TestEngineReuseShape(t *testing.T) {
-	tbl := EngineReuse(context.Background(), ScaleSmall)
+	tbl := must[*Table](t)(EngineReuse(context.Background(), ScaleSmall))
 	if len(tbl.Rows) == 0 {
 		t.Fatal("empty table")
 	}
@@ -184,7 +206,10 @@ func TestAutotunerQuality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("autotuning takes a while")
 	}
-	_, worst := Autotune(context.Background(), ScaleSmall)
+	_, worst, err := Autotune(context.Background(), ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if worst > 1.5 {
 		t.Errorf("autotuned schedule %.2fx slower than hand-tuned (want close to 1.0)", worst)
 	}
@@ -195,7 +220,7 @@ func TestAutotunerQuality(t *testing.T) {
 // every supported cell must produce a time, every unsupported cell the
 // paper's dash, and GraphIt must support all six algorithms.
 func TestTable4SupportAndSanity(t *testing.T) {
-	tbl := Table4(context.Background(), ScaleSmall)
+	tbl := must[*Table](t)(Table4(context.Background(), ScaleSmall))
 	if len(tbl.Rows) == 0 {
 		t.Fatal("empty table")
 	}

@@ -80,59 +80,105 @@ func roadSize(s Scale) int {
 	}
 }
 
+// collect materializes a roster from per-dataset builders, stopping at the
+// first generation failure.
+func collect(builders ...func() (*Dataset, error)) ([]*Dataset, error) {
+	ds := make([]*Dataset, 0, len(builders))
+	for _, b := range builders {
+		d, err := b()
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	return ds, nil
+}
+
 // Social returns the core social-network stand-ins used by the headline
 // comparisons (directed, weights [1,1000)).
-func Social(s Scale) []*Dataset {
-	return []*Dataset{
-		socialDS("LJ-sim", "LiveJournal", s, false, 101),
-		socialDS("TW-sim", "Twitter", s, true, 202),
-	}
+func Social(s Scale) ([]*Dataset, error) {
+	return collect(
+		func() (*Dataset, error) { return socialDS("LJ-sim", "LiveJournal", s, false, 101) },
+		func() (*Dataset, error) { return socialDS("TW-sim", "Twitter", s, true, 202) },
+	)
 }
 
 // SocialAll returns the full social/web roster of paper Table 3: OK and FT
 // stand-ins are denser, WB-sim uses web-graph R-MAT skew.
-func SocialAll(s Scale) []*Dataset {
-	return append(Social(s),
-		socialDS("OK-sim", "Orkut", s, true, 404),
-		socialDS("FT-sim", "Friendster", s, true, 505),
-		webDS("WB-sim", "WebGraph", s, 606),
+func SocialAll(s Scale) ([]*Dataset, error) {
+	ds, err := Social(s)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := collect(
+		func() (*Dataset, error) { return socialDS("OK-sim", "Orkut", s, true, 404) },
+		func() (*Dataset, error) { return socialDS("FT-sim", "Friendster", s, true, 505) },
+		func() (*Dataset, error) { return webDS("WB-sim", "WebGraph", s, 606) },
 	)
+	if err != nil {
+		return nil, err
+	}
+	return append(ds, rest...), nil
 }
 
 // Road returns the headline road-network stand-in (symmetric, travel-time
 // weights, coordinates for A*).
-func Road(s Scale) []*Dataset {
-	return []*Dataset{roadDS("RD-sim", "RoadUSA", s, 303, 1.0)}
+func Road(s Scale) ([]*Dataset, error) {
+	return collect(func() (*Dataset, error) { return roadDS("RD-sim", "RoadUSA", s, 303, 1.0) })
 }
 
 // RoadAll returns the full road roster of paper Table 3: Germany (~half of
 // RoadUSA's vertices) and Massachusetts (small).
-func RoadAll(s Scale) []*Dataset {
-	return append(Road(s),
-		roadDS("GE-sim", "Germany", s, 707, 0.7),
-		roadDS("MA-sim", "Massachusetts", s, 808, 0.25),
+func RoadAll(s Scale) ([]*Dataset, error) {
+	ds, err := Road(s)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := collect(
+		func() (*Dataset, error) { return roadDS("GE-sim", "Germany", s, 707, 0.7) },
+		func() (*Dataset, error) { return roadDS("MA-sim", "Massachusetts", s, 808, 0.25) },
 	)
+	if err != nil {
+		return nil, err
+	}
+	return append(ds, rest...), nil
 }
 
 // All returns the headline social + road stand-ins.
-func All(s Scale) []*Dataset {
-	return append(Social(s), Road(s)...)
+func All(s Scale) ([]*Dataset, error) {
+	social, err := Social(s)
+	if err != nil {
+		return nil, err
+	}
+	road, err := Road(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(social, road...), nil
 }
 
 // Everything returns the full Table 3 roster.
-func Everything(s Scale) []*Dataset {
-	return append(SocialAll(s), RoadAll(s)...)
+func Everything(s Scale) ([]*Dataset, error) {
+	social, err := SocialAll(s)
+	if err != nil {
+		return nil, err
+	}
+	road, err := RoadAll(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(social, road...), nil
 }
 
 // webDS builds a web-graph stand-in: stronger R-MAT skew (larger A
 // quadrant) than the social defaults, matching web graphs' deeper
 // power-law tails.
-func webDS(name, paper string, s Scale, seed int64) *Dataset {
+func webDS(name, paper string, s Scale, seed int64) (*Dataset, error) {
 	key := fmt.Sprintf("%s/%s", name, s)
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if d, ok := cache[key]; ok {
-		return d
+		return d, nil
 	}
 	sc, ef := rmatSize(s, true)
 	opt := gen.RMATOptions{
@@ -142,27 +188,27 @@ func webDS(name, paper string, s Scale, seed int64) *Dataset {
 	}
 	g, err := gen.RMAT(opt)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("bench: generating %s: %w", name, err)
 	}
 	d := &Dataset{
 		Name: name, PaperName: paper, Class: "social", Graph: g,
 		BestDeltaExp: 4,
 	}
 	cache[key] = d
-	return d
+	return d, nil
 }
 
-func socialDS(name, paper string, s Scale, heavy bool, seed int64) *Dataset {
+func socialDS(name, paper string, s Scale, heavy bool, seed int64) (*Dataset, error) {
 	key := fmt.Sprintf("%s/%s", name, s)
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if d, ok := cache[key]; ok {
-		return d
+		return d, nil
 	}
 	sc, ef := rmatSize(s, heavy)
 	g, err := gen.RMAT(gen.DefaultRMAT(sc, ef, seed))
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("bench: generating %s: %w", name, err)
 	}
 	d := &Dataset{
 		Name: name, PaperName: paper, Class: "social", Graph: g,
@@ -170,15 +216,15 @@ func socialDS(name, paper string, s Scale, heavy bool, seed int64) *Dataset {
 		BestDeltaExp: 4,
 	}
 	cache[key] = d
-	return d
+	return d, nil
 }
 
-func roadDS(name, paper string, s Scale, seed int64, sizeFrac float64) *Dataset {
+func roadDS(name, paper string, s Scale, seed int64, sizeFrac float64) (*Dataset, error) {
 	key := fmt.Sprintf("%s/%s", name, s)
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if d, ok := cache[key]; ok {
-		return d
+		return d, nil
 	}
 	side := int(float64(roadSize(s)) * sizeFrac)
 	if side < 20 {
@@ -188,7 +234,7 @@ func roadDS(name, paper string, s Scale, seed int64, sizeFrac float64) *Dataset 
 		Rows: side, Cols: side, DeleteFrac: 0.1, DiagFrac: 0.05, Seed: seed,
 	})
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("bench: generating %s: %w", name, err)
 	}
 	d := &Dataset{
 		Name: name, PaperName: paper, Class: "road", Graph: g,
@@ -197,39 +243,39 @@ func roadDS(name, paper string, s Scale, seed int64, sizeFrac float64) *Dataset 
 		BestDeltaExp: 11,
 	}
 	cache[key] = d
-	return d
+	return d, nil
 }
 
 // Symmetrized returns the dataset's symmetric graph (cached), as the paper
 // symmetrizes inputs for k-core and SetCover.
-func (d *Dataset) Symmetrized() *graph.Graph {
+func (d *Dataset) Symmetrized() (*graph.Graph, error) {
 	key := d.Name + "/sym/" + fmt.Sprint(d.Graph.NumVertices())
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if c, ok := cache[key]; ok {
-		return c.Graph
+		return c.Graph, nil
 	}
 	if d.Graph.Symmetric() {
 		cache[key] = d
-		return d.Graph
+		return d.Graph, nil
 	}
 	sg, err := d.Graph.Symmetrized()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("bench: symmetrizing %s: %w", d.Name, err)
 	}
 	cache[key] = &Dataset{Graph: sg}
-	return sg
+	return sg, nil
 }
 
 // LogWeighted returns a copy of the dataset's graph with weights in
 // [1, log n), the wBFS convention (paper Table 4's † graphs). The copy is
 // cached; the original is untouched.
-func (d *Dataset) LogWeighted() *graph.Graph {
+func (d *Dataset) LogWeighted() (*graph.Graph, error) {
 	key := d.Name + "/logw"
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if c, ok := cache[key]; ok {
-		return c.Graph
+		return c.Graph, nil
 	}
 	edges := d.Graph.Edges()
 	g, err := graph.Build(edges, graph.BuildOptions{
@@ -238,30 +284,30 @@ func (d *Dataset) LogWeighted() *graph.Graph {
 		InEdges:     true,
 	})
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("bench: reweighting %s: %w", d.Name, err)
 	}
 	gen.LogWeights(g, 42)
 	cache[key] = &Dataset{Graph: g}
-	return g
+	return g, nil
 }
 
 // table6Datasets mirrors paper Table 6's graph selection (TW, FT, WB, RD).
-func table6Datasets(s Scale) []*Dataset {
-	return []*Dataset{
-		socialDS("TW-sim", "Twitter", s, true, 202),
-		socialDS("FT-sim", "Friendster", s, true, 505),
-		webDS("WB-sim", "WebGraph", s, 606),
-		roadDS("RD-sim", "RoadUSA", s, 303, 1.0),
-	}
+func table6Datasets(s Scale) ([]*Dataset, error) {
+	return collect(
+		func() (*Dataset, error) { return socialDS("TW-sim", "Twitter", s, true, 202) },
+		func() (*Dataset, error) { return socialDS("FT-sim", "Friendster", s, true, 505) },
+		func() (*Dataset, error) { return webDS("WB-sim", "WebGraph", s, 606) },
+		func() (*Dataset, error) { return roadDS("RD-sim", "RoadUSA", s, 303, 1.0) },
+	)
 }
 
 // table7Datasets mirrors paper Table 7's selection (LJ, TW, FT, WB, RD).
-func table7Datasets(s Scale) []*Dataset {
-	return []*Dataset{
-		socialDS("LJ-sim", "LiveJournal", s, false, 101),
-		socialDS("TW-sim", "Twitter", s, true, 202),
-		socialDS("FT-sim", "Friendster", s, true, 505),
-		webDS("WB-sim", "WebGraph", s, 606),
-		roadDS("RD-sim", "RoadUSA", s, 303, 1.0),
-	}
+func table7Datasets(s Scale) ([]*Dataset, error) {
+	return collect(
+		func() (*Dataset, error) { return socialDS("LJ-sim", "LiveJournal", s, false, 101) },
+		func() (*Dataset, error) { return socialDS("TW-sim", "Twitter", s, true, 202) },
+		func() (*Dataset, error) { return socialDS("FT-sim", "Friendster", s, true, 505) },
+		func() (*Dataset, error) { return webDS("WB-sim", "WebGraph", s, 606) },
+		func() (*Dataset, error) { return roadDS("RD-sim", "RoadUSA", s, 303, 1.0) },
+	)
 }

@@ -82,10 +82,14 @@ func (r Fig1Row) WorkRatio() float64 {
 	return float64(r.Unordered.Stats.Relaxations) / float64(r.Ordered.Stats.Relaxations)
 }
 
-func Fig1(ctx context.Context, s Scale) (*Table, []Fig1Row) {
+func Fig1(ctx context.Context, s Scale) (*Table, []Fig1Row, error) {
 	t := &Table{
 		Title:  "Figure 1: ordered vs unordered (time speedup and work ratio)",
 		Header: []string{"graph", "algorithm", "ordered(s)", "unordered(s)", "speedup", "work ratio"},
+	}
+	ds, err := All(s)
+	if err != nil {
+		return nil, nil, err
 	}
 	var rows []Fig1Row
 	add := func(d *Dataset, algoName string, o, u RunResult) {
@@ -94,7 +98,7 @@ func Fig1(ctx context.Context, s Scale) (*Table, []Fig1Row) {
 		t.AddRow(d.Name, algoName, fmtDur(o.Time), fmtDur(u.Time),
 			fmtRatio(u.Time.Seconds()/o.Time.Seconds()), fmtRatio(r.WorkRatio()))
 	}
-	for _, d := range All(s) {
+	for _, d := range ds {
 		srcs := sources(d, numTrials(s))
 		var ord, unord []RunResult
 		for _, src := range srcs {
@@ -103,12 +107,12 @@ func Fig1(ctx context.Context, s Scale) (*Table, []Fig1Row) {
 		}
 		add(d, "SSSP", average(ord), average(unord))
 	}
-	for _, d := range All(s) {
+	for _, d := range ds {
 		add(d, "k-core", KCore(ctx, FwGraphIt, d), KCore(ctx, FwUnordered, d))
 	}
 	t.Note("paper reports 1.4x-4x for SSSP on social graphs, hundreds on roads, ~5-8x for k-core")
 	t.Note("work ratio (relaxations unordered/ordered) is the machine-independent signal on few-core hosts")
-	return t, rows
+	return t, rows, nil
 }
 
 // Fig4Cell is one framework/algorithm/graph slowdown (1.0 = fastest).
@@ -122,10 +126,14 @@ type Fig4Cell struct {
 
 // Fig4 reproduces Figure 4: the heatmap of slowdowns versus the fastest
 // framework for SSSP, PPSP, k-core and SetCover on LJ/TW/RD stand-ins.
-func Fig4(ctx context.Context, s Scale) (*Table, []Fig4Cell) {
+func Fig4(ctx context.Context, s Scale) (*Table, []Fig4Cell, error) {
 	t := &Table{
 		Title:  "Figure 4: slowdown vs fastest framework (1.00 = fastest, -- = unsupported)",
 		Header: []string{"algorithm", "graph", "GraphIt", "GAPBS", "Julienne", "Galois"},
+	}
+	ds, err := All(s)
+	if err != nil {
+		return nil, nil, err
 	}
 	fws := []Framework{FwGraphIt, FwGAPBS, FwJulienne, FwGalois}
 	var cells []Fig4Cell
@@ -153,7 +161,7 @@ func Fig4(ctx context.Context, s Scale) (*Table, []Fig4Cell) {
 		}
 		t.AddRow(row...)
 	}
-	for _, d := range All(s) {
+	for _, d := range ds {
 		srcs := sources(d, numTrials(s))
 		run("SSSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
@@ -163,7 +171,7 @@ func Fig4(ctx context.Context, s Scale) (*Table, []Fig4Cell) {
 			return average(rs)
 		})
 	}
-	for _, d := range All(s) {
+	for _, d := range ds {
 		ps := pairs(d, numTrials(s))
 		run("PPSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
@@ -173,21 +181,33 @@ func Fig4(ctx context.Context, s Scale) (*Table, []Fig4Cell) {
 			return average(rs)
 		})
 	}
-	for _, d := range All(s) {
+	for _, d := range ds {
 		run("k-core", d, func(fw Framework) RunResult { return KCore(ctx, fw, d) })
 	}
-	for _, d := range All(s) {
+	for _, d := range ds {
 		run("SetCover", d, func(fw Framework) RunResult { return SetCover(ctx, fw, d) })
 	}
-	return t, cells
+	return t, cells, nil
 }
 
 // Table4 reproduces Table 4: running times of all six algorithms across
 // frameworks (ordered and unordered) and graphs.
-func Table4(ctx context.Context, s Scale) *Table {
+func Table4(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 4: running time (seconds) per algorithm, framework, graph",
 		Header: []string{"algorithm", "graph", "GraphIt", "GAPBS", "Julienne", "Galois", "Unordered"},
+	}
+	every, err := Everything(s)
+	if err != nil {
+		return nil, err
+	}
+	socials, err := SocialAll(s)
+	if err != nil {
+		return nil, err
+	}
+	roads, err := RoadAll(s)
+	if err != nil {
+		return nil, err
 	}
 	row := func(algoName string, d *Dataset, f func(Framework) RunResult) {
 		cells := []string{algoName, d.Name}
@@ -196,7 +216,7 @@ func Table4(ctx context.Context, s Scale) *Table {
 		}
 		t.AddRow(cells...)
 	}
-	for _, d := range Everything(s) {
+	for _, d := range every {
 		srcs := sources(d, numTrials(s))
 		row("SSSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
@@ -206,7 +226,7 @@ func Table4(ctx context.Context, s Scale) *Table {
 			return average(rs)
 		})
 	}
-	for _, d := range Everything(s) {
+	for _, d := range every {
 		ps := pairs(d, numTrials(s))
 		row("PPSP", d, func(fw Framework) RunResult {
 			var rs []RunResult
@@ -216,7 +236,7 @@ func Table4(ctx context.Context, s Scale) *Table {
 			return average(rs)
 		})
 	}
-	for _, d := range SocialAll(s) {
+	for _, d := range socials {
 		srcs := sources(d, numTrials(s))
 		row("wBFS†", d, func(fw Framework) RunResult {
 			var rs []RunResult
@@ -226,7 +246,7 @@ func Table4(ctx context.Context, s Scale) *Table {
 			return average(rs)
 		})
 	}
-	for _, d := range RoadAll(s) {
+	for _, d := range roads {
 		ps := pairs(d, numTrials(s))
 		row("A*", d, func(fw Framework) RunResult {
 			var rs []RunResult
@@ -236,15 +256,15 @@ func Table4(ctx context.Context, s Scale) *Table {
 			return average(rs)
 		})
 	}
-	for _, d := range Everything(s) {
+	for _, d := range every {
 		row("k-core", d, func(fw Framework) RunResult { return KCore(ctx, fw, d) })
 	}
-	for _, d := range Everything(s) {
+	for _, d := range every {
 		row("SetCover", d, func(fw Framework) RunResult { return SetCover(ctx, fw, d) })
 	}
 	t.Note("† wBFS uses weights in [1, log n) as in Julienne")
 	t.Note("frameworks are strategy stand-ins on a shared substrate (see DESIGN.md §3)")
-	return t
+	return t, nil
 }
 
 // Table6Row is the bucket-fusion ablation for one dataset.
@@ -257,13 +277,17 @@ type Table6Row struct {
 
 // Table6 reproduces Table 6: running time and number of rounds for SSSP
 // with and without bucket fusion.
-func Table6(ctx context.Context, s Scale) (*Table, []Table6Row) {
+func Table6(ctx context.Context, s Scale) (*Table, []Table6Row, error) {
 	t := &Table{
 		Title:  "Table 6: bucket fusion ablation for SSSP (time and synchronized rounds)",
 		Header: []string{"graph", "with fusion", "rounds", "without fusion", "rounds", "round reduction"},
 	}
+	ds, err := table6Datasets(s)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []Table6Row
-	for _, d := range table6Datasets(s) {
+	for _, d := range ds {
 		srcs := sources(d, numTrials(s))
 		var withT, withoutT time.Duration
 		var withR, withoutR, fused int64
@@ -290,18 +314,25 @@ func Table6(ctx context.Context, s Scale) (*Table, []Table6Row) {
 			fmtRatio(float64(r.WithoutRounds)/float64(r.WithRounds)))
 	}
 	t.Note("paper: RoadUSA 48407 -> 1069 rounds (45x); social graphs ~1.3-3x")
-	return t, rows
+	return t, rows, nil
 }
 
 // Table7 reproduces Table 7: eager versus lazy bucket updates for k-core
 // and SSSP.
-func Table7(ctx context.Context, s Scale) *Table {
+func Table7(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Table 7: eager vs lazy bucket update (seconds; k-core lazy uses constant-sum reduction)",
 		Header: []string{"graph", "k-core eager", "k-core lazy", "SSSP eager", "SSSP lazy"},
 	}
-	for _, d := range table7Datasets(s) {
-		g := d.Symmetrized()
+	ds, err := table7Datasets(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ds {
+		g, err := d.Symmetrized()
+		if err != nil {
+			return nil, err
+		}
 		eagerKC := timed(func() (graphit.Stats, error) {
 			r, err := algo.KCoreContext(ctx, g, graphit.DefaultSchedule().ConfigApplyPriorityUpdate("eager_no_fusion"))
 			if err != nil {
@@ -320,14 +351,14 @@ func Table7(ctx context.Context, s Scale) *Table {
 		t.AddRow(d.Name, fmtDur(eagerKC.Time), fmtDur(lazyKC.Time), fmtDur(es.Time), fmtDur(ls.Time))
 	}
 	t.Note("paper: lazy wins k-core by 1.1-4.3x (redundant updates); eager wins SSSP by 2-43x")
-	return t
+	return t, nil
 }
 
 // Fig11 reproduces Figure 11: SSSP scalability across worker counts. On a
 // single-core host the wall-clock series is flat; the table therefore also
 // reports rounds (constant) and relaxations as the machine-independent
 // signal, and the sweep exercises the real multi-worker code paths.
-func Fig11(ctx context.Context, s Scale, workers []int) *Table {
+func Fig11(ctx context.Context, s Scale, workers []int) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 11: SSSP scalability (time per worker count)",
 		Header: []string{"graph", "framework", "workers", "time(s)", "rounds"},
@@ -335,7 +366,11 @@ func Fig11(ctx context.Context, s Scale, workers []int) *Table {
 	if len(workers) == 0 {
 		workers = []int{1, 2, 4, 8}
 	}
-	for _, d := range All(s) {
+	ds, err := All(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ds {
 		src := sources(d, 1)[0]
 		for _, fw := range []Framework{FwGraphIt, FwGAPBS, FwJulienne} {
 			for _, w := range workers {
@@ -348,18 +383,22 @@ func Fig11(ctx context.Context, s Scale, workers []int) *Table {
 		}
 	}
 	t.Note("this host exposes a single core; the sweep exercises the multi-worker code paths, wall-clock shape requires real cores")
-	return t
+	return t, nil
 }
 
 // DeltaSweep reproduces the §6.2 ∆-selection analysis: SSSP time across
 // coarsening factors, showing small deltas win on social networks and
 // large deltas on road networks.
-func DeltaSweep(ctx context.Context, s Scale) *Table {
+func DeltaSweep(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Delta selection (paper §6.2): SSSP time across coarsening factors",
 		Header: []string{"graph", "delta", "time(s)", "rounds"},
 	}
-	for _, d := range All(s) {
+	ds, err := All(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ds {
 		src := sources(d, 1)[0]
 		for _, exp := range []int{0, 2, 4, 7, 9, 11, 13, 15} {
 			sched := graphit.DefaultSchedule().
@@ -376,7 +415,7 @@ func DeltaSweep(ctx context.Context, s Scale) *Table {
 		}
 	}
 	t.Note("paper: best social deltas 1-100, best road deltas 2^13-2^17 (at continent scale)")
-	return t
+	return t, nil
 }
 
 // EngineReuse measures the unified engine's per-run scratch pooling: a
@@ -385,13 +424,17 @@ func DeltaSweep(ctx context.Context, s Scale) *Table {
 // and dedup flags). The wall-clock delta is the allocation and GC cost the
 // pool removes; BenchmarkEngineReuse in internal/core reports the same
 // pair with allocation counts.
-func EngineReuse(ctx context.Context, s Scale) *Table {
+func EngineReuse(ctx context.Context, s Scale) (*Table, error) {
 	t := &Table{
 		Title:  "Engine scratch reuse: back-to-back SSSP queries, pooled vs fresh buffers",
 		Header: []string{"graph", "queries", "pooled(s)", "fresh(s)", "fresh/pooled"},
 	}
 	const queries = 8
-	for _, d := range All(s) {
+	ds, err := All(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ds {
 		srcs := sources(d, queries)
 		runAll := func() time.Duration {
 			start := time.Now()
@@ -416,19 +459,23 @@ func EngineReuse(ctx context.Context, s Scale) *Table {
 			fmtRatio(fresh.Seconds()/pooled.Seconds()))
 	}
 	t.Note("pooling recycles per-run engine scratch across queries (sync.Pool); fresh allocates every run")
-	return t
+	return t, nil
 }
 
 // Autotune reproduces the §5.3/§6.2 autotuning experiment: the stochastic
 // schedule search should land within a few percent of the hand-tuned
 // schedule within the paper's 30-40 trial budget.
-func Autotune(ctx context.Context, s Scale) (*Table, float64) {
+func Autotune(ctx context.Context, s Scale) (*Table, float64, error) {
 	t := &Table{
 		Title:  "Autotuner vs hand-tuned schedule (SSSP)",
 		Header: []string{"graph", "hand-tuned(s)", "autotuned(s)", "ratio", "trials", "best schedule"},
 	}
+	ds, err := All(s)
+	if err != nil {
+		return nil, 0, err
+	}
 	worst := 0.0
-	for _, d := range All(s) {
+	for _, d := range ds {
 		src := sources(d, 1)[0]
 		hand := average([]RunResult{SSSP(ctx, FwGraphIt, d, src), SSSP(ctx, FwGraphIt, d, src)})
 		measure := func(ctx context.Context, cfg core.Config) (time.Duration, error) {
@@ -458,5 +505,5 @@ func Autotune(ctx context.Context, s Scale) (*Table, float64) {
 			fmt.Sprintf("%d", len(res.Trials)), res.Best.String())
 	}
 	t.Note("paper: autotuned schedules within 5%% of hand-tuned after 30-40 trials")
-	return t, worst
+	return t, worst, nil
 }

@@ -138,7 +138,10 @@ func PPSP(ctx context.Context, fw Framework, d *Dataset, src, dst graphit.Vertex
 // WBFS runs weighted BFS (∆=1) on the log-weighted variant of d. Galois
 // provides no wBFS (paper Table 4).
 func WBFS(ctx context.Context, fw Framework, d *Dataset, src graphit.VertexID) RunResult {
-	g := d.LogWeighted()
+	g, err := d.LogWeighted()
+	if err != nil {
+		return RunResult{Err: err}
+	}
 	switch fw {
 	case FwGalois:
 		return unsupported()
@@ -205,7 +208,10 @@ func AStar(ctx context.Context, fw Framework, d *Dataset, src, dst graphit.Verte
 // KCore runs k-core decomposition. GAPBS and Galois do not provide k-core
 // (paper Table 4); the unordered baseline is full-rescan peeling.
 func KCore(ctx context.Context, fw Framework, d *Dataset) RunResult {
-	g := d.Symmetrized()
+	g, err := d.Symmetrized()
+	if err != nil {
+		return RunResult{Err: err}
+	}
 	switch fw {
 	case FwGAPBS, FwGalois:
 		return unsupported()
@@ -241,7 +247,10 @@ func KCore(ctx context.Context, fw Framework, d *Dataset) RunResult {
 // SetCover runs approximate set cover (GraphIt and Julienne only, as in
 // the paper).
 func SetCover(ctx context.Context, fw Framework, d *Dataset) RunResult {
-	g := d.Symmetrized()
+	g, err := d.Symmetrized()
+	if err != nil {
+		return RunResult{Err: err}
+	}
 	switch fw {
 	case FwGraphIt, FwJulienne:
 		nb := 128

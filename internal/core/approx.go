@@ -30,6 +30,13 @@ func (o *Ordered) RunApprox() (Stats, error) {
 // RunApproxContext is RunApprox under a context: cancellation is checked at
 // every batch boundary, halting all workers and returning the partial Stats
 // together with ctx.Err().
+//
+// Panics in the edge function are contained like in the bucketed engine: all
+// workers join, and the fault returns as a *PanicError with partial Stats —
+// or, under Cfg.OnFault=FaultRetrySerial, the run is re-executed serially
+// from the surviving priority vector (approximate ordering is min-only, so
+// the relaxed state is a valid starting point and the serial pass converges
+// to the same fixpoint).
 func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 	o.Cfg.normalize()
 	if err := o.validate(); err != nil {
@@ -49,11 +56,7 @@ func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 	if len(active) == 0 {
 		return Stats{}, nil
 	}
-	q := &approxQueue{}
-	for _, v := range active {
-		q.push(o.bucketOf(o.Prio[v]), v)
-	}
-	q.outstanding.Store(int64(len(active)))
+	q := newApproxQueue(o, active)
 
 	// The run's executor fixes the worker count up front (no global
 	// SetWorkers dependence) and parks its workers for reuse by later runs.
@@ -64,9 +67,67 @@ func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 	}
 
 	var st Stats
+	pe := o.approxPass(ctx, q, ex, newRunCtl(ctx), batch, &st)
+	parallel.Release(ex)
+	st.BucketInserts += q.inserts
+	if pe != nil {
+		if o.Cfg.OnFault != FaultRetrySerial {
+			return st, pe
+		}
+		// Serial fallback: rebuild the queue from every still-reachable
+		// vertex and drain it on one worker with the hook suppressed. The
+		// partial parallel pass only lowered priorities, so re-relaxing
+		// from the surviving vector reaches the exact min fixpoint.
+		st.Retries++
+		if act := o.reactivate(); len(act) > 0 {
+			rq := newApproxQueue(o, act)
+			rex := parallel.NewExecutor(1)
+			rpe := o.approxPass(ctx, rq, rex, &runCtl{prefix: RetryPrefix}, batch, &st)
+			st.BucketInserts += rq.inserts
+			if rpe != nil {
+				return st, rpe
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// newApproxQueue builds the shared bucket queue over the active set.
+func newApproxQueue(o *Ordered, active []uint32) *approxQueue {
+	q := &approxQueue{}
+	for _, v := range active {
+		q.push(o.bucketOf(o.Prio[v]), v)
+	}
+	q.outstanding.Store(int64(len(active)))
+	return q
+}
+
+// approxPass drains q on ex's workers until empty, stopped, or cancelled,
+// folding counters into st. A panic on any worker is contained: siblings
+// stop at their next batch boundary, all workers join, the executor stays
+// reusable, and the fault is returned as a *PanicError (the panicked
+// worker's uncommitted batch counters are lost — Stats stay partial).
+func (o *Ordered) approxPass(ctx context.Context, q *approxQueue, ex *parallel.Executor, ctl *runCtl, batch int, st *Stats) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = asPanicError(ctl.prefix+PhaseApproxBatch, 0, r)
+		}
+	}()
 	var stMu sync.Mutex
 	var stopped atomic.Bool
-	ex.Run(func(_ int) {
+	ex.Run(func(worker int) {
+		defer func() {
+			if r := recover(); r != nil {
+				// Stop siblings promptly: the panicked worker's in-flight
+				// batch never retires its outstanding count, so without
+				// this they would spin waiting for it forever.
+				stopped.Store(true)
+				panic(r)
+			}
+		}()
 		u := &Updater{o: o, atomics: true}
 		var pending []approxItem
 		u.sink = func(v uint32, newPrio int64) {
@@ -91,6 +152,7 @@ func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 				continue
 			}
 			batches++
+			ctl.fireAt(PhaseApproxBatch, batches, worker)
 			if o.Stop != nil && o.Stop(bin*o.Cfg.Delta) {
 				q.outstanding.Add(-int64(len(items)))
 				stopped.Store(true)
@@ -134,12 +196,7 @@ func (o *Ordered) RunApproxContext(ctx context.Context) (Stats, error) {
 		st.Rounds += batches // "rounds" = batches: no global rounds exist
 		stMu.Unlock()
 	})
-	parallel.Release(ex)
-	st.BucketInserts = q.inserts
-	if err := ctx.Err(); err != nil {
-		return st, err
-	}
-	return st, nil
+	return nil
 }
 
 type approxItem struct {

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"testing"
+
+	"graphit/internal/parallel"
+	"graphit/internal/testutil"
 )
 
 // TestConcurrentRunsDifferentWorkerCounts is the regression test for the
@@ -14,6 +17,7 @@ import (
 // mid-flight and index per-worker state out of range (or lose vertices).
 // Run under -race in CI; every run must also match its serial result.
 func TestConcurrentRunsDifferentWorkerCounts(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
 	type job struct {
 		strategy Strategy
 		workers  int

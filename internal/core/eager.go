@@ -60,16 +60,20 @@ type eagerPush struct {
 	bins   []*bucket.LocalBins
 	fusion bool
 	grain  int
+	ctl    *runCtl
 	cursor atomic.Int64
 }
 
-func (t *eagerPush) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+func (t *eagerPush) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool, bool) {
 	o := t.o
 	t.cursor.Store(0)
 	fsize := len(frontier)
 	t.ex.Run(func(worker int) {
 		u := t.ups[worker]
 		for {
+			if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
+				return
+			}
 			lo := int(t.cursor.Add(int64(t.grain))) - t.grain
 			if lo >= fsize {
 				break
@@ -85,6 +89,13 @@ func (t *eagerPush) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool
 		if t.fusion {
 			my := t.bins[worker]
 			for {
+				// The fusion checkpoint also breaks fusion livelocks: a UDF
+				// that keeps re-inserting into the current bucket spins here
+				// without ever reaching a global barrier, so this is the
+				// only point a watchdog abort can interrupt it.
+				if t.ctl.checkpoint(PhaseFusion, worker) {
+					return
+				}
 				sz := my.Len(bid)
 				if sz == 0 || sz > o.Cfg.FusionThreshold {
 					break
@@ -97,7 +108,7 @@ func (t *eagerPush) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool
 			}
 		}
 	})
-	return nil, false
+	return nil, false, t.ctl.aborted() != abortNone
 }
 
 // eagerPull is the DensePull traversal over eager bins: a serial mark of
@@ -111,9 +122,10 @@ type eagerPull struct {
 	ups    []*Updater
 	inFron []bool
 	grain  int
+	ctl    *runCtl
 }
 
-func (t *eagerPull) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+func (t *eagerPull) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool, bool) {
 	o := t.o
 	for _, v := range frontier {
 		if o.bucketOf(atomicutil.Load(&o.Prio[v])) != bid {
@@ -126,6 +138,9 @@ func (t *eagerPull) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool
 	}
 	n := o.G.NumVertices()
 	t.ex.ForChunks(n, t.grain, func(lo, hi, worker int) {
+		if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
+			return
+		}
 		u := t.ups[worker]
 		for v := lo; v < hi; v++ {
 			o.processPull(uint32(v), t.inFron, u)
@@ -134,7 +149,7 @@ func (t *eagerPull) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool
 	for _, v := range frontier {
 		t.inFron[v] = false
 	}
-	return nil, true
+	return nil, true, t.ctl.aborted() != abortNone
 }
 
 // processPush applies the UDF to the out-edges of v if v still belongs to

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"graphit/internal/bucket"
+	"graphit/internal/parallel"
+	"graphit/internal/testutil"
 )
 
 // cancelAfter is a Tracer that cancels its context after n round events.
@@ -56,6 +58,7 @@ func kcoreOp(t *testing.T, seed int64, cfg Config) (*Ordered, []int64) {
 // strategy within one round barrier, returning ctx.Err() and the non-zero
 // partial Stats accumulated so far.
 func TestCancelMidRunEveryStrategy(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
 	for _, strat := range []Strategy{EagerWithFusion, EagerNoFusion, Lazy} {
 		t.Run(strat.String(), func(t *testing.T) {
 			// A line graph with ∆=1 needs one round per vertex, so a

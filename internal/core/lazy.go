@@ -56,13 +56,15 @@ type lazyTrav struct {
 	nextMap       []bool            // dense changed map (pull only)
 	grain         int
 	pullThreshold int64
+	ctl           *runCtl
 }
 
-func (t *lazyTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+func (t *lazyTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool, bool) {
 	o := t.o
 	if o.fin != nil {
 		// Finalize dequeued vertices first so intra-bucket updates to them
-		// are rejected (k-core: coreness is fixed at dequeue).
+		// are rejected (k-core: coreness is fixed at dequeue). TrySet is
+		// idempotent, so a serial retry of this round re-runs it safely.
 		for _, v := range frontier {
 			o.fin.TrySet(v)
 		}
@@ -82,9 +84,11 @@ func (t *lazyTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool)
 		}
 	}
 	if pull {
-		return t.pullRound(frontier), true
+		updated := t.pullRound(frontier)
+		return updated, true, t.ctl.aborted() != abortNone
 	}
-	return t.pushRound(frontier), false
+	updated := t.pushRound(frontier)
+	return updated, false, t.ctl.aborted() != abortNone
 }
 
 // pushRound applies the UDF over the out-edges of the frontier with atomic
@@ -94,6 +98,9 @@ func (t *lazyTrav) pushRound(verts []uint32) []uint32 {
 	o := t.o
 	g := o.G
 	t.ex.ForChunks(len(verts), t.grain, func(lo, hi, worker int) {
+		if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
+			return
+		}
 		u := t.ups[worker]
 		for _, v := range verts[lo:hi] {
 			u.processed++
@@ -130,6 +137,9 @@ func (t *lazyTrav) pullRound(verts []uint32) []uint32 {
 		t.inFron[v] = true
 	}
 	t.ex.ForChunks(n, t.grain, func(lo, hi, worker int) {
+		if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
+			return
+		}
 		u := t.ups[worker]
 		for v := lo; v < hi; v++ {
 			o.processPull(uint32(v), t.inFron, u)
@@ -156,9 +166,10 @@ type constSumTrav struct {
 	ups   []*Updater
 	hist  *histogram.Counter
 	grain int
+	ctl   *runCtl
 }
 
-func (t *constSumTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool) {
+func (t *constSumTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool, bool) {
 	o := t.o
 	g := o.G
 	if o.fin != nil {
@@ -167,6 +178,9 @@ func (t *constSumTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, b
 		}
 	}
 	t.ex.ForChunks(len(frontier), t.grain, func(lo, hi, worker int) {
+		if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
+			return
+		}
 		u := t.ups[worker]
 		for _, v := range frontier[lo:hi] {
 			u.processed++
@@ -179,6 +193,14 @@ func (t *constSumTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, b
 			}
 		}
 	})
+	// Abort gate before Drain: the counting sweep above never touches the
+	// priority vector, so an aborted round leaves Prio untouched and a
+	// serial retry re-counts on a fresh histogram and applies exactly once.
+	// Past this point the round always completes — Drain mutates Prio and
+	// must never re-run (updatePrioritySum is not idempotent).
+	if t.ctl.aborted() != abortNone {
+		return nil, false, true
+	}
 	floor := int64(math.MinInt64 + 1)
 	if o.SumFloorIsCurrent {
 		floor = curPrio
@@ -211,5 +233,5 @@ func (t *constSumTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, b
 		updated = append(updated, v)
 	})
 	t.sc.updated = updated
-	return updated, false
+	return updated, false, false
 }

@@ -26,6 +26,7 @@ type Manual struct {
 	frontier []uint32
 	popped   bool
 	closed   bool
+	err      error // poisoned by a contained panic; all later rounds refuse
 	st       Stats
 }
 
@@ -63,14 +64,17 @@ func NewManual(o *Ordered) (*Manual, error) {
 	sc := &scratch{}
 	ex := parallel.Acquire(o.Cfg.Workers)
 	ups := sc.getUpdaters(o, ex.Workers())
+	// Manual rounds have no watchdog or injection hook (faults reach them
+	// through the user's EdgeFunc directly), so the control block is inert.
+	ctl := &runCtl{}
 	m := &Manual{o: o, src: o.newLazySource(active), ups: ups, ex: ex}
 	if o.Cfg.Strategy == LazyConstantSum {
 		for _, u := range ups {
 			u.atomics = true
 		}
-		m.trav = &constSumTrav{o: o, ex: ex, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain}
+		m.trav = &constSumTrav{o: o, ex: ex, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain, ctl: ctl}
 	} else {
-		t := &lazyTrav{o: o, ex: ex, sc: sc, ups: ups, grain: grain, dedup: sc.getDedup(n)}
+		t := &lazyTrav{o: o, ex: ex, sc: sc, ups: ups, grain: grain, dedup: sc.getDedup(n), ctl: ctl}
 		if o.Cfg.Direction == DensePull {
 			t.inFron, t.nextMap = sc.getDense(n)
 		}
@@ -137,7 +141,16 @@ func (m *Manual) DequeueReadySet() []uint32 {
 // ApplyUpdatePriority applies f to every out-edge of frontier under the
 // queue's lazy schedule and bulk-updates the buckets — one round of
 // `edges.from(bucket).applyUpdatePriority(f)`.
-func (m *Manual) ApplyUpdatePriority(frontier []uint32, f EdgeFunc) {
+//
+// A panic in f is contained: all workers join, the error returns as a
+// *PanicError with the partial counters folded into Stats, and the Manual
+// is poisoned — its bucket state may be inconsistent with the priority
+// vector, so every later ApplyUpdatePriority refuses with the same error
+// (queries like Stats and FinishedVertex remain valid).
+func (m *Manual) ApplyUpdatePriority(frontier []uint32, f EdgeFunc) (err error) {
+	if m.err != nil {
+		return m.err
+	}
 	o := m.o
 	if f == nil {
 		f = o.Apply
@@ -145,16 +158,27 @@ func (m *Manual) ApplyUpdatePriority(frontier []uint32, f EdgeFunc) {
 	o.Apply = f
 	m.st.Rounds++
 	curPrio := m.curBkt * o.Cfg.Delta
+	fold := func() {
+		for _, u := range m.ups {
+			m.st.Relaxations += u.relaxations
+			m.st.Inversions += u.inversions
+			m.st.Processed += u.processed
+			u.relaxations, u.inversions, u.processed, u.fused = 0, 0, 0, 0
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fold()
+			pe := asPanicError(PhaseRelax, m.st.Rounds, r)
+			m.err = pe
+			err = pe
+		}
+	}()
 	for _, u := range m.ups {
 		u.curBin, u.curPrio = m.curBkt, curPrio
 	}
-	updated, pull := m.trav.relax(m.curBkt, curPrio, frontier)
-	for _, u := range m.ups {
-		m.st.Relaxations += u.relaxations
-		m.st.Inversions += u.inversions
-		m.st.Processed += u.processed
-		u.relaxations, u.inversions, u.processed, u.fused = 0, 0, 0, 0
-	}
+	updated, pull, _ := m.trav.relax(m.curBkt, curPrio, frontier)
+	fold()
 	if pull {
 		m.st.PullRounds++
 	}
@@ -162,7 +186,11 @@ func (m *Manual) ApplyUpdatePriority(frontier []uint32, f EdgeFunc) {
 	m.src.update(updated)
 	m.popped = false
 	m.frontier = nil
+	return nil
 }
+
+// Err returns the fault that poisoned the Manual, if any.
+func (m *Manual) Err() error { return m.err }
 
 // Stats returns counters accumulated so far.
 func (m *Manual) Stats() Stats {

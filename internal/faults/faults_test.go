@@ -1,0 +1,510 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphit"
+	"graphit/internal/core"
+	"graphit/internal/gen"
+	"graphit/internal/parallel"
+	"graphit/internal/testutil"
+)
+
+// ---------------------------------------------------------------------------
+// Injector unit tests (no engine involved).
+// ---------------------------------------------------------------------------
+
+func catchPanic(fn func()) (v any) {
+	defer func() { v = recover() }()
+	fn()
+	return nil
+}
+
+func TestTriggerMatching(t *testing.T) {
+	in := New(PanicAt(core.PhaseRelaxChunk, 2, "boom"))
+	hook := in.Hook()
+	if v := catchPanic(func() { hook(core.PhaseRelaxChunk, 1, 0) }); v != nil {
+		t.Fatalf("fired on wrong round: %v", v)
+	}
+	if v := catchPanic(func() { hook(core.PhaseRelax, 2, 0) }); v != nil {
+		t.Fatalf("fired on wrong phase: %v", v)
+	}
+	if v := catchPanic(func() { hook(core.PhaseRelaxChunk, 2, 3) }); v != "boom" {
+		t.Fatalf("expected panic \"boom\", got %v", v)
+	}
+	// One-shot: the trigger must not fire again.
+	if v := catchPanic(func() { hook(core.PhaseRelaxChunk, 2, 0) }); v != nil {
+		t.Fatalf("one-shot trigger fired twice: %v", v)
+	}
+	evs := in.Events()
+	if len(evs) != 1 || evs[0].Round != 2 || evs[0].Worker != 3 || evs[0].Action != ActionPanic {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+}
+
+func TestOccurrenceAndRepeat(t *testing.T) {
+	in := New(Trigger{Phase: "p", Occurrence: 3, PanicValue: "x"})
+	hook := in.Hook()
+	for i := 0; i < 2; i++ {
+		if v := catchPanic(func() { hook("p", 1, 0) }); v != nil {
+			t.Fatalf("fired before occurrence 3: %v", v)
+		}
+	}
+	if v := catchPanic(func() { hook("p", 1, 0) }); v != "x" {
+		t.Fatalf("did not fire on occurrence 3: %v", v)
+	}
+
+	rep := New(Trigger{Phase: "p", Repeat: true, PanicValue: "y"})
+	rh := rep.Hook()
+	for i := 0; i < 3; i++ {
+		if v := catchPanic(func() { rh("p", int64(i+1), 0) }); v != "y" {
+			t.Fatalf("repeat trigger missed firing %d: %v", i, v)
+		}
+	}
+	if got := rep.Fired("p"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestSeededPanicDeterminism(t *testing.T) {
+	rounds := func(seed uint64) []int64 {
+		in := New(SeededPanic("p", seed, 4, "s"))
+		hook := in.Hook()
+		var fired []int64
+		for r := int64(1); r <= 200; r++ {
+			if catchPanic(func() { hook("p", r, 0) }) != nil {
+				fired = append(fired, r)
+			}
+		}
+		return fired
+	}
+	a, b := rounds(7), rounds(7)
+	if len(a) == 0 {
+		t.Fatal("seeded trigger never fired in 200 rounds")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired differently: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed fired differently: %v vs %v", a, b)
+		}
+	}
+	if c := rounds(8); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds fired on identical rounds")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: the acceptance matrix. Everything below runs with the
+// goroutine-leak assertion active and is exercised under -race in CI.
+// ---------------------------------------------------------------------------
+
+// ssspGraph is a deterministic scale-8 R-MAT graph with weights and in-edges
+// (DensePull needs them).
+func ssspGraph(t *testing.T) *graphit.Graph {
+	t.Helper()
+	opt := gen.DefaultRMAT(8, 8, 42)
+	opt.MaxW = 32
+	opt.InEdges = true
+	g, err := gen.RMAT(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// kcoreGraph is the symmetrized, unweighted variant for constant-sum.
+func kcoreGraph(t *testing.T) *graphit.Graph {
+	t.Helper()
+	opt := gen.DefaultRMAT(8, 8, 43)
+	opt.InEdges = true
+	opt.Symmetrize = true
+	g, err := gen.RMAT(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// ssspOp builds a fresh SSSP operator (fresh priority vector) over g.
+func ssspOp(g *graphit.Graph, src graphit.VertexID) (*graphit.Ordered, []int64) {
+	dist := make([]int64, g.NumVertices())
+	for i := range dist {
+		dist[i] = graphit.Unreached
+	}
+	dist[src] = 0
+	op := &graphit.Ordered{
+		G: g, Prio: dist, Order: graphit.LowerFirst,
+		Apply: func(s, d graphit.VertexID, w graphit.Weight, q *graphit.Queue) {
+			q.UpdatePriorityMin(d, q.Priority(s)+int64(w))
+		},
+		Sources: []graphit.VertexID{src},
+	}
+	return op, dist
+}
+
+// kcoreOp builds a fresh k-core peeling operator over the symmetric g.
+func kcoreOp(g *graphit.Graph) (*graphit.Ordered, []int64) {
+	deg := make([]int64, g.NumVertices())
+	for v := range deg {
+		deg[v] = int64(g.OutDegree(graphit.VertexID(v)))
+	}
+	op := &graphit.Ordered{
+		G: g, Prio: deg, Order: graphit.LowerFirst,
+		Apply: func(s, d graphit.VertexID, w graphit.Weight, q *graphit.Queue) {
+			q.UpdatePrioritySum(d, -1, q.GetCurrentPriority())
+		},
+		SumConst:          -1,
+		SumFloorIsCurrent: true,
+		FinalizeOnPop:     true,
+	}
+	return op, deg
+}
+
+// strategyCase is one cell of the strategy × direction acceptance matrix.
+type strategyCase struct {
+	name  string
+	sched graphit.Schedule
+	kcore bool // use the k-core operator (constant-sum) instead of SSSP
+}
+
+func strategyCases() []strategyCase {
+	return []strategyCase{
+		{
+			name: "eager_with_fusion",
+			sched: graphit.DefaultSchedule().
+				ConfigApplyPriorityUpdate("eager_with_fusion").
+				ConfigApplyPriorityUpdateDelta(4),
+		},
+		{
+			name: "eager_no_fusion_pull",
+			sched: graphit.DefaultSchedule().
+				ConfigApplyPriorityUpdate("eager_no_fusion").
+				ConfigApplyPriorityUpdateDelta(4).
+				ConfigApplyDirection("DensePull"),
+		},
+		{
+			name: "lazy",
+			sched: graphit.DefaultSchedule().
+				ConfigApplyPriorityUpdate("lazy").
+				ConfigApplyPriorityUpdateDelta(4),
+		},
+		{
+			name: "lazy_constant_sum",
+			sched: graphit.DefaultSchedule().
+				ConfigApplyPriorityUpdate("lazy_constant_sum"),
+			kcore: true,
+		},
+	}
+}
+
+// buildOp returns a fresh operator (and its priority vector) for the case.
+func (c strategyCase) buildOp(g, gsym *graphit.Graph) (*graphit.Ordered, []int64) {
+	if c.kcore {
+		return kcoreOp(gsym)
+	}
+	return ssspOp(g, 1)
+}
+
+// baseline runs the case fault-free and returns the converged priorities.
+func (c strategyCase) baseline(t *testing.T, g, gsym *graphit.Graph) []int64 {
+	t.Helper()
+	op, prio := c.buildOp(g, gsym)
+	if _, err := graphit.RunOrderedContext(context.Background(), op, c.sched); err != nil {
+		t.Fatalf("fault-free %s run failed: %v", c.name, err)
+	}
+	return append([]int64(nil), prio...)
+}
+
+func samePrio(t *testing.T, want, got []int64, label string) {
+	t.Helper()
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("%s: priority of vertex %d = %d, want %d", label, v, got[v], want[v])
+		}
+	}
+}
+
+// TestPanicContainment is the first acceptance criterion: a panic injected
+// into any of the four strategies returns a *PanicError from
+// RunOrderedContext with partial Stats, the process stays alive, and the
+// executor pool is reusable — a fresh run on the same pool converges.
+func TestPanicContainment(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g, gsym := ssspGraph(t), kcoreGraph(t)
+	for _, c := range strategyCases() {
+		t.Run(c.name, func(t *testing.T) {
+			want := c.baseline(t, g, gsym)
+
+			op, _ := c.buildOp(g, gsym)
+			in := New(PanicAt(core.PhaseRelaxChunk, 2, "injected fault"))
+			st, err := graphit.RunOrderedContext(in.Context(context.Background()), op, c.sched)
+			var pe *graphit.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("expected *PanicError, got %v", err)
+			}
+			if pe.Value != "injected fault" {
+				t.Fatalf("panic value = %v", pe.Value)
+			}
+			if pe.Round != 2 {
+				t.Fatalf("PanicError.Round = %d, want 2", pe.Round)
+			}
+			if pe.Phase != core.PhaseRelax && pe.Phase != core.PhaseRelaxChunk {
+				t.Fatalf("PanicError.Phase = %q", pe.Phase)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("PanicError.Stack empty")
+			}
+			if st.Rounds < 1 {
+				t.Fatalf("partial Stats lost: %+v", st)
+			}
+			if got := in.Fired(core.PhaseRelaxChunk); got != 1 {
+				t.Fatalf("trigger fired %d times, want 1", got)
+			}
+
+			// The pool must be intact: the next run reuses it and converges.
+			op2, prio2 := c.buildOp(g, gsym)
+			if _, err := graphit.RunOrderedContext(context.Background(), op2, c.sched); err != nil {
+				t.Fatalf("run after contained panic failed: %v", err)
+			}
+			samePrio(t, want, prio2, "post-fault rerun")
+		})
+	}
+}
+
+// TestRetrySerialMatchesFaultFree is the second acceptance criterion: under
+// OnFault=retry_serial a faulted run completes with results identical to the
+// fault-free run, for every strategy and for faults in every engine phase.
+func TestRetrySerialMatchesFaultFree(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g, gsym := ssspGraph(t), kcoreGraph(t)
+	phases := []struct {
+		name  string
+		phase string
+		round int64
+	}{
+		{"relax_chunk", core.PhaseRelaxChunk, 2},
+		{"relax", core.PhaseRelax, 2},
+		{"next_bucket", core.PhaseNext, 3},
+		{"update_buckets", core.PhaseUpdate, 1},
+	}
+	for _, c := range strategyCases() {
+		want := c.baseline(t, g, gsym)
+		sched := c.sched.ConfigOnFault("retry_serial")
+		for _, ph := range phases {
+			t.Run(c.name+"/"+ph.name, func(t *testing.T) {
+				op, prio := c.buildOp(g, gsym)
+				in := New(PanicAt(ph.phase, ph.round, "injected fault"))
+				st, err := graphit.RunOrderedContext(in.Context(context.Background()), op, sched)
+				if err != nil {
+					t.Fatalf("retry_serial run failed: %v", err)
+				}
+				if st.Retries < 1 {
+					t.Fatalf("Stats.Retries = %d, want >= 1", st.Retries)
+				}
+				if got := in.Fired(ph.phase); got != 1 {
+					t.Fatalf("trigger fired %d times, want 1", got)
+				}
+				samePrio(t, want, prio, "retry_serial")
+			})
+		}
+	}
+}
+
+// TestRetrySerialSeededFaults drives the lazy engine through repeated
+// pseudo-random faults: every faulted round is retried serially and the run
+// still converges to the fault-free result.
+func TestRetrySerialSeededFaults(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g := ssspGraph(t)
+	c := strategyCase{
+		name: "lazy",
+		sched: graphit.DefaultSchedule().
+			ConfigApplyPriorityUpdate("lazy").
+			ConfigApplyPriorityUpdateDelta(4),
+	}
+	want := c.baseline(t, g, nil)
+
+	op, prio := c.buildOp(g, nil)
+	in := New(SeededPanic(core.PhaseRelaxChunk, 99, 5, "seeded fault"))
+	st, err := graphit.RunOrderedContext(in.Context(context.Background()), op, c.sched.ConfigOnFault("retry_serial"))
+	if err != nil {
+		t.Fatalf("seeded retry_serial run failed: %v (after %d retries)", err, st.Retries)
+	}
+	if st.Retries < 1 {
+		t.Fatalf("seeded trigger never fired (Retries=0)")
+	}
+	samePrio(t, want, prio, "seeded retry_serial")
+}
+
+// TestWatchdogTimeout holds a round in flight past Cfg.RoundTimeout and
+// expects a *StuckError under the default policy, and a clean, identical
+// result under retry_serial.
+func TestWatchdogTimeout(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g := ssspGraph(t)
+	c := strategyCase{
+		name: "lazy",
+		sched: graphit.DefaultSchedule().
+			ConfigApplyPriorityUpdate("lazy").
+			ConfigApplyPriorityUpdateDelta(4),
+	}
+	want := c.baseline(t, g, nil)
+
+	t.Run("fail", func(t *testing.T) {
+		op, _ := c.buildOp(g, nil)
+		in := New(DelayAt(core.PhaseRelaxChunk, 2, 300*time.Millisecond))
+		st, err := graphit.RunOrderedContext(in.Context(context.Background()), op,
+			c.sched.ConfigRoundTimeout(30*time.Millisecond))
+		var se *graphit.StuckError
+		if !errors.As(err, &se) {
+			t.Fatalf("expected *StuckError, got %v", err)
+		}
+		if se.Reason != core.StuckRoundTimeout {
+			t.Fatalf("StuckError.Reason = %q", se.Reason)
+		}
+		if se.Round != 2 {
+			t.Fatalf("StuckError.Round = %d, want 2", se.Round)
+		}
+		if len(se.Recent) == 0 {
+			t.Fatal("StuckError.Recent empty: no per-round context attached")
+		}
+		if st.Rounds < 1 {
+			t.Fatalf("partial Stats lost: %+v", st)
+		}
+	})
+
+	t.Run("retry_serial", func(t *testing.T) {
+		op, prio := c.buildOp(g, nil)
+		in := New(DelayAt(core.PhaseRelaxChunk, 2, 300*time.Millisecond))
+		st, err := graphit.RunOrderedContext(in.Context(context.Background()), op,
+			c.sched.ConfigRoundTimeout(30*time.Millisecond).ConfigOnFault("retry_serial"))
+		if err != nil {
+			t.Fatalf("retry after timeout failed: %v", err)
+		}
+		if st.Retries < 1 {
+			t.Fatalf("Stats.Retries = %d, want >= 1", st.Retries)
+		}
+		samePrio(t, want, prio, "timeout retry_serial")
+	})
+}
+
+// TestCancelMidRound cancels the run's own context from inside a round; with
+// the watchdog armed the abort lands mid-round, not at the next barrier.
+func TestCancelMidRound(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g := ssspGraph(t)
+	for _, c := range strategyCases() {
+		if c.kcore {
+			continue // same engine path; SSSP keeps the subtest uniform
+		}
+		t.Run(c.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			op, _ := ssspOp(g, 1)
+			in := New(CancelAt(core.PhaseRelaxChunk, 2, cancel))
+			st, err := graphit.RunOrderedContext(in.Context(ctx), op,
+				c.sched.ConfigRoundTimeout(time.Second))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("expected context.Canceled, got %v", err)
+			}
+			if st.Rounds < 1 {
+				t.Fatalf("partial Stats lost: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCancelMidSerialRetry is the satellite criterion: a context cancelled
+// while the serial retry of a faulted round is executing still returns
+// promptly with partial Stats, for every strategy.
+func TestCancelMidSerialRetry(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g, gsym := ssspGraph(t), kcoreGraph(t)
+	for _, c := range strategyCases() {
+		t.Run(c.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			op, _ := c.buildOp(g, gsym)
+			in := New(
+				PanicAt(core.PhaseRelaxChunk, 2, "injected fault"),
+				CancelAt(core.RetryPrefix+core.PhaseRelaxChunk, 0, cancel),
+			)
+			start := time.Now()
+			st, err := graphit.RunOrderedContext(in.Context(ctx), op, c.sched.ConfigOnFault("retry_serial"))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("expected context.Canceled, got %v", err)
+			}
+			if st.Retries != 1 {
+				t.Fatalf("Stats.Retries = %d, want 1", st.Retries)
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Fatalf("cancellation mid-retry took %v", elapsed)
+			}
+			if in.Fired(core.RetryPrefix+core.PhaseRelaxChunk) != 1 {
+				t.Fatal("cancel trigger did not fire during the serial retry")
+			}
+		})
+	}
+}
+
+// TestApproxContainment covers the approximate-ordering engine: a contained
+// panic joins all workers and returns a *PanicError; under retry_serial the
+// run completes with the exact min fixpoint.
+func TestApproxContainment(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g := ssspGraph(t)
+	want := (strategyCase{
+		name: "lazy",
+		sched: graphit.DefaultSchedule().
+			ConfigApplyPriorityUpdate("lazy").
+			ConfigApplyPriorityUpdateDelta(4),
+	}).baseline(t, g, nil)
+	cfg, err := graphit.DefaultSchedule().Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("fail", func(t *testing.T) {
+		op, _ := ssspOp(g, 1)
+		op.Cfg = cfg
+		in := New(PanicAt(core.PhaseApproxBatch, 2, "injected fault"))
+		st, err := op.RunApproxContext(in.Context(context.Background()))
+		var pe *graphit.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("expected *PanicError, got %v", err)
+		}
+		if pe.Phase != core.PhaseApproxBatch {
+			t.Fatalf("PanicError.Phase = %q", pe.Phase)
+		}
+		_ = st // partial counters; approx commits per batch, so no floor to assert
+	})
+
+	t.Run("retry_serial", func(t *testing.T) {
+		op, prio := ssspOp(g, 1)
+		op.Cfg = cfg
+		op.Cfg.OnFault = core.FaultRetrySerial
+		in := New(PanicAt(core.PhaseApproxBatch, 2, "injected fault"))
+		st, err := op.RunApproxContext(in.Context(context.Background()))
+		if err != nil {
+			t.Fatalf("approx retry_serial failed: %v", err)
+		}
+		if st.Retries != 1 {
+			t.Fatalf("Stats.Retries = %d, want 1", st.Retries)
+		}
+		samePrio(t, want, prio, "approx retry_serial")
+	})
+}

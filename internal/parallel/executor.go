@@ -1,10 +1,77 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// Panic describes a panic recovered from a parallel loop body. Every loop
+// primitive (Run, ForChunks, ForStatic, and the package-level wrappers)
+// contains panics on its workers: all workers are joined, the executor is
+// returned to a reusable parked state, and the first panic is re-raised on
+// the calling goroutine wrapped in a *Panic that preserves the panicking
+// worker's stack. Callers that need an error instead of a panic (the
+// ordered engine) recover it and unwrap Value/Stack.
+type Panic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+	// Worker is the worker id the panic occurred on.
+	Worker int
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("parallel: panic on worker %d: %v", p.Worker, p.Value)
+}
+
+// panicCell records the first panic of an invocation so it can be re-raised
+// on the calling goroutine after all workers have joined.
+type panicCell struct {
+	mu sync.Mutex
+	p  *Panic
+}
+
+// capture stores r (first panic wins). A *Panic passes through unchanged so
+// the stack captured closest to the fault survives rewrapping.
+func (c *panicCell) capture(r any, worker int) {
+	wp, ok := r.(*Panic)
+	if !ok {
+		wp = &Panic{Value: r, Stack: debug.Stack(), Worker: worker}
+	}
+	c.mu.Lock()
+	if c.p == nil {
+		c.p = wp
+	}
+	c.mu.Unlock()
+}
+
+// rethrow re-raises the recorded panic, if any, on the caller.
+func (c *panicCell) rethrow() {
+	c.mu.Lock()
+	p := c.p
+	c.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// protect wraps fn so a panic is recorded in cell instead of unwinding past
+// the worker (which would kill the process on a pooled goroutine, or strand
+// the invocation lock on the caller).
+func protect(fn func(worker int), cell *panicCell) func(worker int) {
+	return func(worker int) {
+		defer func() {
+			if r := recover(); r != nil {
+				cell.capture(r, worker)
+			}
+		}()
+		fn(worker)
+	}
+}
 
 // Executor is a persistent pool of parked worker goroutines with a fixed,
 // immutable worker count. It provides the same loop primitives as the
@@ -66,9 +133,10 @@ func NewExecutor(w int) *Executor {
 }
 
 // finalize is the backstop for executors dropped without Close (e.g. an
-// abandoned Manual run). It must not block the finalizer goroutine, so a
-// mutex left locked by a panicked invocation makes it give up — those
-// workers leak, as the transient goroutines of a panicked spawn always did.
+// abandoned Manual run). It must not block the finalizer goroutine, so it
+// gives up if the invocation lock is held; panics in loop bodies are
+// recovered on the workers themselves (see protect), so the lock can only
+// be held by an invocation still legitimately in flight.
 func (e *Executor) finalize() {
 	if !e.mu.TryLock() {
 		return
@@ -111,26 +179,36 @@ func (e *Executor) Close() {
 }
 
 // spawnRun is the transient fallback: the historical spawn-per-call
-// parallel region, used when an executor is busy, closed, or absent.
+// parallel region, used when an executor is busy, closed, or absent. Like
+// the pooled path, a panicking body is joined and re-raised on the caller
+// as a *Panic instead of killing the process from a bare goroutine.
 func spawnRun(w int, fn func(worker int)) {
 	if w <= 1 {
 		fn(0)
 		return
 	}
+	var cell panicCell
+	wrapped := protect(fn, &cell)
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for wk := 0; wk < w; wk++ {
 		go func(worker int) {
 			defer wg.Done()
-			fn(worker)
+			wrapped(worker)
 		}(wk)
 	}
 	wg.Wait()
+	cell.rethrow()
 }
 
 // Run executes fn(worker) once on each of the executor's workers and waits
 // for all of them — an OpenMP parallel region on persistent threads. The
 // caller's goroutine runs worker 0.
+//
+// A panic in fn is contained: every worker still joins, the executor's
+// workers return to their parked (reusable) state, and the first panic is
+// re-raised on the caller wrapped in a *Panic carrying the original value
+// and stack. The pool entry is never stranded by a panicked invocation.
 func (e *Executor) Run(fn func(worker int)) {
 	if e.w <= 1 {
 		fn(0)
@@ -145,13 +223,16 @@ func (e *Executor) Run(fn func(worker int)) {
 		spawnRun(e.w, fn)
 		return
 	}
+	var cell panicCell
+	wrapped := protect(fn, &cell)
 	e.sh.wg.Add(e.w - 1)
 	for _, ch := range e.chs {
-		ch <- fn
+		ch <- wrapped
 	}
-	fn(0)
+	wrapped(0)
 	e.sh.wg.Wait()
 	e.mu.Unlock()
+	cell.rethrow()
 }
 
 // ForChunks divides [0, n) into chunks of at most grain iterations and
@@ -169,8 +250,21 @@ func (e *Executor) ForChunks(n, grain int, body func(lo, hi, worker int)) {
 		return
 	}
 	var next atomic.Int64
+	// A panicked chunk marks the loop aborted so sibling workers stop
+	// claiming chunks at their next boundary; the panic is wrapped here (the
+	// closest frame to the fault) so the original stack reaches the caller.
+	var aborted atomic.Bool
 	e.Run(func(worker int) {
-		for {
+		defer func() {
+			if r := recover(); r != nil {
+				aborted.Store(true)
+				if _, ok := r.(*Panic); !ok {
+					r = &Panic{Value: r, Stack: debug.Stack(), Worker: worker}
+				}
+				panic(r)
+			}
+		}()
+		for !aborted.Load() {
 			lo := int(next.Add(int64(grain))) - grain
 			if lo >= n {
 				return
@@ -282,6 +376,28 @@ func Release(e *Executor) {
 	}
 	executorPool.mu.Unlock()
 	if e != nil {
+		e.Close()
+	}
+}
+
+// CloseIdle closes every idle pooled executor and the shared default
+// executor, parking their worker goroutines permanently. It exists for
+// goroutine-leak assertions in tests: pooled workers are intentionally
+// long-lived, so a leak check must first drain them to distinguish "parked
+// by design" from "stranded by a bug". Executors currently checked out via
+// Acquire are unaffected, and the default executor is rebuilt on demand by
+// the next package-level loop call.
+func CloseIdle() {
+	executorPool.mu.Lock()
+	lists := executorPool.free
+	executorPool.free = make(map[int][]*Executor)
+	executorPool.mu.Unlock()
+	for _, list := range lists {
+		for _, e := range list {
+			e.Close()
+		}
+	}
+	if e := defaultExec.Swap(nil); e != nil {
 		e.Close()
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"graphit/internal/testutil"
 )
 
 // TestExecutorWorkerIDStability: every invocation hands out each worker id
@@ -147,6 +149,7 @@ func TestExecutorCloseSemantics(t *testing.T) {
 // all complete with full worker coverage (the loser degrades to transient
 // goroutines rather than deadlocking or corrupting the pooled dispatch).
 func TestExecutorConcurrentInvocations(t *testing.T) {
+	defer testutil.LeakCheck(t, CloseIdle)()
 	e := NewExecutor(4)
 	defer e.Close()
 	var wg sync.WaitGroup
@@ -220,6 +223,181 @@ func TestExecutorScanPack(t *testing.T) {
 		if v != uint32(i*3) {
 			t.Fatalf("PackU32[%d] = %d, want %d", i, v, i*3)
 		}
+	}
+}
+
+// mustPanic runs fn, requires it to panic with a *Panic, and returns it.
+func mustPanic(t *testing.T, fn func()) *Panic {
+	t.Helper()
+	var got *Panic
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic propagated to the caller")
+			}
+			p, ok := r.(*Panic)
+			if !ok {
+				t.Fatalf("panic value is %T, want *Panic", r)
+			}
+			got = p
+		}()
+		fn()
+	}()
+	return got
+}
+
+// TestExecutorRunPanicContained: a panic in a Run body is re-raised on the
+// caller as a *Panic with the original value and a non-empty stack, and the
+// executor remains fully usable afterwards (the pre-fix behavior stranded
+// the invocation lock, degrading every later call to transient goroutines).
+func TestExecutorRunPanicContained(t *testing.T) {
+	defer testutil.LeakCheck(t, CloseIdle)()
+	e := NewExecutor(4)
+	defer e.Close()
+	p := mustPanic(t, func() {
+		e.Run(func(worker int) {
+			if worker == 2 {
+				panic("boom")
+			}
+		})
+	})
+	if p.Value != "boom" {
+		t.Errorf("Panic.Value = %v, want boom", p.Value)
+	}
+	if p.Worker != 2 {
+		t.Errorf("Panic.Worker = %d, want 2", p.Worker)
+	}
+	if len(p.Stack) == 0 {
+		t.Error("Panic.Stack is empty")
+	}
+	// The executor must still run pooled invocations correctly.
+	for round := 0; round < 10; round++ {
+		var hits [4]atomic.Int64
+		e.Run(func(worker int) { hits[worker].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("post-panic round %d: worker %d ran %d times", round, i, got)
+			}
+		}
+	}
+}
+
+// TestExecutorPanicAllWorkers: every worker panicking at once still joins
+// cleanly and surfaces exactly one panic.
+func TestExecutorPanicAllWorkers(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	for round := 0; round < 20; round++ {
+		p := mustPanic(t, func() {
+			e.Run(func(worker int) { panic(worker) })
+		})
+		if _, ok := p.Value.(int); !ok {
+			t.Fatalf("Panic.Value = %v (%T), want a worker id", p.Value, p.Value)
+		}
+	}
+}
+
+// TestExecutorForChunksPanicAborts: a panicking chunk stops sibling workers
+// from claiming further chunks, and the loop's panic preserves the faulting
+// worker's stack (not the rethrow site's).
+func TestExecutorForChunksPanicAborts(t *testing.T) {
+	defer testutil.LeakCheck(t, CloseIdle)()
+	e := NewExecutor(4)
+	defer e.Close()
+	const n = 1 << 20
+	var processed atomic.Int64
+	p := mustPanic(t, func() {
+		e.ForChunks(n, 16, func(lo, hi, worker int) {
+			if lo == 0 {
+				panic("chunk fault")
+			}
+			processed.Add(int64(hi - lo))
+		})
+	})
+	if p.Value != "chunk fault" {
+		t.Errorf("Panic.Value = %v", p.Value)
+	}
+	if got := processed.Load(); got >= n-16 {
+		t.Errorf("siblings processed %d of %d iterations after the fault; abort did not propagate", got, n)
+	}
+	// The dynamic loop still covers everything on the next invocation.
+	var count atomic.Int64
+	e.ForChunks(1000, 7, func(lo, hi, _ int) { count.Add(int64(hi - lo)) })
+	if count.Load() != 1000 {
+		t.Errorf("post-panic ForChunks covered %d of 1000", count.Load())
+	}
+}
+
+// TestExecutorPanicTransientFallback: panics are contained on the transient
+// (spawnRun) path too — both via a closed executor and via nesting.
+func TestExecutorPanicTransientFallback(t *testing.T) {
+	e := NewExecutor(3)
+	e.Close()
+	p := mustPanic(t, func() {
+		e.Run(func(worker int) { panic("transient") })
+	})
+	if p.Value != "transient" {
+		t.Errorf("Panic.Value = %v", p.Value)
+	}
+
+	nested := NewExecutor(3)
+	defer nested.Close()
+	p = mustPanic(t, func() {
+		nested.Run(func(worker int) {
+			if worker == 0 {
+				nested.Run(func(int) { panic("inner") })
+			}
+		})
+	})
+	if p.Value != "inner" {
+		t.Errorf("nested Panic.Value = %v", p.Value)
+	}
+}
+
+// TestReleaseAfterPanic: an executor whose invocation panicked is still
+// pool-safe — Release pools it and the next Acquire reuses it.
+func TestReleaseAfterPanic(t *testing.T) {
+	CloseIdle() // isolate from executors pooled by other tests
+	e := Acquire(3)
+	mustPanic(t, func() {
+		e.Run(func(int) { panic("pooled fault") })
+	})
+	Release(e)
+	got := Acquire(3)
+	if got != e {
+		t.Error("executor was not pooled after a contained panic")
+	}
+	var count atomic.Int64
+	got.Run(func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("reacquired executor ran %d workers, want 3", count.Load())
+	}
+	Release(got)
+}
+
+// TestCloseIdle: draining the pool and default executor leaves later calls
+// working (rebuilt on demand) and does not touch checked-out executors.
+func TestCloseIdle(t *testing.T) {
+	defer testutil.LeakCheck(t, CloseIdle)()
+	busy := Acquire(4)
+	idle := Acquire(4)
+	Release(idle)
+	Run(func(int) {}) // materialize the default executor
+	CloseIdle()
+	if got := Acquire(4); got == idle {
+		t.Error("CloseIdle left an idle executor in the pool")
+	}
+	var count atomic.Int64
+	busy.Run(func(int) { count.Add(1) })
+	if count.Load() != 4 {
+		t.Errorf("checked-out executor ran %d workers after CloseIdle, want 4", count.Load())
+	}
+	Release(busy)
+	var hits atomic.Int64
+	Run(func(int) { hits.Add(1) })
+	if hits.Load() == 0 {
+		t.Error("package-level Run did not rebuild the default executor")
 	}
 }
 

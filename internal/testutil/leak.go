@@ -1,0 +1,113 @@
+// Package testutil holds shared test helpers. It imports only the standard
+// library so any package in the module (including internal/parallel, whose
+// tests cannot import packages that import it back) can use it.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutines alive at the call and returns a
+// function that, when invoked (defer it at the top of a test), fails the
+// test if goroutines started since the snapshot are still running. The
+// cleanup functions run first — pass parallel.CloseIdle so intentionally
+// parked worker pools are drained and only genuinely stranded goroutines
+// remain:
+//
+//	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+//
+// Exiting goroutines are given a grace period (they may still be between
+// their last visible action and returning), so a failure means a goroutine
+// that stayed alive for several seconds after the test body finished.
+func LeakCheck(t testing.TB, cleanup ...func()) func() {
+	t.Helper()
+	base := goroutineIDs()
+	return func() {
+		t.Helper()
+		for _, fn := range cleanup {
+			fn()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			leaked := leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("%d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// goroutineIDs returns the ids of every currently-live goroutine.
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, g := range stacks() {
+		ids[goroutineID(g)] = true
+	}
+	return ids
+}
+
+// leakedSince returns the stacks of goroutines not in base and not on the
+// ignore list (runtime helpers the test didn't start).
+func leakedSince(base map[string]bool) []string {
+	var leaked []string
+	for _, g := range stacks() {
+		if base[goroutineID(g)] || ignorable(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// stacks captures all goroutine stacks and splits them into one string per
+// goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// goroutineID extracts the "goroutine N" prefix of one stack stanza.
+func goroutineID(stack string) string {
+	if i := strings.Index(stack, " ["); i > 0 {
+		return stack[:i]
+	}
+	if i := strings.IndexByte(stack, '\n'); i > 0 {
+		return stack[:i]
+	}
+	return stack
+}
+
+// ignorable reports whether a goroutine is a runtime or testing helper that
+// may legitimately appear after the snapshot.
+func ignorable(stack string) bool {
+	for _, frame := range []string{
+		"runtime.runfinq",         // the lazily-started finalizer goroutine
+		"runtime.bgsweep",         // GC helpers (normally hidden, but be safe)
+		"runtime.bgscavenge",      //
+		"runtime.forcegchelper",   //
+		"testing.(*M).startAlarm", // the -timeout alarm
+		"testing.runFuzzing",
+		"testing.tRunner.func1", // a sibling test's teardown in flight
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	return false
+}

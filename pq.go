@@ -109,8 +109,13 @@ func (pq *PriorityQueue) DequeueReadySet() []VertexID { return pq.m.DequeueReady
 // the bulk bucket update — `edges.from(bucket).applyUpdatePriority(f)`.
 // With a lazy_constant_sum schedule f may be nil (the histogram-transformed
 // update is applied instead).
-func (pq *PriorityQueue) ApplyUpdatePriority(bucket []VertexID, f EdgeFunc) {
-	pq.m.ApplyUpdatePriority(bucket, f)
+//
+// A panic in f is contained and returned as a *PanicError; the queue is
+// then poisoned (its bucket state may no longer match the priority vector)
+// and every later application returns the same error. Stats and the query
+// methods remain usable.
+func (pq *PriorityQueue) ApplyUpdatePriority(bucket []VertexID, f EdgeFunc) error {
+	return pq.m.ApplyUpdatePriority(bucket, f)
 }
 
 // Stats returns counters accumulated across rounds so far.

@@ -82,3 +82,31 @@ func WithTracer(ctx context.Context, t Tracer) context.Context {
 
 // TracerFrom extracts the Tracer installed by WithTracer, if any.
 func TracerFrom(ctx context.Context) (Tracer, bool) { return core.TracerFrom(ctx) }
+
+// PanicError reports a panic recovered from an engine phase (typically a
+// user edge function). The run halts with partial Stats, the process and
+// worker pools stay intact, and the error carries the phase, round, panic
+// value, and the panicking goroutine's stack. Test with errors.As.
+type PanicError = core.PanicError
+
+// StuckError reports a run aborted by the round watchdog
+// (ConfigRoundTimeout) or the no-progress detector (ConfigStuckRounds),
+// with recent per-round trace events attached for diagnosis.
+type StuckError = core.StuckError
+
+// FaultPolicy selects how the engine reacts to a contained fault; see
+// FaultFail and FaultRetrySerial.
+type FaultPolicy = core.FaultPolicy
+
+const (
+	// FaultFail stops the run on a contained fault and returns the typed
+	// error with partial Stats (the default).
+	FaultFail = core.FaultFail
+	// FaultRetrySerial re-executes a faulted round serially and
+	// deterministically, rebuilds the bucket state from the priority
+	// vector, and resumes in parallel.
+	FaultRetrySerial = core.FaultRetrySerial
+)
+
+// ParseFaultPolicy parses a fault policy name: "fail" or "retry_serial".
+var ParseFaultPolicy = core.ParseFaultPolicy

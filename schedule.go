@@ -2,6 +2,7 @@ package graphit
 
 import (
 	"fmt"
+	"time"
 
 	"graphit/internal/core"
 )
@@ -108,6 +109,42 @@ func (s Schedule) ConfigNumWorkers(w int) Schedule {
 		return s.fail(fmt.Errorf("schedule: worker count must be >= 0, got %d", w))
 	}
 	s.cfg.Workers = w
+	return s
+}
+
+// ConfigRoundTimeout arms the engine's round watchdog: any round in flight
+// longer than d is aborted with a StuckError (or retried, under
+// ConfigOnFault("retry_serial")). The abort is cooperative, checked at
+// chunk boundaries inside traversal phases; 0 disables the watchdog.
+func (s Schedule) ConfigRoundTimeout(d time.Duration) Schedule {
+	if d < 0 {
+		return s.fail(fmt.Errorf("schedule: round timeout must be >= 0, got %v", d))
+	}
+	s.cfg.RoundTimeout = d
+	return s
+}
+
+// ConfigStuckRounds aborts the run with a StuckError after k consecutive
+// rounds that extract the same bucket with zero relaxations — a state a
+// correct engine cannot reach. 0 disables the detector.
+func (s Schedule) ConfigStuckRounds(k int) Schedule {
+	if k < 0 {
+		return s.fail(fmt.Errorf("schedule: stuck-round count must be >= 0, got %d", k))
+	}
+	s.cfg.StuckRounds = k
+	return s
+}
+
+// ConfigOnFault selects the engine's reaction to a contained fault — a
+// recovered panic or a watchdog-aborted round: "fail" (return the typed
+// error with partial Stats, the default) or "retry_serial" (re-execute the
+// faulted round serially and resume).
+func (s Schedule) ConfigOnFault(policy string) Schedule {
+	p, err := core.ParseFaultPolicy(policy)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.cfg.OnFault = p
 	return s
 }
 
