@@ -10,6 +10,13 @@
 //	benchtab -exp fig1,fig4,table4
 //	benchtab -workers 1,2,4,8      # the Figure 11 sweep points
 //	benchtab -timeout 5m           # bound the whole run; partial tables on expiry
+//	benchtab -exp perf -json BENCH_pr4.json -baseline old.json -pr pr4
+//	benchtab -validate BENCH_pr4.json
+//
+// The perf experiment measures the lazy-engine kernels (time, allocs/op,
+// rounds) and, with -json, persists the machine-readable trajectory report;
+// -baseline embeds a previously emitted report as the "before" arm, and
+// -validate checks an emitted file against the schema and exits.
 //
 // ^C (or an expired -timeout) cancels the in-flight experiment at its next
 // round barrier and skips the rest.
@@ -30,12 +37,24 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated: fig1, fig4, table4, table5, table6, table7, fig11, delta, autotune, reuse")
-		scale   = flag.String("scale", "medium", "small | medium | large")
-		workers = flag.String("workers", "1,2,4,8", "Figure 11 worker sweep")
-		timeout = flag.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
+		exp      = flag.String("exp", "all", "comma-separated: fig1, fig4, table4, table5, table6, table7, fig11, delta, autotune, reuse, perf")
+		scale    = flag.String("scale", "medium", "small | medium | large")
+		workers  = flag.String("workers", "1,2,4,8", "Figure 11 worker sweep")
+		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
+		jsonOut  = flag.String("json", "", "write the perf experiment's machine-readable report to this path")
+		baseline = flag.String("baseline", "", "embed this previously emitted perf report as the baseline (before) arm")
+		prLabel  = flag.String("pr", "dev", "label recorded in the perf report")
+		validate = flag.String("validate", "", "validate an emitted perf report against the schema and exit")
 	)
 	flag.Parse()
+	if *validate != "" {
+		if _, err := bench.ReadPerfReport(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report\n", *validate, bench.PerfSchema)
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -106,6 +125,31 @@ func main() {
 	run("table7", func() error { return print1(bench.Table7(ctx, s)) })
 	run("fig11", func() error { return print1(bench.Fig11(ctx, s, ws)) })
 	run("delta", func() error { return print1(bench.DeltaSweep(ctx, s)) })
+	run("perf", func() error {
+		t, rep, err := bench.Perf(ctx, s, bench.PerfOptions{PR: *prLabel})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		if *baseline != "" {
+			base, err := bench.ReadPerfReport(*baseline)
+			if err != nil {
+				return err
+			}
+			base.Baseline = nil // one level of history is the contract
+			rep.Baseline = base
+		}
+		if *jsonOut != "" {
+			if err := rep.Validate(); err != nil {
+				return err
+			}
+			if err := rep.WriteFile(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
 	run("reuse", func() error { return print1(bench.EngineReuse(ctx, s)) })
 	run("autotune", func() error {
 		t, worst, err := bench.Autotune(ctx, s)

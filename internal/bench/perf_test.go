@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestPerfReportRoundTrip: Perf emits a schema-valid report that survives a
+// WriteFile/ReadPerfReport round trip, including an embedded baseline arm.
+func TestPerfReportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf measurement in -short mode")
+	}
+	_, rep, err := Perf(context.Background(), ScaleSmall, PerfOptions{
+		MinTime: time.Millisecond, MaxIters: 2, PR: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+	if rep.PR != "test" || rep.Scale != string(ScaleSmall) {
+		t.Fatalf("report labels wrong: %+v", rep)
+	}
+	for _, rec := range rep.Records {
+		if rec.Rounds <= 0 {
+			t.Errorf("%s@%s: rounds = %d, want > 0", rec.Name, rec.Graph, rec.Rounds)
+		}
+	}
+	// Embed a baseline (a copy of itself) and round-trip through disk.
+	base := *rep
+	rep.Baseline = &base
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPerfReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Baseline == nil || len(back.Baseline.Records) != len(rep.Records) {
+		t.Fatal("baseline arm lost in round trip")
+	}
+	if len(back.Records) != len(rep.Records) {
+		t.Fatalf("records lost: %d != %d", len(back.Records), len(rep.Records))
+	}
+}
+
+// TestPerfReportValidateRejects: the schema guard catches the corruptions
+// the CI bench-smoke job exists to detect.
+func TestPerfReportValidateRejects(t *testing.T) {
+	good := func() *PerfReport {
+		return &PerfReport{
+			Schema: PerfSchema, Scale: "small",
+			GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", Workers: 4,
+			Records: []PerfRecord{
+				{Name: "sssp/lazy-pull", Graph: "LJ-sim", Iters: 3, NsPerOp: 10, Rounds: 5},
+			},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	cases := map[string]func(*PerfReport){
+		"bad schema":    func(r *PerfReport) { r.Schema = "graphit-bench/v0" },
+		"no records":    func(r *PerfReport) { r.Records = nil },
+		"no env":        func(r *PerfReport) { r.GoVersion = "" },
+		"bad workers":   func(r *PerfReport) { r.Workers = 0 },
+		"missing name":  func(r *PerfReport) { r.Records[0].Name = "" },
+		"zero iters":    func(r *PerfReport) { r.Records[0].Iters = 0 },
+		"negative rate": func(r *PerfReport) { r.Records[0].NsPerOp = -1 },
+		"duplicate record": func(r *PerfReport) {
+			r.Records = append(r.Records, r.Records[0])
+		},
+		"bad baseline": func(r *PerfReport) {
+			r.Baseline = &PerfReport{Schema: "nope"}
+		},
+	}
+	for name, corrupt := range cases {
+		r := good()
+		corrupt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: corruption passed validation", name)
+		}
+	}
+}

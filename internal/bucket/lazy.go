@@ -1,5 +1,7 @@
 package bucket
 
+import "graphit/internal/parallel"
+
 // Lazy is a Julienne-style bucket structure. Only NumOpen buckets are
 // materialized at a time; vertices whose bucket lies outside the current
 // window are kept in a single overflow bucket and re-bucketed when the
@@ -9,7 +11,8 @@ package bucket
 // Lazy is not safe for concurrent use; the lazy engine performs its parallel
 // work in the edge-map phase and calls UpdateBuckets from a single
 // goroutine, exactly as the generated code in paper Figure 9(a) does after
-// its parallel_for.
+// its parallel_for. SetParallel lets UpdateBuckets itself fan out internally
+// for large update sets, but the call remains single-goroutine at the seam.
 type Lazy struct {
 	order   Order
 	numOpen int
@@ -31,10 +34,99 @@ type Lazy struct {
 	epoch    []uint64
 	curEpoch uint64
 
+	// Slab free-list: backing arrays displaced by extraction, growth, and
+	// window advances are parked here (len 0, capacity intact) and handed
+	// back out instead of re-allocated, so the steady-state round loop
+	// produces no bucket garbage. lastRet is the frontier most recently
+	// returned by Next; it is recycled at the start of the following Next
+	// call (the returned slice stays valid until then).
+	free    [][]uint32
+	lastRet []uint32
+
+	// Parallel UpdateBuckets state (see SetParallel). ex == nil means
+	// always serial.
+	ex        *parallel.Executor
+	parCutoff int
+	parSlots  []int32 // per-id destination (window slot, numOpen=overflow, -1=skip)
+	parCounts []int64 // per-(dest, worker) counts, dest-major
+	parBase   []int64 // per-dest scatter base offset
+	parInv    []int64 // per-worker inversion counts
+
 	// Stats.
 	Inserts    int64 // total bucket insertions (incl. overflow)
 	Rebuckets  int64 // overflow re-distribution passes
 	Inversions int64 // updates that landed before the current bucket
+}
+
+// maxFree bounds the slab free-list: enough for every window slot plus the
+// overflow and a few frontiers in flight.
+func (l *Lazy) maxFree() int { return l.numOpen + 8 }
+
+// recycle parks a displaced backing array on the free list.
+func (l *Lazy) recycle(s []uint32) {
+	if cap(s) == 0 || len(l.free) >= l.maxFree() {
+		return
+	}
+	l.free = append(l.free, s[:0])
+}
+
+// grabFit pops the smallest recycled slab with capacity >= need, or returns
+// nil. Best-fit matters for the steady state: a first-fit policy lets tiny
+// window slots squat on the big overflow slabs, forcing the overflow to
+// re-grow (and re-allocate) every cycle.
+func (l *Lazy) grabFit(need int) []uint32 {
+	best := -1
+	for i, s := range l.free {
+		if cap(s) >= need && (best < 0 || cap(s) < cap(l.free[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	s := l.free[best]
+	last := len(l.free) - 1
+	l.free[best] = l.free[last]
+	l.free[last] = nil
+	l.free = l.free[:last]
+	return s
+}
+
+// appendSlab appends v to s, drawing backing storage from the free list and
+// recycling arrays displaced by growth.
+func (l *Lazy) appendSlab(s []uint32, v uint32) []uint32 {
+	if len(s) == cap(s) {
+		s = l.growSlab(s, 1)
+		s[len(s)-1] = v
+		return s
+	}
+	return append(s, v)
+}
+
+// growSlab extends s by cnt writable slots (contents unspecified), reusing
+// free-list capacity and recycling the displaced array on reallocation.
+func (l *Lazy) growSlab(s []uint32, cnt int) []uint32 {
+	need := len(s) + cnt
+	if cap(s) >= need {
+		return s[:need]
+	}
+	if g := l.grabFit(need); g != nil {
+		g = g[:need]
+		copy(g, s)
+		l.recycle(s)
+		return g
+	}
+	newCap := need
+	if c := 2 * cap(s); c > newCap {
+		newCap = c
+	}
+	if newCap < 8 {
+		newCap = 8
+	}
+	ns := make([]uint32, need, newCap)
+	copy(ns, s)
+	l.recycle(s)
+	return ns
 }
 
 // NewLazy creates a lazy bucket structure over vertices [0, n) with the
@@ -148,13 +240,13 @@ func (l *Lazy) place(v uint32, b int64) {
 	}
 	s := l.slot(b)
 	if s >= 0 && (!l.started || s >= l.cur) {
-		l.open[s] = append(l.open[s], v)
+		l.open[s] = l.appendSlab(l.open[s], v)
 		return
 	}
 	if l.started && l.before(b, l.currentID()) {
 		l.Inversions++
 	}
-	l.over = append(l.over, v)
+	l.over = l.appendSlab(l.over, v)
 }
 
 // currentID returns the bucket id at the current window cursor.
@@ -170,23 +262,178 @@ func (l *Lazy) currentID() int64 {
 // set install the unrestricted function after construction.
 func (l *Lazy) SetBktFunc(f BktFunc) { l.bktOf = f }
 
+// SetParallel lets UpdateBuckets fan out internally on ex for update sets of
+// at least cutoff ids (cutoff <= 0 selects a default). The call itself must
+// still come from a single goroutine, and bktOf must be safe for concurrent
+// read-only calls (the engine's priority maps qualify: they are read with
+// atomic loads). The parallel path places every id at exactly the position
+// the serial loop would, so results and stats are bit-identical across
+// worker counts.
+func (l *Lazy) SetParallel(ex *parallel.Executor, cutoff int) {
+	if cutoff <= 0 {
+		cutoff = 8192
+	}
+	l.ex, l.parCutoff = ex, cutoff
+}
+
+// DedupeIDs compacts ids in place, keeping the first occurrence of each
+// vertex, and returns the compacted slice. It consumes one dedup epoch;
+// Next and window advances take fresh epochs, so interleaving is safe.
+func (l *Lazy) DedupeIDs(ids []uint32) []uint32 {
+	l.curEpoch++
+	out := ids[:0]
+	for _, v := range ids {
+		if l.epoch[v] != l.curEpoch {
+			l.epoch[v] = l.curEpoch
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // UpdateBuckets re-buckets each vertex in ids according to bktOf. Callers
 // must have deduplicated ids (at most one occurrence per vertex); stale
 // copies from earlier rounds are tolerated and filtered on extraction.
+//
+// With SetParallel configured and a large enough update set, the placement
+// runs as a two-pass counting sort over (window slot | overflow): a parallel
+// classify pass counts per-(destination, worker) occupancy, a prefix sum
+// turns the counts into scatter offsets, and a parallel scatter writes each
+// id into pre-grown buckets. Workers own contiguous ascending id ranges
+// (ForStatic), so the per-destination concatenation preserves the exact
+// serial insertion order.
 func (l *Lazy) UpdateBuckets(ids []uint32) {
-	for _, v := range ids {
-		if b := l.bktOf(v); b != NullBkt {
-			l.place(v, b)
+	if l.ex == nil || l.ex.Workers() <= 1 || len(ids) < l.parCutoff || l.base == NullBkt {
+		for _, v := range ids {
+			if b := l.bktOf(v); b != NullBkt {
+				l.place(v, b)
+			}
 		}
+		return
+	}
+	l.updateBucketsParallel(ids)
+}
+
+// updateBucketsParallel is the fan-out path of UpdateBuckets. It requires an
+// open window (l.base != NullBkt): the serial loop's open-window-on-first-
+// placement transition is inherently sequential, so UpdateBuckets falls back
+// to it when the window is closed.
+func (l *Lazy) updateBucketsParallel(ids []uint32) {
+	n := len(ids)
+	w := l.ex.Workers()
+	numDest := l.numOpen + 1 // window slots, then overflow
+	if cap(l.parSlots) < n {
+		l.parSlots = make([]int32, n)
+	}
+	slots := l.parSlots[:n]
+	if cap(l.parCounts) < numDest*w {
+		l.parCounts = make([]int64, numDest*w)
+	}
+	counts := l.parCounts[:numDest*w]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if cap(l.parInv) < w {
+		l.parInv = make([]int64, w)
+	}
+	inv := l.parInv[:w]
+	for i := range inv {
+		inv[i] = 0
+	}
+	curID := l.currentID()
+
+	// Pass 1: classify every id to its destination and count per-(dest,
+	// worker) occupancy. counts is dest-major so the prefix sum below walks
+	// destinations in placement order.
+	l.ex.ForStatic(n, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			v := ids[i]
+			b := l.bktOf(v)
+			if b == NullBkt {
+				slots[i] = -1
+				continue
+			}
+			d := l.numOpen
+			if s := l.slot(b); s >= 0 && (!l.started || s >= l.cur) {
+				d = s
+			} else if l.started && l.before(b, curID) {
+				inv[worker]++
+			}
+			slots[i] = int32(d)
+			counts[d*w+worker]++
+		}
+	})
+
+	// Exclusive scan: counts[d*w+worker] becomes that cell's start offset in
+	// the global placement order (ascending dest, then worker).
+	total := l.ex.PrefixSum(counts)
+	if total == 0 {
+		return
+	}
+
+	// Pre-grow each destination and record where its region starts.
+	if cap(l.parBase) < numDest {
+		l.parBase = make([]int64, numDest)
+	}
+	base := l.parBase[:numDest]
+	for d := 0; d < numDest; d++ {
+		dStart := counts[d*w]
+		dEnd := total
+		if d+1 < numDest {
+			dEnd = counts[(d+1)*w]
+		}
+		cnt := int(dEnd - dStart)
+		if cnt == 0 {
+			continue
+		}
+		if d == l.numOpen {
+			base[d] = int64(len(l.over)) - dStart
+			l.over = l.growSlab(l.over, cnt)
+		} else {
+			base[d] = int64(len(l.open[d])) - dStart
+			l.open[d] = l.growSlab(l.open[d], cnt)
+		}
+	}
+
+	// Pass 2: scatter. Each (dest, worker) cell is advanced only by its
+	// owning worker, and slab regions are disjoint, so no synchronization is
+	// needed. Within a destination, worker slabs concatenate in ascending id
+	// order — the serial order.
+	l.ex.ForStatic(n, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			d := slots[i]
+			if d < 0 {
+				continue
+			}
+			cell := int(d)*w + worker
+			pos := base[d] + counts[cell]
+			counts[cell]++
+			if int(d) == l.numOpen {
+				l.over[pos] = ids[i]
+			} else {
+				l.open[d][pos] = ids[i]
+			}
+		}
+	})
+
+	l.Inserts += total
+	for _, x := range inv {
+		l.Inversions += x
 	}
 }
 
 // Next extracts the next non-empty bucket in priority order, filtering stale
 // entries (vertices whose current bucket no longer matches). It returns the
 // bucket id and its vertices, or (NullBkt, nil) when no buckets remain. The
-// returned slice is owned by the caller.
+// returned slice is valid until the next Next call, which recycles its
+// backing array into the slab free-list; callers that need the frontier
+// longer must copy it.
 func (l *Lazy) Next() (int64, []uint32) {
 	l.started = true
+	if l.lastRet != nil {
+		l.recycle(l.lastRet)
+		l.lastRet = nil
+	}
 	for {
 		for ; l.cur < l.numOpen; l.cur++ {
 			bid := l.currentID()
@@ -205,8 +452,11 @@ func (l *Lazy) Next() (int64, []uint32) {
 				}
 			}
 			if len(live) > 0 {
+				l.lastRet = live
 				return bid, live
 			}
+			// Every entry was stale; the slab is free immediately.
+			l.recycle(live)
 		}
 		if !l.advanceWindow() {
 			return NullBkt, nil
@@ -241,17 +491,21 @@ func (l *Lazy) advanceWindow() bool {
 	over := live
 	l.over = nil
 	if next == NullBkt {
+		l.recycle(over)
 		return false
 	}
 	l.base, l.cur = next, 0
 	for _, v := range over {
 		b := l.bktOf(v)
 		if s := l.slot(b); s >= 0 {
-			l.open[s] = append(l.open[s], v)
+			l.open[s] = l.appendSlab(l.open[s], v)
 		} else {
-			l.over = append(l.over, v)
+			l.over = l.appendSlab(l.over, v)
 		}
 	}
+	// The redistributed overflow's old backing array is free once every
+	// vertex has been copied out.
+	l.recycle(over)
 	return true
 }
 

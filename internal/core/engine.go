@@ -351,10 +351,10 @@ func (o *Ordered) buildEngine(sc *scratch, ex *parallel.Executor, active []uint3
 		for _, u := range ups {
 			u.atomics = true
 		}
-		e.src = o.newLazySource(active)
+		e.src = o.newLazySource(ex, active)
 		e.trav = &constSumTrav{o: o, ex: ex, sc: sc, ups: ups, hist: sc.getHist(n), grain: grain, ctl: ctl}
 	default: // Lazy
-		e.src = o.newLazySource(active)
+		e.src = o.newLazySource(ex, active)
 		t := &lazyTrav{
 			o: o, ex: ex, sc: sc, ups: ups, grain: grain,
 			pullThreshold: int64(o.G.NumEdges()) / 20,

@@ -19,8 +19,11 @@ type lazySource struct {
 
 // newLazySource builds the Julienne buckets over the initial active set.
 // The bucket function consults the authoritative priority vector, so stale
-// entries are filtered on extraction (§5.1's optimized interface).
-func (o *Ordered) newLazySource(active []uint32) *lazySource {
+// entries are filtered on extraction (§5.1's optimized interface). Bulk
+// bucket updates fan out on ex for large update sets (the bucket function
+// reads priorities with atomic loads, satisfying SetParallel's contract);
+// the update call itself stays single-goroutine at this seam.
+func (o *Ordered) newLazySource(ex *parallel.Executor, active []uint32) *lazySource {
 	bktOf := func(v uint32) int64 {
 		if o.fin != nil && o.fin.IsSet(v) {
 			return bucket.NullBkt
@@ -28,12 +31,22 @@ func (o *Ordered) newLazySource(active []uint32) *lazySource {
 		return o.bucketOf(atomicutil.Load(&o.Prio[v]))
 	}
 	lz := bucket.NewLazyFrom(o.G.NumVertices(), o.Order, o.Cfg.NumBuckets, bktOf, active)
+	lz.SetParallel(ex, 0)
 	return &lazySource{o: o, lz: lz}
 }
 
 func (s *lazySource) next() (int64, []uint32) { return s.lz.Next() }
 
-func (s *lazySource) update(ids []uint32) { s.lz.UpdateBuckets(ids) }
+func (s *lazySource) update(ids []uint32) {
+	if s.o.Cfg.NoDedup {
+		// SparsePush without CAS dedup emits one id per winning relaxation,
+		// so ids can hold duplicates — UpdateBuckets requires at most one
+		// occurrence per vertex. Dedupe here, at the seam, so bucket inserts
+		// (and Stats.BucketInserts) match the deduplicated configuration.
+		ids = s.lz.DedupeIDs(ids)
+	}
+	s.lz.UpdateBuckets(ids)
+}
 
 func (s *lazySource) finish(st *Stats) {
 	st.BucketInserts += s.lz.Inserts
@@ -57,6 +70,14 @@ type lazyTrav struct {
 	grain         int
 	pullThreshold int64
 	ctl           *runCtl
+
+	// Sweep bodies are built once and reused every round: a closure literal
+	// in the hot path escapes to the heap on every call (its captures leak
+	// into the executor), which alone breaks the zero-alloc steady state.
+	pushBody func(lo, hi, worker int)
+	pullBody func(lo, hi, worker int)
+	keepNext func(i int) bool
+	curVerts []uint32 // pushBody's frontier for the current sweep
 }
 
 func (t *lazyTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool, bool) {
@@ -95,27 +116,32 @@ func (t *lazyTrav) relax(bid, curPrio int64, frontier []uint32) ([]uint32, bool,
 // updates, collecting changed vertices once each (CAS dedup) into
 // per-worker buffers (the outEdges buffer of paper Figure 9(a)).
 func (t *lazyTrav) pushRound(verts []uint32) []uint32 {
-	o := t.o
-	g := o.G
-	t.ex.ForChunks(len(verts), t.grain, func(lo, hi, worker int) {
-		if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
-			return
-		}
-		u := t.ups[worker]
-		for _, v := range verts[lo:hi] {
-			u.processed++
-			neigh := g.OutNeigh(v)
-			wts := g.OutWts(v)
-			for i, d := range neigh {
-				var wt int32
-				if wts != nil {
-					wt = wts[i]
+	if t.pushBody == nil {
+		t.pushBody = func(lo, hi, worker int) {
+			if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
+				return
+			}
+			o := t.o
+			g := o.G
+			u := t.ups[worker]
+			for _, v := range t.curVerts[lo:hi] {
+				u.processed++
+				neigh := g.OutNeigh(v)
+				wts := g.OutWts(v)
+				for i, d := range neigh {
+					var wt int32
+					if wts != nil {
+						wt = wts[i]
+					}
+					u.relaxations++
+					o.Apply(v, d, wt, u)
 				}
-				u.relaxations++
-				o.Apply(v, d, wt, u)
 			}
 		}
-	})
+	}
+	t.curVerts = verts
+	t.ex.ForChunks(len(verts), t.grain, t.pushBody)
+	t.curVerts = nil
 	updated := t.sc.updated[:0]
 	for _, u := range t.ups {
 		updated = append(updated, u.out...)
@@ -130,23 +156,35 @@ func (t *lazyTrav) pushRound(verts []uint32) []uint32 {
 
 // pullRound applies the UDF over the in-edges of all vertices against a
 // dense frontier; destination updates need no atomics (paper Figure 9(b)).
+// The changed set is packed straight out of nextMap into the run's reusable
+// update buffer — no O(n) iota slice, no per-round flag array — so a
+// steady-state pull round performs zero heap allocation.
 func (t *lazyTrav) pullRound(verts []uint32) []uint32 {
-	o := t.o
-	n := o.G.NumVertices()
+	n := t.o.G.NumVertices()
 	for _, v := range verts {
 		t.inFron[v] = true
 	}
-	t.ex.ForChunks(n, t.grain, func(lo, hi, worker int) {
-		if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
-			return
+	if t.pullBody == nil {
+		t.pullBody = func(lo, hi, worker int) {
+			if t.ctl.checkpoint(PhaseRelaxChunk, worker) {
+				return
+			}
+			u := t.ups[worker]
+			for v := lo; v < hi; v++ {
+				t.o.processPull(uint32(v), t.inFron, u)
+			}
 		}
-		u := t.ups[worker]
-		for v := lo; v < hi; v++ {
-			o.processPull(uint32(v), t.inFron, u)
-		}
-	})
-	ids := t.ex.IotaU32(n)
-	updated := t.ex.PackU32(ids, func(i int) bool { return t.nextMap[i] })
+		t.keepNext = func(i int) bool { return t.nextMap[i] }
+	}
+	t.ex.ForChunks(n, t.grain, t.pullBody)
+	if t.ctl.aborted() != abortNone {
+		// The engine discards updated on an aborted round and never pools
+		// the (now dirty) scratch, so the O(n) pack and the map clears are
+		// pure wasted latency on the abort path — skip them.
+		return nil
+	}
+	updated := t.ex.PackIndicesInto(t.sc.updated[:0], n, &t.sc.pack, t.keepNext)
+	t.sc.updated = updated
 	for _, v := range verts {
 		t.inFron[v] = false
 	}

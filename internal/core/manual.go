@@ -67,7 +67,7 @@ func NewManual(o *Ordered) (*Manual, error) {
 	// Manual rounds have no watchdog or injection hook (faults reach them
 	// through the user's EdgeFunc directly), so the control block is inert.
 	ctl := &runCtl{}
-	m := &Manual{o: o, src: o.newLazySource(active), ups: ups, ex: ex}
+	m := &Manual{o: o, src: o.newLazySource(ex, active), ups: ups, ex: ex}
 	if o.Cfg.Strategy == LazyConstantSum {
 		for _, u := range ups {
 			u.atomics = true

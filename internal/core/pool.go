@@ -7,6 +7,7 @@ import (
 	"graphit/internal/atomicutil"
 	"graphit/internal/bucket"
 	"graphit/internal/histogram"
+	"graphit/internal/parallel"
 )
 
 // scratch is the per-run working state of the engine: frontier and update
@@ -26,6 +27,7 @@ type scratch struct {
 	nextMap  []bool
 	frontier []uint32
 	updated  []uint32
+	pack     parallel.PackScratch
 	hist     *histogram.Counter
 	histN    int
 }
