@@ -1,0 +1,39 @@
+package algo_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"graphit"
+	"graphit/algo"
+	"graphit/internal/core"
+	"graphit/internal/faults"
+)
+
+// Example_containedFault shows the containment contract a caller can rely
+// on: a panic inside an engine phase does not crash the process — the run
+// returns a typed *graphit.PanicError (matchable with errors.As) alongside
+// the partial result computed before the fault.
+func Example_containedFault() {
+	g, err := graphit.RoadGrid(graphit.RoadOptions{Rows: 10, Cols: 10, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+
+	// Simulate a hostile user-defined edge function: panic in round 2's
+	// relax phase.
+	in := faults.New(faults.PanicAt(core.PhaseRelax, 2, "bad edge function"))
+	ctx := in.Context(context.Background())
+
+	res, err := algo.SSSPContext(ctx, g, 0, graphit.DefaultSchedule())
+
+	var pe *graphit.PanicError
+	fmt.Println("contained:", errors.As(err, &pe))
+	fmt.Printf("phase %q, round %d\n", pe.Phase, pe.Round)
+	fmt.Println("partial result:", res != nil && res.Stats.Rounds > 0)
+	// Output:
+	// contained: true
+	// phase "relax", round 2
+	// partial result: true
+}

@@ -1,0 +1,125 @@
+package algo_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphit"
+	"graphit/algo"
+	"graphit/internal/core"
+	"graphit/internal/faults"
+)
+
+// These tests pin the public fault-type contract the serving layer depends
+// on: a contained fault produced deep in the engine must round-trip through
+// every algo wrapper's partial-result path and still match errors.As against
+// the public graphit.PanicError / graphit.StuckError aliases — and the
+// partial result must actually be there.
+
+func faultGraph(t *testing.T) *graphit.Graph {
+	t.Helper()
+	g, err := graphit.RoadGrid(graphit.RoadOptions{Rows: 10, Cols: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPanicErrorRoundTripsThroughWrappers(t *testing.T) {
+	g := faultGraph(t)
+	in := faults.New(faults.PanicAt(core.PhaseRelax, 2, "bad edge function"))
+	ctx := in.Context(context.Background())
+
+	res, err := algo.SSSPContext(ctx, g, 0, graphit.DefaultSchedule())
+	if err == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	var pe *graphit.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("errors.As(*graphit.PanicError) failed on %T: %v", err, err)
+	}
+	if pe.Phase != "relax" || pe.Round != 2 || pe.Value != "bad edge function" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError lost its stack")
+	}
+	if res == nil || res.Stats.Rounds == 0 {
+		t.Fatalf("wrapper dropped the partial result: %+v", res)
+	}
+	// The public classification helpers agree.
+	if !graphit.IsEngineFault(err) || graphit.ClassifyFault(err) != graphit.FaultKindPanic {
+		t.Fatalf("classification: IsEngineFault=%v ClassifyFault=%q", graphit.IsEngineFault(err), graphit.ClassifyFault(err))
+	}
+
+	// The same fault through the registry dispatch path (what graphd runs).
+	sp, lerr := algo.Lookup("sssp")
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	in2 := faults.New(faults.PanicAt(core.PhaseRelax, 2, "bad edge function"))
+	qres, err := sp.Run(in2.Context(context.Background()), g, 0, 0, graphit.DefaultSchedule())
+	if !errors.As(err, &pe) {
+		t.Fatalf("registry path lost the PanicError: %v", err)
+	}
+	if qres == nil || qres.Stats.Rounds == 0 {
+		t.Fatalf("registry path dropped the partial result: %+v", qres)
+	}
+}
+
+func TestStuckErrorRoundTripsThroughWrappers(t *testing.T) {
+	g := faultGraph(t)
+	// Stall round 2 past a 50ms watchdog: the engine aborts the round and
+	// reports a StuckError carrying its recent round trace.
+	in := faults.New(faults.DelayAt(core.PhaseRelax, 2, 400*time.Millisecond))
+	ctx := in.Context(context.Background())
+	sched := graphit.DefaultSchedule().ConfigRoundTimeout(50 * time.Millisecond)
+
+	res, err := algo.SSSPContext(ctx, g, 0, sched)
+	if err == nil {
+		t.Fatal("watchdog did not fire")
+	}
+	var se *graphit.StuckError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As(*graphit.StuckError) failed on %T: %v", err, err)
+	}
+	if res == nil {
+		t.Fatal("wrapper dropped the partial result")
+	}
+	if graphit.ClassifyFault(err) != graphit.FaultKindStuck || !graphit.IsEngineFault(err) {
+		t.Fatalf("classification: %q", graphit.ClassifyFault(err))
+	}
+
+	// Registry dispatch path, k-core flavor (different wrapper, same chain).
+	sp, lerr := algo.Lookup("kcore")
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	in2 := faults.New(faults.DelayAt(core.PhaseRelax, 1, 400*time.Millisecond))
+	qres, err := sp.Run(in2.Context(context.Background()), g, 0, 0,
+		graphit.DefaultSchedule().ConfigRoundTimeout(50*time.Millisecond))
+	if !errors.As(err, &se) {
+		t.Fatalf("registry path lost the StuckError: %v", err)
+	}
+	if qres == nil {
+		t.Fatal("registry path dropped the partial result")
+	}
+}
+
+func TestCancellationIsNotAnEngineFault(t *testing.T) {
+	g := faultGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := faults.New(faults.CancelAt(core.PhaseRelax, 2, cancel))
+	_, err := algo.SSSPContext(in.Context(ctx), g, 0, graphit.DefaultSchedule())
+	if err == nil {
+		t.Fatal("cancellation did not surface")
+	}
+	if graphit.IsEngineFault(err) {
+		t.Fatalf("cancellation classified as an engine fault: %v", err)
+	}
+	if graphit.ClassifyFault(err) != graphit.FaultKindCanceled {
+		t.Fatalf("ClassifyFault = %q, want %q", graphit.ClassifyFault(err), graphit.FaultKindCanceled)
+	}
+}

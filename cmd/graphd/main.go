@@ -1,0 +1,134 @@
+// Command graphd is a long-running daemon serving ordered-graph queries
+// over HTTP/JSON. It loads its graphs once at startup and treats every
+// query as untrusted: admission control sheds overload fast (429 +
+// Retry-After), client budgets become context deadlines plus engine round
+// watchdogs, consecutive contained faults trip a per-(algo, strategy)
+// circuit breaker that re-routes to a safe serial fallback schedule, and
+// SIGTERM drains gracefully (readiness flips, in-flight queries finish
+// under a deadline).
+//
+// Usage:
+//
+//	graphd -graph road=road.bin -graph social=social.wel -addr :8090
+//	curl localhost:8090/readyz
+//	curl -d '{"algo":"sssp","graph":"road","src":0}' localhost:8090/query
+//	curl localhost:8090/statusz
+//
+// Endpoints: POST /query, GET /healthz, GET /readyz, GET /statusz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphit"
+	"graphit/internal/graph"
+	"graphit/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		symmetrize = flag.Bool("symmetrize", false, "symmetrize every graph after loading (required for kcore/setcover)")
+		workers    = flag.Int("workers", 0, "engine workers per run (0 = GOMAXPROCS)")
+		maxConc    = flag.Int("max-concurrent", 0, "concurrent run slots (0 = min(GOMAXPROCS, executor pool cap))")
+		queueDepth = flag.Int("queue-depth", 0, "bounded admission queue (0 = 2*max-concurrent)")
+		defBudget  = flag.Duration("default-budget", 2*time.Second, "per-query budget when the client sends none")
+		maxBudget  = flag.Duration("max-budget", 30*time.Second, "per-query budget ceiling")
+		roundTO    = flag.Duration("round-timeout", 5*time.Second, "engine round watchdog, armed for every query")
+		stuckK     = flag.Int("stuck-rounds", 256, "engine no-progress detector, armed for every query")
+		brkThresh  = flag.Int("breaker-threshold", 3, "consecutive engine faults that trip an (algo, strategy) breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "time an open breaker waits before half-opening")
+		drainTO    = flag.Duration("drain-timeout", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	)
+	// Graph specs are collected during parse and loaded afterwards, so the
+	// -symmetrize flag applies regardless of flag order.
+	var graphSpecs []string
+	flag.Func("graph", "graph to serve, as name=path (repeatable)", func(v string) error {
+		if _, _, ok := strings.Cut(v, "="); !ok {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		graphSpecs = append(graphSpecs, v)
+		return nil
+	})
+	flag.Parse()
+	if len(graphSpecs) == 0 {
+		fmt.Fprintln(os.Stderr, "graphd: at least one -graph name=path is required")
+		os.Exit(2)
+	}
+	graphs := make(map[string]*graphit.Graph, len(graphSpecs))
+	for _, spec := range graphSpecs {
+		name, path, _ := strings.Cut(spec, "=")
+		if name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "graphd: -graph wants name=path, got %q\n", spec)
+			os.Exit(2)
+		}
+		if _, dup := graphs[name]; dup {
+			fmt.Fprintf(os.Stderr, "graphd: duplicate graph name %q\n", name)
+			os.Exit(2)
+		}
+		g, err := graph.LoadFile(path, graph.BuildOptions{
+			Weighted: true, InEdges: true, Symmetrize: *symmetrize,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphd:", err)
+			os.Exit(1)
+		}
+		graphs[name] = g
+		log.Printf("loaded %s: %v", name, g)
+	}
+
+	srv, err := server.New(server.Config{
+		Graphs:           graphs,
+		MaxConcurrent:    *maxConc,
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		DefaultBudget:    *defBudget,
+		MaxBudget:        *maxBudget,
+		RoundTimeout:     *roundTO,
+		StuckRounds:      *stuckK,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("graphd listening on %s (%d graphs)", *addr, len(graphs))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("graphd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("graphd: draining (deadline %v)", *drainTO)
+
+	// Drain order: readiness flips and admission closes first (srv.Shutdown),
+	// then the HTTP server stops accepting and waits for handlers.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drainErr := srv.Shutdown(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("graphd: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Fatalf("graphd: %v", drainErr)
+	}
+	log.Printf("graphd: drained cleanly")
+}

@@ -30,26 +30,31 @@
 // abort) does to the run: "fail" halts with the partial result, and
 // "retry_serial" re-executes the faulted round serially and resumes. In
 // every case the process stays alive and prints what was computed.
+//
+// Algorithm, strategy, direction, and fault-policy names are validated by
+// the shared cliutil layer (also used by cmd/graphd), so an unknown name
+// fails with one consistent error listing the valid options.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"graphit"
 	"graphit/algo"
+	"graphit/internal/cliutil"
 	"graphit/internal/graph"
 )
 
 func main() {
 	var (
-		algoName   = flag.String("algo", "sssp", "sssp | wbfs | ppsp | astar | kcore | setcover | bellmanford | kcore-unordered | sssp-approx")
+		algoName   = flag.String("algo", "sssp", strings.Join(algo.Names(), " | "))
 		graphPath  = flag.String("graph", "", "graph file (.el/.wel/.gr/.bin)")
 		src        = flag.Uint("src", 0, "source vertex")
 		dst        = flag.Uint("dst", 0, "destination vertex (ppsp/astar)")
@@ -72,24 +77,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ordered: -graph is required")
 		os.Exit(2)
 	}
+	sp, err := cliutil.ParseAlgo(*algoName)
+	fatal(err)
 	g, err := graph.LoadFile(*graphPath, graph.BuildOptions{
 		Weighted: true, InEdges: true, Symmetrize: *symmetrize,
 	})
 	fatal(err)
-	sched := graphit.DefaultSchedule().
-		ConfigApplyPriorityUpdate(*strategy).
-		ConfigApplyPriorityUpdateDelta(*delta).
-		ConfigBucketFusionThreshold(*threshold).
-		ConfigNumBuckets(*numBuckets).
-		ConfigApplyDirection(*direction).
-		ConfigRoundTimeout(*roundTO).
-		ConfigStuckRounds(*stuckK).
-		ConfigOnFault(*onFault)
+	fatal(sp.CheckGraph(g))
+	sched, err := cliutil.ScheduleParams{
+		Strategy:        *strategy,
+		Delta:           *delta,
+		FusionThreshold: *threshold,
+		NumBuckets:      *numBuckets,
+		Direction:       *direction,
+		Workers:         *workers,
+		RoundTimeout:    *roundTO,
+		StuckRounds:     *stuckK,
+		OnFault:         *onFault,
+	}.Schedule()
+	fatal(err)
 	if *workers > 0 {
 		// Ordered runs size their own executor from the schedule's worker
 		// count; the global override remains for the unordered baselines,
 		// which use the package-level loops.
-		sched = sched.ConfigNumWorkers(*workers)
 		graphit.SetWorkers(*workers)
 	}
 
@@ -117,74 +127,23 @@ func main() {
 	}
 
 	start := time.Now()
-	var stats graphit.Stats
-	var summary string
-	var runErr error
-	switch *algoName {
-	case "sssp", "wbfs":
-		run := algo.SSSPContext
-		if *algoName == "wbfs" {
-			run = algo.WBFSContext
-		}
-		res, err := run(ctx, g, graphit.VertexID(*src), sched)
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = distSummary(res.Dist)
-		if *verify && runErr == nil {
-			ref, err := algo.Dijkstra(g, graphit.VertexID(*src))
-			fatal(err)
-			verifyEqual(res.Dist, ref)
-		}
-	case "sssp-approx":
-		res, err := algo.SSSPApproxContext(ctx, g, graphit.VertexID(*src), sched)
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = distSummary(res.Dist)
-	case "ppsp":
-		res, err := algo.PPSPContext(ctx, g, graphit.VertexID(*src), graphit.VertexID(*dst), sched)
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = fmt.Sprintf("dist(%d -> %d) = %s", *src, *dst, distCell(res.Dist[*dst]))
-	case "astar":
-		res, err := algo.AStarContext(ctx, g, graphit.VertexID(*src), graphit.VertexID(*dst), sched)
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = fmt.Sprintf("dist(%d -> %d) = %s", *src, *dst, distCell(res.Dist[*dst]))
-	case "kcore":
-		res, err := algo.KCoreContext(ctx, g, sched)
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = corenessSummary(res.Coreness)
-		if *verify && runErr == nil {
-			ref, err := algo.RefKCore(g)
-			fatal(err)
-			verifyEqual(res.Coreness, ref)
-		}
-	case "kcore-unordered":
-		res, err := algo.UnorderedKCoreContext(ctx, g)
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = corenessSummary(res.Coreness)
-	case "setcover":
-		res, err := algo.SetCoverContext(ctx, g, sched)
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = fmt.Sprintf("cover size = %d sets", res.NumChosen)
-	case "bellmanford":
-		res, err := algo.BellmanFordContext(ctx, g, graphit.VertexID(*src))
-		runErr = halted(err, ctx)
-		stats = res.Stats
-		summary = distSummary(res.Dist)
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
-	}
+	res, err := sp.Run(ctx, g, graphit.VertexID(*src), graphit.VertexID(*dst), sched)
+	runErr := halted(err, ctx)
 	elapsed := time.Since(start)
-	fmt.Fprintf(sumOut, "%s on %s\n", *algoName, g)
+
+	var stats graphit.Stats
+	if res != nil {
+		stats = res.Stats
+	}
+	fmt.Fprintf(sumOut, "%s on %s\n", sp.Name, g)
 	if runErr != nil {
 		fmt.Fprintf(sumOut, "halted early after %d rounds: %v\n", stats.Rounds, runErr)
-		fmt.Fprintf(sumOut, "result (partial): %s\n", summary)
+		fmt.Fprintf(sumOut, "result (partial): %s\n", summarize(sp, res, *src, *dst))
 	} else {
-		fmt.Fprintf(sumOut, "result: %s\n", summary)
+		fmt.Fprintf(sumOut, "result: %s\n", summarize(sp, res, *src, *dst))
+		if *verify {
+			verifyAgainstRef(sp, g, res, *src, *dst)
+		}
 	}
 	fmt.Fprintf(sumOut, "time:   %.4fs\n", elapsed.Seconds())
 	fmt.Fprintf(sumOut, "stats:  %s\n", stats)
@@ -203,36 +162,72 @@ func halted(err error, ctx context.Context) error {
 	if err == nil || ctx.Err() != nil {
 		return err
 	}
-	var pe *graphit.PanicError
-	var se *graphit.StuckError
-	if errors.As(err, &pe) || errors.As(err, &se) {
+	if graphit.IsEngineFault(err) {
 		return err
 	}
 	fatal(err)
 	return err
 }
 
-func distSummary(dist []int64) string {
-	reached, max := 0, int64(0)
-	for _, d := range dist {
-		if d != graphit.Unreached {
-			reached++
-			if d > max {
-				max = d
+// summarize renders the kind-appropriate one-line result.
+func summarize(sp *algo.Spec, res *algo.QueryResult, src, dst uint) string {
+	if res == nil {
+		return "no result"
+	}
+	switch sp.Kind {
+	case algo.KindPair:
+		return fmt.Sprintf("dist(%d -> %d) = %s", src, dst, distCell(res.Values[dst]))
+	case algo.KindCoreness:
+		max := int64(0)
+		for _, c := range res.Values {
+			if c > max {
+				max = c
 			}
 		}
+		return fmt.Sprintf("max coreness %d over %d vertices", max, len(res.Values))
+	case algo.KindCover:
+		return fmt.Sprintf("cover size = %d sets", res.NumChosen)
+	default: // KindDist
+		reached, max := 0, int64(0)
+		for _, d := range res.Values {
+			if d != graphit.Unreached {
+				reached++
+				if d > max {
+					max = d
+				}
+			}
+		}
+		return fmt.Sprintf("%d of %d vertices reached, max dist %d", reached, len(res.Values), max)
 	}
-	return fmt.Sprintf("%d of %d vertices reached, max dist %d", reached, len(dist), max)
 }
 
-func corenessSummary(core []int64) string {
-	max := int64(0)
-	for _, c := range core {
-		if c > max {
-			max = c
+// verifyAgainstRef checks the run's output against the spec's sequential
+// reference: full-vector equality for exact algorithms, destination-only
+// equality for the early-terminating pair searches, and a cover-size report
+// for the approximate set cover.
+func verifyAgainstRef(sp *algo.Spec, g *graphit.Graph, res *algo.QueryResult, src, dst uint) {
+	ref, err := sp.Ref(g, graphit.VertexID(src), graphit.VertexID(dst))
+	fatal(err)
+	switch {
+	case sp.Kind == algo.KindCover:
+		fmt.Fprintf(sumOut, "verify: cover size %d vs sequential greedy %d (approximate; equality not required)\n",
+			res.NumChosen, ref.NumChosen)
+	case sp.Kind == algo.KindPair:
+		if res.Values[dst] != ref.Values[dst] {
+			fatal(fmt.Errorf("verification failed at vertex %d: got %s, want %s",
+				dst, distCell(res.Values[dst]), distCell(ref.Values[dst])))
 		}
+		fmt.Fprintln(sumOut, "verify: OK (matches sequential reference)")
+	case !sp.Exact:
+		fmt.Fprintln(sumOut, "verify: skipped (approximate algorithm)")
+	default:
+		for i := range ref.Values {
+			if res.Values[i] != ref.Values[i] {
+				fatal(fmt.Errorf("verification failed at vertex %d: got %d, want %d", i, res.Values[i], ref.Values[i]))
+			}
+		}
+		fmt.Fprintln(sumOut, "verify: OK (matches sequential reference)")
 	}
-	return fmt.Sprintf("max coreness %d over %d vertices", max, len(core))
 }
 
 func distCell(d int64) string {
@@ -240,15 +235,6 @@ func distCell(d int64) string {
 		return "unreachable"
 	}
 	return fmt.Sprintf("%d", d)
-}
-
-func verifyEqual(got, want []int64) {
-	for i := range want {
-		if got[i] != want[i] {
-			fatal(fmt.Errorf("verification failed at vertex %d: got %d, want %d", i, got[i], want[i]))
-		}
-	}
-	fmt.Fprintln(sumOut, "verify: OK (matches sequential reference)")
 }
 
 func fatal(err error) {

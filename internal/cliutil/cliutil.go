@@ -1,0 +1,91 @@
+// Package cliutil is the shared parse-and-validate layer for binaries and
+// services that accept scheduling-language options by name (cmd/ordered,
+// cmd/graphd, the server's query endpoint). It exists so an unknown
+// strategy, direction, fault policy, or algorithm name fails with one
+// consistent error that lists the valid options, instead of each consumer
+// drifting toward its own spelling.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"graphit"
+	"graphit/algo"
+	"graphit/internal/core"
+)
+
+// ScheduleParams are the raw, by-name scheduling options a CLI flag set or
+// a JSON query carries. Zero values mean "use the schedule default".
+type ScheduleParams struct {
+	Strategy        string
+	Delta           int64
+	FusionThreshold int
+	NumBuckets      int
+	Direction       string
+	Workers         int
+	Grain           int
+	RoundTimeout    time.Duration
+	StuckRounds     int
+	OnFault         string
+}
+
+// Schedule validates the params and builds the graphit.Schedule they
+// describe. Name fields are validated here — with errors listing the valid
+// options — before the fluent Config* calls, whose own first-error
+// reporting backstops the numeric ranges.
+func (p ScheduleParams) Schedule() (graphit.Schedule, error) {
+	s := graphit.DefaultSchedule()
+	if p.Strategy != "" {
+		if _, err := core.ParseStrategy(p.Strategy); err != nil {
+			return s, optionError("priority-update strategy", p.Strategy, core.StrategyNames())
+		}
+		s = s.ConfigApplyPriorityUpdate(p.Strategy)
+	}
+	if p.Direction != "" {
+		if _, err := core.ParseDirection(p.Direction); err != nil {
+			return s, optionError("direction", p.Direction, core.DirectionNames())
+		}
+		s = s.ConfigApplyDirection(p.Direction)
+	}
+	if p.OnFault != "" {
+		if _, err := core.ParseFaultPolicy(p.OnFault); err != nil {
+			return s, optionError("fault policy", p.OnFault, core.FaultPolicyNames())
+		}
+		s = s.ConfigOnFault(p.OnFault)
+	}
+	if p.Delta != 0 {
+		s = s.ConfigApplyPriorityUpdateDelta(p.Delta)
+	}
+	if p.FusionThreshold != 0 {
+		s = s.ConfigBucketFusionThreshold(p.FusionThreshold)
+	}
+	if p.NumBuckets != 0 {
+		s = s.ConfigNumBuckets(p.NumBuckets)
+	}
+	if p.Workers != 0 {
+		s = s.ConfigNumWorkers(p.Workers)
+	}
+	if p.Grain != 0 {
+		s = s.ConfigApplyParallelization(p.Grain)
+	}
+	if p.RoundTimeout != 0 {
+		s = s.ConfigRoundTimeout(p.RoundTimeout)
+	}
+	if p.StuckRounds != 0 {
+		s = s.ConfigStuckRounds(p.StuckRounds)
+	}
+	return s, s.Err()
+}
+
+// ParseAlgo resolves an algorithm name against the registry; an unknown
+// name fails with the registry's canonical valid-options error.
+func ParseAlgo(name string) (*algo.Spec, error) {
+	return algo.Lookup(name)
+}
+
+// optionError is the one spelling of "unknown name" every consumer shares.
+func optionError(what, got string, valid []string) error {
+	return fmt.Errorf("unknown %s %q (valid: %s)", what, got, strings.Join(valid, ", "))
+}

@@ -333,6 +333,14 @@ var executorPool = struct {
 // that many runs proceed concurrently without construction cost.
 const maxPooledExecutors = 8
 
+// ExecutorPoolCap returns the number of executors the Acquire/Release pool
+// retains per distinct worker count. Long-running callers that admit
+// concurrent engine runs (the graphd server) size their concurrency limit
+// from it: up to this many runs reuse parked worker pools, while any run
+// beyond it constructs and tears down a fresh executor — admission past the
+// cap is allowed but no longer amortized.
+func ExecutorPoolCap() int { return maxPooledExecutors }
+
 // Acquire checks an executor with w workers out of the pool (w <= 0 =
 // Workers()), constructing one if none is free. Pair with Release.
 func Acquire(w int) *Executor {

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Admission errors. Handlers map ErrShed to 429 (+Retry-After) and
+// ErrDraining to 503.
+var (
+	// ErrShed: the run slots are busy and the bounded wait queue is full.
+	// The request is rejected immediately — load is shed fast instead of
+	// accumulating unbounded goroutines behind a saturated engine.
+	ErrShed = errors.New("server: overloaded, request shed")
+	// ErrDraining: the server has stopped admitting work (graceful drain).
+	ErrDraining = errors.New("server: draining, not admitting new queries")
+)
+
+// admission is the server's bounded admission controller: a concurrency
+// limiter of maxConcurrent run slots — sized to the shared
+// parallel.Executor pool, so admitted runs reuse parked worker pools — plus
+// a wait queue bounded at queueDepth. A request either holds a slot, waits
+// in the bounded queue, or is shed; there is no third place for it to
+// accumulate.
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+	queued     atomic.Int64
+	closed     chan struct{}
+	closeFlag  atomic.Bool
+
+	// Counters for /statusz and tests.
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(maxConcurrent, queueDepth int) *admission {
+	a := &admission{
+		slots:      make(chan struct{}, maxConcurrent),
+		queueDepth: int64(queueDepth),
+		closed:     make(chan struct{}),
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire admits the caller: it returns a release function once a run slot
+// is held, ErrShed when the queue is full, ErrDraining when admission is
+// closed, or ctx.Err() when the caller's context ends while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	if a.closeFlag.Load() {
+		return nil, ErrDraining
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case <-a.slots:
+		a.admitted.Add(1)
+		return a.releaseFunc(), nil
+	default:
+	}
+	// Bounded queue: reserve a waiter position or shed. The counter is an
+	// admission ticket — reserved before waiting, returned on every exit
+	// path — so at most queueDepth requests ever block here.
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, ErrShed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case <-a.slots:
+		a.admitted.Add(1)
+		return a.releaseFunc(), nil
+	case <-a.closed:
+		return nil, ErrDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) releaseFunc() func() {
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			a.slots <- struct{}{}
+		}
+	}
+}
+
+// close stops admission: queued waiters fail with ErrDraining and future
+// acquires are rejected. In-flight slot holders are unaffected.
+func (a *admission) close() {
+	if a.closeFlag.CompareAndSwap(false, true) {
+		close(a.closed)
+	}
+}
+
+// inUse returns the number of run slots currently held.
+func (a *admission) inUse() int {
+	return cap(a.slots) - len(a.slots)
+}
+
+// AdmissionStatus is the admission controller's externally visible state.
+type AdmissionStatus struct {
+	MaxConcurrent int   `json:"max_concurrent"`
+	QueueDepth    int   `json:"queue_depth"`
+	InFlight      int   `json:"in_flight"`
+	Queued        int   `json:"queued"`
+	Admitted      int64 `json:"admitted"`
+	Shed          int64 `json:"shed"`
+}
+
+func (a *admission) status() AdmissionStatus {
+	return AdmissionStatus{
+		MaxConcurrent: cap(a.slots),
+		QueueDepth:    int(a.queueDepth),
+		InFlight:      a.inUse(),
+		Queued:        int(a.queued.Load()),
+		Admitted:      a.admitted.Load(),
+		Shed:          a.shed.Load(),
+	}
+}

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit breaker's position in the trip/recover state
+// machine.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests run their primary schedule; consecutive
+	// engine faults are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are re-routed to the safe fallback schedule
+	// without attempting the primary. After the cooldown the breaker
+	// half-opens.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request runs the primary schedule; its
+	// outcome closes the breaker (success) or re-opens it (fault).
+	// Concurrent requests keep using the fallback while the probe is in
+	// flight.
+	BreakerHalfOpen
+)
+
+var breakerStateNames = [...]string{
+	BreakerClosed:   "closed",
+	BreakerOpen:     "open",
+	BreakerHalfOpen: "half_open",
+}
+
+func (s BreakerState) String() string {
+	if s >= 0 && int(s) < len(breakerStateNames) {
+		return breakerStateNames[s]
+	}
+	return "invalid"
+}
+
+// breaker is the per-key state. All fields are guarded by Breakers.mu.
+type breaker struct {
+	state       BreakerState
+	consecutive int       // engine faults since the last success (closed)
+	openedAt    time.Time // when the breaker last tripped
+	probing     bool      // a half-open probe is in flight
+
+	// Counters for /statusz and tests.
+	trips     int64 // closed/half-open -> open transitions
+	faults    int64 // engine faults observed on primary runs
+	fallbacks int64 // requests served by the fallback schedule
+}
+
+// Breakers is a set of circuit breakers keyed by (algo, strategy) — the
+// schedule axis the paper shows is workload-dependent, and therefore the
+// axis along which a hostile input breaks one configuration while others
+// keep working. A key's breaker trips after Threshold consecutive engine
+// faults, serves the fallback while open, and half-opens Cooldown after the
+// trip.
+type Breakers struct {
+	mu        sync.Mutex
+	m         map[string]*breaker
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+}
+
+// NewBreakers builds a breaker set. threshold <= 0 defaults to 3 and
+// cooldown <= 0 to 5s.
+func NewBreakers(threshold int, cooldown time.Duration) *Breakers {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breakers{
+		m:         make(map[string]*breaker),
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+func (b *Breakers) get(key string) *breaker {
+	br := b.m[key]
+	if br == nil {
+		br = &breaker{}
+		b.m[key] = br
+	}
+	return br
+}
+
+// Route decides how to execute one request for key. primary=true means "run
+// the primary schedule"; the caller MUST then call done exactly once with
+// whether the primary run ended in an engine fault. primary=false means
+// "serve the fallback without trying the primary" (done is nil) — the
+// breaker is open, or another probe already holds the half-open slot.
+func (b *Breakers) Route(key string) (primary bool, done func(fault bool)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+
+	switch br.state {
+	case BreakerOpen:
+		if b.now().Sub(br.openedAt) < b.cooldown {
+			br.fallbacks++
+			return false, nil
+		}
+		br.state = BreakerHalfOpen
+		br.probing = false
+		fallthrough
+	case BreakerHalfOpen:
+		if br.probing {
+			br.fallbacks++
+			return false, nil
+		}
+		br.probing = true
+		return true, func(fault bool) { b.settleProbe(key, fault) }
+	default: // BreakerClosed
+		return true, func(fault bool) { b.settleClosed(key, fault) }
+	}
+}
+
+// settleClosed records a primary-run outcome observed while closed.
+func (b *Breakers) settleClosed(key string, fault bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+	if br.state != BreakerClosed {
+		// A concurrent request already tripped the breaker; this outcome
+		// (raced from before the trip) only contributes its fault count.
+		if fault {
+			br.faults++
+		}
+		return
+	}
+	if !fault {
+		br.consecutive = 0
+		return
+	}
+	br.faults++
+	br.consecutive++
+	if br.consecutive >= b.threshold {
+		br.state = BreakerOpen
+		br.openedAt = b.now()
+		br.trips++
+	}
+}
+
+// settleProbe records a half-open probe's outcome.
+func (b *Breakers) settleProbe(key string, fault bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+	br.probing = false
+	if br.state != BreakerHalfOpen {
+		if fault {
+			br.faults++
+		}
+		return
+	}
+	if fault {
+		br.faults++
+		br.state = BreakerOpen
+		br.openedAt = b.now()
+		br.trips++
+		return
+	}
+	br.state = BreakerClosed
+	br.consecutive = 0
+}
+
+// RecordFallback counts a fallback-served request attributed to key outside
+// Route's open-path accounting (e.g. a closed-state primary fault that was
+// transparently re-run on the fallback).
+func (b *Breakers) RecordFallback(key string) {
+	b.mu.Lock()
+	b.get(key).fallbacks++
+	b.mu.Unlock()
+}
+
+// State returns key's current state, advancing open -> half_open if the
+// cooldown has elapsed (so observers see the same state Route would).
+func (b *Breakers) State(key string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+	if br.state == BreakerOpen && b.now().Sub(br.openedAt) >= b.cooldown {
+		br.state = BreakerHalfOpen
+		br.probing = false
+	}
+	return br.state
+}
+
+// BreakerStatus is one breaker's externally visible state (for /statusz).
+type BreakerStatus struct {
+	Key         string `json:"key"`
+	State       string `json:"state"`
+	Consecutive int    `json:"consecutive_faults"`
+	Trips       int64  `json:"trips"`
+	Faults      int64  `json:"faults"`
+	Fallbacks   int64  `json:"fallbacks"`
+}
+
+// Snapshot returns the status of every breaker that has seen traffic.
+func (b *Breakers) Snapshot() []BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(b.m))
+	for key, br := range b.m {
+		st := br.state
+		if st == BreakerOpen && b.now().Sub(br.openedAt) >= b.cooldown {
+			st = BreakerHalfOpen
+		}
+		out = append(out, BreakerStatus{
+			Key:         key,
+			State:       st.String(),
+			Consecutive: br.consecutive,
+			Trips:       br.trips,
+			Faults:      br.faults,
+			Fallbacks:   br.fallbacks,
+		})
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's injectable clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreakers(threshold int, cooldown time.Duration) (*Breakers, *fakeClock) {
+	b := NewBreakers(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAfterConsecutiveFaults(t *testing.T) {
+	b, _ := newTestBreakers(3, time.Minute)
+	const key = "sssp/eager_with_fusion"
+
+	for i := 0; i < 2; i++ {
+		primary, done := b.Route(key)
+		if !primary {
+			t.Fatalf("fault %d: want primary routing while closed", i)
+		}
+		done(true)
+	}
+	if st := b.State(key); st != BreakerClosed {
+		t.Fatalf("after 2 faults: state %v, want closed", st)
+	}
+	// A success resets the streak.
+	_, done := b.Route(key)
+	done(false)
+	for i := 0; i < 2; i++ {
+		_, done := b.Route(key)
+		done(true)
+	}
+	if st := b.State(key); st != BreakerClosed {
+		t.Fatalf("streak did not reset on success: state %v", st)
+	}
+	// Third consecutive fault trips.
+	_, done = b.Route(key)
+	done(true)
+	if st := b.State(key); st != BreakerOpen {
+		t.Fatalf("after 3 consecutive faults: state %v, want open", st)
+	}
+	// While open, requests are routed to the fallback.
+	if primary, _ := b.Route(key); primary {
+		t.Fatal("open breaker routed to primary")
+	}
+	snap := b.Snapshot()
+	if len(snap) != 1 || snap[0].Trips != 1 || snap[0].Fallbacks != 1 {
+		t.Fatalf("snapshot = %+v, want 1 trip and 1 fallback", snap)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreakers(1, time.Minute)
+	const key = "kcore/lazy"
+
+	_, done := b.Route(key)
+	done(true) // threshold 1: trips immediately
+	if st := b.State(key); st != BreakerOpen {
+		t.Fatalf("state %v, want open", st)
+	}
+
+	// Before the cooldown: fallback only.
+	clk.advance(59 * time.Second)
+	if primary, _ := b.Route(key); primary {
+		t.Fatal("routed to primary before the cooldown elapsed")
+	}
+
+	// After the cooldown: exactly one probe gets the primary; concurrent
+	// requests keep falling back while it is in flight.
+	clk.advance(2 * time.Second)
+	primary, probeDone := b.Route(key)
+	if !primary {
+		t.Fatal("no probe after cooldown")
+	}
+	if st := b.State(key); st != BreakerHalfOpen {
+		t.Fatalf("state %v, want half_open during probe", st)
+	}
+	if p2, _ := b.Route(key); p2 {
+		t.Fatal("second concurrent probe allowed")
+	}
+
+	// Probe faults: re-open, new cooldown.
+	probeDone(true)
+	if st := b.State(key); st != BreakerOpen {
+		t.Fatalf("state after failed probe %v, want open", st)
+	}
+	clk.advance(2 * time.Minute)
+	primary, probeDone = b.Route(key)
+	if !primary {
+		t.Fatal("no second probe")
+	}
+	// Probe succeeds: closed, streak cleared.
+	probeDone(false)
+	if st := b.State(key); st != BreakerClosed {
+		t.Fatalf("state after successful probe %v, want closed", st)
+	}
+	if primary, _ := b.Route(key); !primary {
+		t.Fatal("closed breaker not routing to primary")
+	}
+}
+
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	b, _ := newTestBreakers(1, time.Minute)
+	_, done := b.Route("sssp/eager_with_fusion")
+	done(true)
+	if st := b.State("sssp/eager_with_fusion"); st != BreakerOpen {
+		t.Fatalf("tripped key state %v, want open", st)
+	}
+	if primary, _ := b.Route("sssp/lazy"); !primary {
+		t.Fatal("untripped key was rerouted")
+	}
+	if st := b.State("sssp/lazy"); st != BreakerClosed {
+		t.Fatal("untripped key not closed")
+	}
+}
+
+func TestAdmissionShedAndDrain(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+
+	rel1, err := a.acquire(ctx)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Slot busy: the second caller queues; a third is shed immediately.
+	got := make(chan error, 1)
+	go func() {
+		rel, err := a.acquire(ctx)
+		if err == nil {
+			rel()
+		}
+		got <- err
+	}()
+	// Wait for the queued waiter to register, then overflow.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := a.acquire(ctx); err != ErrShed {
+		t.Fatalf("overflow acquire: err %v, want ErrShed", err)
+	}
+	if s := a.status(); s.Shed != 1 || s.InFlight != 1 || s.Queued != 1 {
+		t.Fatalf("status = %+v", s)
+	}
+	// Releasing the slot admits the queued waiter.
+	rel1()
+	if err := <-got; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+
+	// After close: immediate rejection, and queued waiters drain out.
+	rel2, err := a.acquire(ctx)
+	if err != nil {
+		t.Fatalf("reacquire: %v", err)
+	}
+	go func() {
+		_, err := a.acquire(ctx)
+		got <- err
+	}()
+	for a.queued.Load() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	a.close()
+	if err := <-got; err != ErrDraining {
+		t.Fatalf("queued waiter after close: err %v, want ErrDraining", err)
+	}
+	if _, err := a.acquire(ctx); err != ErrDraining {
+		t.Fatalf("acquire after close: err %v, want ErrDraining", err)
+	}
+	rel2()
+}
+
+func TestAdmissionQueuedCallerCancellation(t *testing.T) {
+	a := newAdmission(1, 4)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		got <- err
+	}()
+	for a.queued.Load() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-got; err != context.Canceled {
+		t.Fatalf("cancelled waiter: err %v, want context.Canceled", err)
+	}
+	rel()
+	// The slot is still usable.
+	rel2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}

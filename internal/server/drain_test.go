@@ -1,0 +1,166 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"graphit"
+	"graphit/algo"
+	"graphit/internal/core"
+	"graphit/internal/parallel"
+	"graphit/internal/server"
+	"graphit/internal/testutil"
+)
+
+// TestGracefulDrainMidQuery is the satellite-3 drill, run under -race in CI:
+// shutdown begins while a query is held mid-round by an injected stall. The
+// in-flight query must complete correctly, new work must be rejected the
+// moment draining starts, readiness must flip, Shutdown must return only
+// after the last query finishes, and no goroutine may outlive it.
+func TestGracefulDrainMidQuery(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+
+	g := testGraph(t)
+	ref, err := algo.Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	srv, ts := startServer(t, server.Config{
+		Graphs:        map[string]*graphit.Graph{"road": g},
+		RoundTimeout:  time.Minute, // the gate stalls a round on purpose
+		MaxBudget:     time.Minute,
+		DefaultBudget: 30 * time.Second,
+		DrainGrace:    10 * time.Second,
+		BaseContext:   gateHook(gate),
+	})
+
+	// Launch the query that will block at its round-2 gate.
+	ids := allVertices(g)
+	type result struct {
+		status int
+		resp   *server.Response
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		st, resp := postQuery(t, ts, server.Query{Algo: "sssp", Graph: "road", Src: 0, Vertices: ids})
+		inflight <- result{st, resp}
+	}()
+	waitFor(t, "query in flight", func() bool { return srv.InFlight() == 1 })
+
+	// Begin the drain concurrently; it must not return while the query runs.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
+	}()
+	waitFor(t, "readiness to flip", func() bool {
+		resp, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Errorf("readyz: %v", err)
+			return true
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+
+	// New queries are rejected while draining.
+	body, _ := json.Marshal(server.Query{Algo: "sssp", Graph: "road", Src: 0})
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 during drain without Retry-After")
+	}
+
+	// Shutdown is still waiting on the gated query.
+	select {
+	case err := <-drained:
+		t.Fatalf("Shutdown returned (%v) with a query still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the gate: the in-flight query completes with the right answer,
+	// and the drain then finishes cleanly.
+	close(gate)
+	r := <-inflight
+	if r.status != 200 || r.resp.Error != "" || r.resp.Fallback {
+		t.Fatalf("in-flight query after drain: status %d resp %+v", r.status, r.resp)
+	}
+	wantValues(t, r.resp, ids, ref)
+	if err := <-drained; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if srv.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain", srv.InFlight())
+	}
+
+	ts.Close()
+	ts.Client().CloseIdleConnections()
+}
+
+// TestDrainDeadlineCancelsStragglers covers the forced path: the drain
+// deadline passes while a query is wedged, so the server cancels the run's
+// context, the engine halts at its round barrier, and Shutdown still comes
+// back (within DrainGrace) rather than hanging forever.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+
+	// Stall round 2 until the query's own context is cancelled — exactly the
+	// signal the drain's kill path delivers. BaseContext receives the final
+	// per-query context (deadline + drain-kill chain), so the closure can
+	// watch it; a 30s cap keeps the test bounded if the kill never comes.
+	stall := func(ctx context.Context) context.Context {
+		hook := func(phase string, round int64, _ int) {
+			if phase == core.PhaseRelax && round == 2 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(30 * time.Second):
+				}
+			}
+		}
+		return core.WithFaultHook(ctx, hook)
+	}
+	srv, ts := startServer(t, server.Config{
+		RoundTimeout:  time.Minute,
+		MaxBudget:     time.Minute,
+		DefaultBudget: 30 * time.Second,
+		DrainGrace:    5 * time.Second,
+		BaseContext:   stall,
+	})
+
+	done := make(chan int, 1)
+	go func() {
+		st, _ := postQuery(t, ts, server.Query{Algo: "sssp", Graph: "road", Src: 0})
+		done <- st
+	}()
+	waitFor(t, "query in flight", func() bool { return srv.InFlight() == 1 })
+
+	// A drain deadline in the past forces the kill path immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after forced cancel: %v", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("forced drain took %v", waited)
+	}
+	// The wedged query was cancelled, not completed: budget-exhausted reply.
+	if st := <-done; st != 504 {
+		t.Fatalf("cancelled query status %d, want 504", st)
+	}
+
+	ts.Close()
+	ts.Client().CloseIdleConnections()
+}

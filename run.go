@@ -110,3 +110,25 @@ const (
 
 // ParseFaultPolicy parses a fault policy name: "fail" or "retry_serial".
 var ParseFaultPolicy = core.ParseFaultPolicy
+
+// Fault kinds returned by ClassifyFault — the serving layer's taxonomy of
+// run outcomes (see graphit/internal/server for the consumer).
+const (
+	FaultKindNone     = core.FaultKindNone
+	FaultKindPanic    = core.FaultKindPanic
+	FaultKindStuck    = core.FaultKindStuck
+	FaultKindCanceled = core.FaultKindCanceled
+)
+
+// ClassifyFault maps an error returned by the run entry points (or any
+// wrapper preserving the error chain) to its fault kind: FaultKindPanic for
+// a contained *PanicError, FaultKindStuck for a watchdog *StuckError,
+// FaultKindCanceled for context cancellation/expiry, FaultKindNone
+// otherwise.
+var ClassifyFault = core.ClassifyFault
+
+// IsEngineFault reports whether err is a contained engine fault (a
+// recovered panic or a watchdog abort) — the outcomes a circuit breaker
+// should count against an (algo, strategy) key, as opposed to client
+// cancellation or request validation errors.
+var IsEngineFault = core.IsEngineFault

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# graphd boot/query/shed/drain smoke test, run by the graphd-smoke CI job.
+#
+# Boots the daemon on a generated road graph with a deliberately tiny
+# admission envelope (one run slot, one queue seat), then checks the four
+# serving behaviors end to end: readiness, a correct query, fast load
+# shedding under saturation (429 + Retry-After), and a clean SIGTERM drain.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== generate graph"
+go run ./cmd/graphgen -kind road -rows 400 -cols 400 -seed 1 -o "$workdir/road.bin"
+
+echo "== build and boot graphd (1 slot, 1 queue seat)"
+go build -o "$workdir/graphd" ./cmd/graphd
+"$workdir/graphd" -graph road="$workdir/road.bin" -addr 127.0.0.1:18090 \
+  -max-concurrent 1 -queue-depth 1 -default-budget 10s &
+pid=$!
+
+echo "== wait for readiness"
+ready=""
+for _ in $(seq 1 100); do
+  if [ "$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:18090/readyz || true)" = "200" ]; then
+    ready=yes
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$ready" ] || { echo "graphd never became ready" >&2; exit 1; }
+
+echo "== single query answers"
+body='{"algo":"sssp","graph":"road","src":0,"delta":64}'
+resp=$(curl -s -d "$body" http://127.0.0.1:18090/query)
+echo "$resp"
+echo "$resp" | grep -q '"reached":' || { echo "query response missing result" >&2; exit 1; }
+echo "$resp" | grep -q '"error"' && { echo "query unexpectedly errored" >&2; exit 1; }
+
+echo "== saturation sheds with 429 + Retry-After"
+mkdir -p "$workdir/headers"
+curl_pids=()
+for i in $(seq 1 40); do
+  curl -s -o /dev/null -D "$workdir/headers/$i" -w '%{http_code}\n' \
+    -d "$body" http://127.0.0.1:18090/query >>"$workdir/codes" &
+  curl_pids+=($!)
+done
+# Wait for the curls only — a bare `wait` would also wait on graphd itself.
+wait "${curl_pids[@]}"
+sort "$workdir/codes" | uniq -c
+grep -q '^200$' "$workdir/codes" || { echo "no query succeeded under saturation" >&2; exit 1; }
+grep -q '^429$' "$workdir/codes" || { echo "saturation produced no 429 shed" >&2; exit 1; }
+# Every shed response must carry Retry-After.
+for h in "$workdir"/headers/*; do
+  if grep -q '^HTTP/[0-9.]* 429' "$h" && ! grep -qi '^retry-after:' "$h"; then
+    echo "429 without Retry-After in $h" >&2
+    cat "$h" >&2
+    exit 1
+  fi
+done
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || { echo "graphd exited $rc on SIGTERM" >&2; exit 1; }
+
+echo "graphd smoke: OK"
