@@ -1,0 +1,70 @@
+package algo
+
+import (
+	"strconv"
+
+	"graphit"
+)
+
+// Summary is the canonical, transport-agnostic result summary of one query
+// — the shape the serving layers cache, coalesce, and encode. It lives next
+// to QueryResult so every transport (HTTP today, anything else tomorrow)
+// reports the same fields with the same semantics.
+//
+// Result-kind fields are pointers so a legitimate zero stays distinguishable
+// from "not reported by this result kind": nil means the kind does not
+// produce the field, a non-nil zero is a real answer (a source whose only
+// reachable vertex is itself reports reached=0 over the other vertices'
+// values, a uniformly-zero vector reports max_value=0).
+type Summary struct {
+	// Reached counts vertices whose value is not Unreached, the source
+	// included (KindDist, KindCoreness).
+	Reached *int `json:"reached,omitempty"`
+	// MaxValue is the maximum value over reached vertices; 0 when the
+	// reached set is empty (KindDist, KindCoreness).
+	MaxValue *int64 `json:"max_value,omitempty"`
+	// PairDist is the src→dst distance (KindPair); nil when dst is
+	// unreachable — "no path" is a different answer than distance 0.
+	PairDist *int64 `json:"pair_dist,omitempty"`
+	// CoverSize is the number of chosen sets (KindCover).
+	CoverSize *int `json:"cover_size,omitempty"`
+	// Values holds the explicitly requested per-vertex values, keyed by
+	// decimal vertex id.
+	Values map[string]int64 `json:"values,omitempty"`
+}
+
+// Summarize renders res into the kind-appropriate Summary. dst selects the
+// reported pair for KindPair; vertices asks for individual values (callers
+// must have bounds-checked them against the graph).
+func Summarize(sp *Spec, res *QueryResult, dst graphit.VertexID, vertices []uint32) Summary {
+	var sum Summary
+	switch sp.Kind {
+	case KindCover:
+		n := res.NumChosen
+		sum.CoverSize = &n
+	case KindPair:
+		if int(dst) < len(res.Values) && res.Values[dst] != graphit.Unreached {
+			d := res.Values[dst]
+			sum.PairDist = &d
+		}
+	default: // KindDist, KindCoreness
+		reached, maxValue := 0, int64(0)
+		for _, v := range res.Values {
+			if v != graphit.Unreached {
+				reached++
+				if v > maxValue {
+					maxValue = v
+				}
+			}
+		}
+		sum.Reached = &reached
+		sum.MaxValue = &maxValue
+	}
+	if len(vertices) > 0 && res.Values != nil {
+		sum.Values = make(map[string]int64, len(vertices))
+		for _, v := range vertices {
+			sum.Values[strconv.FormatUint(uint64(v), 10)] = res.Values[v]
+		}
+	}
+	return sum
+}

@@ -1,11 +1,12 @@
 // Command graphd is a long-running daemon serving ordered-graph queries
 // over HTTP/JSON. It loads its graphs once at startup and treats every
-// query as untrusted: admission control sheds overload fast (429 +
-// Retry-After), client budgets become context deadlines plus engine round
-// watchdogs, consecutive contained faults trip a per-(algo, strategy)
-// circuit breaker that re-routes to a safe serial fallback schedule, and
-// SIGTERM drains gracefully (readiness flips, in-flight queries finish
-// under a deadline).
+// query as untrusted: a keyed result cache and singleflight coalescing
+// absorb repeated and concurrent identical queries before they cost an
+// engine run, admission control sheds overload fast (429 + Retry-After),
+// client budgets become context deadlines plus engine round watchdogs,
+// consecutive contained faults trip a per-(algo, strategy) circuit breaker
+// that re-routes to a safe serial fallback schedule, and SIGTERM drains
+// gracefully (readiness flips, in-flight queries finish under a deadline).
 //
 // Usage:
 //
@@ -49,6 +50,9 @@ func main() {
 		brkThresh  = flag.Int("breaker-threshold", 3, "consecutive engine faults that trip an (algo, strategy) breaker")
 		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "time an open breaker waits before half-opening")
 		drainTO    = flag.Duration("drain-timeout", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+		cacheN     = flag.Int("cache-entries", 1024, "result cache capacity in entries (0 disables the cache)")
+		cacheTTL   = flag.Duration("cache-ttl", time.Minute, "result cache entry lifetime")
+		coalesce   = flag.Bool("coalesce", true, "coalesce concurrent identical queries into one engine run")
 	)
 	// Graph specs are collected during parse and loaded afterwards, so the
 	// -symmetrize flag applies regardless of flag order.
@@ -98,6 +102,9 @@ func main() {
 		StuckRounds:      *stuckK,
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCool,
+		CacheEntries:     *cacheN,
+		CacheTTL:         *cacheTTL,
+		Coalesce:         *coalesce,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphd:", err)

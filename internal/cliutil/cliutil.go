@@ -79,6 +79,56 @@ func (p ScheduleParams) Schedule() (graphit.Schedule, error) {
 	return s, s.Err()
 }
 
+// Normalize resolves p to its canonical, fully-defaulted form: by-name
+// fields come back with the engine's canonical spelling (an empty Strategy
+// becomes "eager_with_fusion", an empty OnFault becomes "fail", …) and the
+// numeric fields the engine would default-fill at run time (∆, the fusion
+// threshold, the bucket count) are materialized. Any two params describing
+// the same effective schedule therefore normalize to identical values — the
+// property stable cache keys are built on. Operational fields (Workers,
+// Grain, RoundTimeout, StuckRounds) pass through unchanged: they select
+// resources and watchdogs, not results.
+func (p ScheduleParams) Normalize() (ScheduleParams, error) {
+	s, err := p.Schedule()
+	if err != nil {
+		return p, err
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		return p, err
+	}
+	p.Strategy = cfg.Strategy.String()
+	p.Direction = cfg.Direction.String()
+	p.OnFault = cfg.OnFault.String()
+	// The engine clamps these at run time (core.Config.normalize); mirror
+	// its rules so the normalized params name the schedule that actually
+	// executes.
+	p.Delta = cfg.Delta
+	if p.Delta < 1 {
+		p.Delta = 1
+	}
+	p.FusionThreshold = cfg.FusionThreshold
+	if p.FusionThreshold <= 0 {
+		p.FusionThreshold = 1000
+	}
+	p.NumBuckets = cfg.NumBuckets
+	if p.NumBuckets <= 0 {
+		p.NumBuckets = 128
+	}
+	return p, nil
+}
+
+// CanonicalKey renders a normalized params value as one stable string — the
+// schedule axis of a query-result cache key. Call Normalize first: the key
+// is only canonical (equal schedules ⇒ equal keys) for normalized params.
+// Watchdog fields are excluded — they bound execution, not results — while
+// Workers and Grain are kept: the exact engines are deterministic across
+// worker counts, but the approximate ones need not be.
+func (p ScheduleParams) CanonicalKey() string {
+	return fmt.Sprintf("strategy=%s,dir=%s,delta=%d,fusion=%d,buckets=%d,workers=%d,grain=%d,onfault=%s",
+		p.Strategy, p.Direction, p.Delta, p.FusionThreshold, p.NumBuckets, p.Workers, p.Grain, p.OnFault)
+}
+
 // ParseAlgo resolves an algorithm name against the registry; an unknown
 // name fails with the registry's canonical valid-options error.
 func ParseAlgo(name string) (*algo.Spec, error) {

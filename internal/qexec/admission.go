@@ -1,4 +1,4 @@
-package server
+package qexec
 
 import (
 	"context"
@@ -6,18 +6,17 @@ import (
 	"sync/atomic"
 )
 
-// Admission errors. Handlers map ErrShed to 429 (+Retry-After) and
-// ErrDraining to 503.
+// Admission errors, surfaced on Outcomes as CodeShed and CodeDraining.
 var (
 	// ErrShed: the run slots are busy and the bounded wait queue is full.
 	// The request is rejected immediately — load is shed fast instead of
 	// accumulating unbounded goroutines behind a saturated engine.
-	ErrShed = errors.New("server: overloaded, request shed")
-	// ErrDraining: the server has stopped admitting work (graceful drain).
-	ErrDraining = errors.New("server: draining, not admitting new queries")
+	ErrShed = errors.New("overloaded, request shed")
+	// ErrDraining: the pipeline has stopped admitting work (graceful drain).
+	ErrDraining = errors.New("draining, not admitting new queries")
 )
 
-// admission is the server's bounded admission controller: a concurrency
+// admission is the pipeline's Admit stage — a bounded admission controller: a concurrency
 // limiter of maxConcurrent run slots — sized to the shared
 // parallel.Executor pool, so admitted runs reuse parked worker pools — plus
 // a wait queue bounded at queueDepth. A request either holds a slot, waits

@@ -1,0 +1,110 @@
+package qexec
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"graphit"
+	"graphit/algo"
+)
+
+// cacheEntry is one cached result: the canonical summary plus the producing
+// run's stats. Entries are immutable once stored — readers share them.
+type cacheEntry struct {
+	key   string
+	sum   algo.Summary
+	stats *graphit.Stats
+	at    time.Time
+}
+
+// resultCache is the Cache stage: a keyed LRU with TTL over canonical plan
+// keys. Only clean primary successes are stored (the pipeline's policy), so
+// an entry is always a full-fidelity answer for its exact key — including
+// the vertices selection, which is part of the key.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+
+	hits, misses, evictions int64
+	now                     func() time.Time // injectable clock for tests
+}
+
+func newResultCache(capacity int, ttl time.Duration) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ttl:      ttl,
+		ll:       list.New(),
+		m:        make(map[string]*list.Element, capacity),
+		now:      time.Now,
+	}
+}
+
+// get returns the fresh entry for key, refreshing its recency. A stale
+// entry is evicted and reported as a miss.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.now().Sub(e.at) > c.ttl {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		c.evictions++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e, true
+}
+
+// put stores (or refreshes) key's entry, evicting the least recently used
+// entry when the cache is full.
+func (c *resultCache) put(key string, sum algo.Summary, stats *graphit.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &cacheEntry{key: key, sum: sum, stats: stats, at: c.now()}
+	if el, ok := c.m[key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(e)
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStatus is the cache stage's externally visible state.
+type CacheStatus struct {
+	Capacity  int   `json:"capacity"`
+	Entries   int   `json:"entries"`
+	TTLMS     int64 `json:"ttl_ms"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *resultCache) status() CacheStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStatus{
+		Capacity:  c.capacity,
+		Entries:   c.ll.Len(),
+		TTLMS:     c.ttl.Milliseconds(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

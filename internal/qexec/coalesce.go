@@ -1,0 +1,83 @@
+package qexec
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress shared execution. done is closed — after out is
+// set — when the leader finishes; every follower then reads out.
+type flight struct {
+	done chan struct{}
+	out  *Outcome
+}
+
+// flightGroup is the Coalesce stage: a singleflight keyed by flight key
+// (cache key + budget). The first request for a key becomes the leader and
+// runs the admit/route/run tail; concurrent requests for the same key
+// become followers and share the leader's completed Outcome. The leader's
+// run is detached from its own caller (see Pipeline.execute), so a
+// follower outlives the caller that happened to arrive first — and a
+// fault-triggered fallback result propagates whole to every waiter, never
+// a torn one: followers only ever observe the Outcome after the leader has
+// fully settled it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	leaders   int64
+	coalesced int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do executes run under key's flight. The caller is either the leader
+// (runs run itself) or a follower (waits for the leader under its own ctx:
+// a follower whose caller gives up gets CodeClientGone without disturbing
+// the shared run).
+func (g *flightGroup) do(ctx context.Context, key string, run func() *Outcome) *Outcome {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			out := *f.out // shallow copy; Summary/Stats are shared read-only
+			out.Coalesced = true
+			return &out
+		case <-ctx.Done():
+			return &Outcome{Code: CodeClientGone, Err: ctx.Err(), Coalesced: true}
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.leaders++
+	g.mu.Unlock()
+
+	f.out = run()
+
+	// Unpublish before release: a request arriving after completion must
+	// start a fresh flight (whether it is then served by the cache is the
+	// cache stage's decision, not the coalescer's).
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.out
+}
+
+// CoalesceStatus is the coalesce stage's externally visible state.
+type CoalesceStatus struct {
+	// Leaders counts flights that actually ran; Coalesced counts requests
+	// served by joining another request's flight.
+	Leaders   int64 `json:"leaders"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+func (g *flightGroup) status() CoalesceStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return CoalesceStatus{Leaders: g.leaders, Coalesced: g.coalesced}
+}

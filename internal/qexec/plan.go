@@ -1,0 +1,184 @@
+package qexec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"graphit"
+	"graphit/algo"
+	"graphit/internal/cliutil"
+)
+
+// Request is the transport-agnostic form of one query — the fields a JSON
+// body or a CLI invocation carries, before validation. Zero values mean
+// "use the pipeline defaults".
+type Request struct {
+	// Algo is the algorithm name (see algo.Names).
+	Algo string
+	// Graph names one of the graphs the pipeline was configured with.
+	Graph string
+	// Src / Dst are the source and (for pair algorithms) destination
+	// vertices.
+	Src uint32
+	Dst uint32
+	// Strategy / Direction / Delta / NumBuckets select the primary
+	// schedule by name; empty/zero uses the pipeline defaults.
+	Strategy   string
+	Direction  string
+	Delta      int64
+	NumBuckets int
+	// BudgetMS is the caller's wall-clock budget in milliseconds, clamped
+	// to the pipeline's [min, max] range; 0 uses the default.
+	BudgetMS int64
+	// Vertices asks for the result values of specific vertices.
+	Vertices []uint32
+}
+
+// Plan is a validated, canonical, fully-defaulted execution plan: every
+// by-name field resolved, every default materialized, the budget clamped,
+// and a stable cache key derived. Two Requests that mean the same query
+// produce byte-identical CacheKeys.
+type Plan struct {
+	Spec      *algo.Spec
+	Graph     *graphit.Graph
+	GraphName string
+	Src, Dst  graphit.VertexID
+	Sched     graphit.Schedule
+	// Params are the normalized schedule params (the fallback schedule is
+	// derived from them on a fault).
+	Params cliutil.ScheduleParams
+	// Strategy is the canonical primary-strategy name (breaker key axis).
+	Strategy string
+	Budget   time.Duration
+	Vertices []uint32
+	// CacheKey identifies the plan's result: algorithm, graph, sources,
+	// canonical schedule, and the vertices selection. The budget is
+	// deliberately excluded — a cached result satisfies any budget.
+	CacheKey string
+}
+
+// BreakerKey is the (algo, strategy) axis the circuit breakers are keyed
+// by — the schedule axis the paper shows is workload-dependent.
+func (pl *Plan) BreakerKey() string { return pl.Spec.Name + "/" + pl.Strategy }
+
+// flightKey keys the coalescer. It adds the budget to the cache key: plans
+// that differ only in budget still produce the same result, but sharing a
+// run between them would let a short budget truncate a long one's answer.
+func (pl *Plan) flightKey() string {
+	return pl.CacheKey + "|budget=" + pl.Budget.String()
+}
+
+// plan validates req against the registry and the loaded graphs and
+// resolves it to a canonical Plan. All failures here are request errors
+// (CodeBadRequest): they never reach the engine or the breaker.
+func (p *Pipeline) plan(req *Request) (*Plan, error) {
+	sp, err := cliutil.ParseAlgo(req.Algo)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := p.cfg.Graphs[req.Graph]
+	if !ok {
+		return nil, fmt.Errorf("unknown graph %q (loaded: %s)", req.Graph, p.graphNames())
+	}
+	if err := sp.CheckGraph(g); err != nil {
+		return nil, err
+	}
+	n := uint32(g.NumVertices())
+	if req.Src >= n {
+		return nil, fmt.Errorf("src %d out of range (graph has %d vertices)", req.Src, n)
+	}
+	dst := req.Dst
+	if sp.NeedsDst {
+		if dst >= n {
+			return nil, fmt.Errorf("dst %d out of range (graph has %d vertices)", dst, n)
+		}
+	} else {
+		// Canonicalize: algorithms without a destination ignore it, so it
+		// must not fragment the cache key.
+		dst = 0
+	}
+	for _, v := range req.Vertices {
+		if v >= n {
+			return nil, fmt.Errorf("requested vertex %d out of range (graph has %d vertices)", v, n)
+		}
+	}
+	params := cliutil.ScheduleParams{
+		Strategy:   req.Strategy,
+		Direction:  req.Direction,
+		Delta:      req.Delta,
+		NumBuckets: req.NumBuckets,
+		Workers:    p.cfg.Workers,
+		// The pipeline always arms the watchdogs: a query is untrusted, and
+		// a stalled round must not pin a run slot for longer than the budget.
+		RoundTimeout: p.cfg.RoundTimeout,
+		StuckRounds:  p.cfg.StuckRounds,
+	}
+	norm, err := params.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := norm.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	pl := &Plan{
+		Spec:      sp,
+		Graph:     g,
+		GraphName: req.Graph,
+		Src:       graphit.VertexID(req.Src),
+		Dst:       graphit.VertexID(dst),
+		Sched:     sched,
+		Params:    norm,
+		Strategy:  norm.Strategy,
+		Budget:    p.clampBudget(req.BudgetMS),
+		Vertices:  req.Vertices,
+	}
+	pl.CacheKey = cacheKey(sp.Name, req.Graph, req.Src, dst, norm, req.Vertices)
+	return pl, nil
+}
+
+// cacheKey renders the result-determining plan coordinates as one stable
+// string. The vertices selection is part of the key — a cached full-vector
+// answer must never be served to a different selection — hashed (FNV-1a
+// over the raw ids, plus the count) rather than spelled out, so a
+// 10⁶-vertex selection stays a fixed-size key.
+func cacheKey(algoName, graphName string, src, dst uint32, norm cliutil.ScheduleParams, vertices []uint32) string {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range vertices {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%s|%s|src=%d|dst=%d|%s|v=%d:%016x",
+		algoName, graphName, src, dst, norm.CanonicalKey(), len(vertices), h.Sum64())
+}
+
+// clampBudget clamps the caller's requested budget to the pipeline's range:
+// 0 takes the default, anything above MaxBudget is capped, and anything
+// below minBudget is floored (a shorter deadline cannot fit one round).
+func (p *Pipeline) clampBudget(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = p.cfg.DefaultBudget
+	}
+	if d > p.cfg.MaxBudget {
+		d = p.cfg.MaxBudget
+	}
+	if d < minBudget {
+		d = minBudget
+	}
+	return d
+}
+
+func (p *Pipeline) graphNames() string {
+	names := make([]string, 0, len(p.cfg.Graphs))
+	for name := range p.cfg.Graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

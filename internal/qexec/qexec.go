@@ -1,0 +1,374 @@
+// Package qexec is the transport-agnostic query-execution pipeline behind
+// graphd (and any future consumer: CLIs, shard coordinators, the
+// autotuner). A query passes through six explicit stages, each producing or
+// refining a typed Outcome — no HTTP types appear anywhere in the package;
+// transports are thin codecs over Pipeline.Do:
+//
+//	Plan     -> validate the request against the algo registry and the
+//	            loaded graphs, and resolve it to a canonical, fully-
+//	            defaulted Plan (normalized schedule params, clamped
+//	            budget, stable cache key).
+//	Cache    -> a keyed LRU with TTL over canonical plan keys; a hit is
+//	            returned immediately with the Cached marker set.
+//	Coalesce -> singleflight: concurrent identical plans share one engine
+//	            run; followers receive the leader's completed Outcome
+//	            (including a fault-triggered fallback result — never a
+//	            torn one) with the Coalesced marker set.
+//	Admit    -> the bounded run-slot queue sized to the shared executor
+//	            pool; overflow is shed fast (CodeShed).
+//	Route    -> the per-(algo, strategy) circuit breaker decides primary
+//	            vs. known-safe fallback schedule.
+//	Run      -> shielded engine execution, fault classification, fallback
+//	            re-routing, and result summarization.
+//
+// The pipeline owns drain semantics too: Close stops admission, waits
+// (event-driven, no polling) for in-flight runs, and cancels them at their
+// round barriers once the deadline passes.
+package qexec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphit"
+	"graphit/internal/parallel"
+)
+
+// minBudget floors the per-query budget: below this a query cannot make a
+// round of progress and the deadline only produces noise.
+const minBudget = 10 * time.Millisecond
+
+// Config parameterizes a Pipeline. Zero values take the documented
+// defaults; the zero-valued cache/coalesce knobs leave both stages off.
+type Config struct {
+	// Graphs are the named graphs loaded at startup; plans reference them
+	// by name. The map is read-only after New.
+	Graphs map[string]*graphit.Graph
+	// MaxConcurrent bounds concurrently executing runs. Default:
+	// min(GOMAXPROCS, parallel.ExecutorPoolCap()) — beyond the executor
+	// pool's cap, admitted runs would construct worker pools per call.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for a run slot; overflow is shed
+	// with CodeShed. Default: 2*MaxConcurrent.
+	QueueDepth int
+	// Workers is the per-run engine worker count (0 = engine default).
+	Workers int
+	// DefaultBudget / MaxBudget clamp the per-query wall-clock budget.
+	// Defaults: 2s / 30s.
+	DefaultBudget time.Duration
+	MaxBudget     time.Duration
+	// RoundTimeout arms the engine's per-round watchdog for every query
+	// (default 5s; it cannot be disabled — queries are untrusted).
+	RoundTimeout time.Duration
+	// StuckRounds arms the engine's no-progress detector (default 256).
+	StuckRounds int
+	// BreakerThreshold consecutive engine faults trip an (algo, strategy)
+	// breaker (default 3); BreakerCooldown later it half-opens (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DrainGrace bounds the extra wait for runs cancelled at the drain
+	// deadline to unwind (default 2s).
+	DrainGrace time.Duration
+	// CacheEntries is the result cache's capacity; 0 disables the cache.
+	CacheEntries int
+	// CacheTTL is the result cache's entry lifetime (default 1m).
+	CacheTTL time.Duration
+	// Coalesce enables singleflight coalescing of concurrent identical
+	// plans into one engine run.
+	Coalesce bool
+	// BaseContext, if set, wraps every run's context before execution —
+	// the seam tests use to install fault injectors.
+	BaseContext func(context.Context) context.Context
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+		if poolCap := parallel.ExecutorPoolCap(); c.MaxConcurrent > poolCap {
+			c.MaxConcurrent = poolCap
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 30 * time.Second
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 5 * time.Second
+	}
+	if c.StuckRounds <= 0 {
+		c.StuckRounds = 256
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 2 * time.Second
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = time.Minute
+	}
+}
+
+// Pipeline executes queries. Construct with New; it is safe for concurrent
+// use. Call Close to drain.
+type Pipeline struct {
+	cfg      Config
+	adm      *admission
+	breakers *Breakers
+	cache    *resultCache // nil: cache stage disabled
+	flights  *flightGroup // nil: coalesce stage disabled
+
+	closed atomic.Bool
+	runs   atomic.Int64 // engine executions (post-admission route/run entries)
+
+	// killCtx is cancelled when a drain deadline expires: every in-flight
+	// run's context is chained to it (context.AfterFunc), forcing the
+	// engines to halt at their next round barrier.
+	killCtx context.Context
+	kill    context.CancelFunc
+
+	// In-flight accounting is event-driven: waiters registered via idle()
+	// are woken the moment the count returns to zero, so draining never
+	// busy-polls.
+	mu       sync.Mutex
+	inflight int
+	idlers   []chan struct{}
+}
+
+// New builds a Pipeline over cfg.
+func New(cfg Config) (*Pipeline, error) {
+	if len(cfg.Graphs) == 0 {
+		return nil, fmt.Errorf("qexec: no graphs configured")
+	}
+	cfg.applyDefaults()
+	p := &Pipeline{
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		breakers: NewBreakers(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
+	if cfg.CacheEntries > 0 {
+		p.cache = newResultCache(cfg.CacheEntries, cfg.CacheTTL)
+	}
+	if cfg.Coalesce {
+		p.flights = newFlightGroup()
+	}
+	p.killCtx, p.kill = context.WithCancel(context.Background())
+	return p, nil
+}
+
+// Do executes one request through the full pipeline and always returns a
+// non-nil Outcome; transport adapters map Outcome.Code to their own status
+// vocabulary. ctx is the caller's context: it bounds queue waits and (for
+// non-coalesced runs) execution; a coalesced flight is detached from any
+// single caller and bounded by the plan budget and the drain kill switch
+// instead.
+func (p *Pipeline) Do(ctx context.Context, req Request) *Outcome {
+	if p.closed.Load() {
+		return &Outcome{Algo: req.Algo, Graph: req.Graph, Code: CodeDraining, Err: ErrDraining}
+	}
+	pl, err := p.plan(&req)
+	if err != nil {
+		return &Outcome{Algo: req.Algo, Graph: req.Graph, Code: CodeBadRequest, Err: err}
+	}
+	if out, ok := p.cached(pl); ok {
+		return out
+	}
+	if p.flights != nil {
+		out := p.flights.do(ctx, pl.flightKey(), func() *Outcome {
+			return p.execute(ctx, pl, true)
+		})
+		if out.Algo == "" { // a follower that gave up waiting carries no plan echo
+			out.Algo, out.Graph, out.Strategy = pl.Spec.Name, pl.GraphName, pl.Strategy
+		}
+		return out
+	}
+	return p.execute(ctx, pl, false)
+}
+
+// cached serves pl from the result cache when it holds a fresh entry. The
+// breaker field is refreshed at read time so observers see live state.
+func (p *Pipeline) cached(pl *Plan) (*Outcome, bool) {
+	if p.cache == nil {
+		return nil, false
+	}
+	e, ok := p.cache.get(pl.CacheKey)
+	if !ok {
+		return nil, false
+	}
+	return &Outcome{
+		Algo:     pl.Spec.Name,
+		Graph:    pl.GraphName,
+		Strategy: pl.Strategy,
+		Code:     CodeOK,
+		Cached:   true,
+		Breaker:  p.breakers.State(pl.BreakerKey()).String(),
+		Summary:  e.sum,
+		Stats:    e.stats,
+	}, true
+}
+
+// execute runs the admit/route/run tail of the pipeline. detached marks a
+// coalesced flight: its context is cut loose from the first caller's
+// cancellation (other callers depend on the run) and bounded by the plan
+// budget across both the queue wait and the run; a non-detached run keeps
+// the pre-pipeline behavior — the caller's context gates the queue wait,
+// and the budget is applied after admission.
+func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool) *Outcome {
+	out := &Outcome{Algo: pl.Spec.Name, Graph: pl.GraphName, Strategy: pl.Strategy}
+	if detached {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), pl.Budget)
+		defer cancel()
+	}
+
+	// Admit: hold a run slot or shed.
+	release, err := p.adm.acquire(ctx)
+	switch err {
+	case nil:
+	case ErrShed:
+		out.Code, out.Err = CodeShed, err
+		return out
+	case ErrDraining:
+		out.Code, out.Err = CodeDraining, err
+		return out
+	default: // ctx ended while queued
+		if detached { // the only clock on a detached flight is the budget
+			out.Code, out.Err = CodeBudget, fmt.Errorf("budget exhausted: %w", err)
+		} else {
+			out.Code, out.Err = CodeClientGone, err
+		}
+		return out
+	}
+	defer release()
+
+	// Deadline: budget -> context; drain kill -> same context.
+	runCtx, cancel := context.WithCancel(ctx)
+	if !detached {
+		runCtx, cancel = context.WithTimeout(ctx, pl.Budget)
+	}
+	defer cancel()
+	stop := context.AfterFunc(p.killCtx, cancel)
+	defer stop()
+	if p.cfg.BaseContext != nil {
+		runCtx = p.cfg.BaseContext(runCtx)
+	}
+
+	p.beginRun()
+	defer p.endRun()
+	p.runs.Add(1)
+	p.route(runCtx, pl, out)
+
+	// Cache only clean primary successes: fallback answers are correct but
+	// caching them would mask breaker recovery, and faults must stay
+	// observable.
+	if p.cache != nil && out.Code == CodeOK && !out.Fallback {
+		p.cache.put(pl.CacheKey, out.Summary, out.Stats)
+	}
+	return out
+}
+
+// InFlight returns the number of queries currently executing
+// (post-admission). Exposed for drain logic and tests.
+func (p *Pipeline) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inflight
+}
+
+func (p *Pipeline) beginRun() {
+	p.mu.Lock()
+	p.inflight++
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) endRun() {
+	p.mu.Lock()
+	p.inflight--
+	if p.inflight == 0 {
+		for _, ch := range p.idlers {
+			close(ch)
+		}
+		p.idlers = nil
+	}
+	p.mu.Unlock()
+}
+
+// idle returns a channel closed when the in-flight count is (or next
+// becomes) zero.
+func (p *Pipeline) idle() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch := make(chan struct{})
+	if p.inflight == 0 {
+		close(ch)
+		return ch
+	}
+	p.idlers = append(p.idlers, ch)
+	return ch
+}
+
+// Close gracefully drains the pipeline: new and queued requests fail with
+// ErrDraining, and in-flight runs are given until ctx's deadline to finish
+// — the wait is event-driven on the in-flight count reaching zero, never
+// polled. If the deadline passes, every in-flight run's context is
+// cancelled (the engines halt at their next round barrier) and Close waits
+// DrainGrace longer before reporting the stragglers. Close is idempotent
+// and never corrupts state: a Pipeline that failed to drain is still
+// memory-safe, only late.
+func (p *Pipeline) Close(ctx context.Context) error {
+	p.closed.Store(true)
+	p.adm.close()
+	select {
+	case <-p.idle():
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed: cancel in-flight runs and give them a bounded grace
+	// to unwind through their round barriers.
+	p.kill()
+	grace := time.NewTimer(p.cfg.DrainGrace)
+	defer grace.Stop()
+	select {
+	case <-p.idle():
+		return nil
+	case <-grace.C:
+		return fmt.Errorf("qexec: drain incomplete: %d queries still in flight: %w",
+			p.InFlight(), ctx.Err())
+	}
+}
+
+// Status is the pipeline's externally visible state (all stages).
+type Status struct {
+	Admission AdmissionStatus `json:"admission"`
+	Breakers  []BreakerStatus `json:"breakers"`
+	Cache     CacheStatus     `json:"cache"`
+	Coalesce  CoalesceStatus  `json:"coalesce"`
+	// Runs counts engine executions (post-admission). The gap between
+	// admitted requests and runs is exactly the work the cache and
+	// coalescer absorbed.
+	Runs int64 `json:"runs"`
+}
+
+// Status snapshots every stage's counters. Breakers are sorted by key.
+func (p *Pipeline) Status() Status {
+	st := Status{
+		Admission: p.adm.status(),
+		Breakers:  p.breakers.Snapshot(),
+		Runs:      p.runs.Load(),
+	}
+	sort.Slice(st.Breakers, func(i, j int) bool { return st.Breakers[i].Key < st.Breakers[j].Key })
+	if p.cache != nil {
+		st.Cache = p.cache.status()
+	}
+	if p.flights != nil {
+		st.Coalesce = p.flights.status()
+	}
+	return st
+}

@@ -1,0 +1,119 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"graphit/internal/server"
+)
+
+// postRaw sends q to /query and returns the status plus the raw response
+// body — the cache tests compare wire bytes, not decoded structs.
+func postRaw(t testing.TB, ts *httptest.Server, q server.Query) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// normalize re-encodes a response body with its volatile fields removed:
+// elapsed_ms varies per request, cached/coalesced mark the serving path
+// (the thing under test, asserted separately), stats describe the producing
+// run, and breaker is refreshed at read time. Everything else — the answer
+// — must be identical between a cached response and the original.
+func normalize(t testing.TB, raw []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal %s: %v", raw, err)
+	}
+	for _, k := range []string{"elapsed_ms", "cached", "coalesced", "stats", "breaker"} {
+		delete(m, k)
+	}
+	out, err := json.Marshal(m) // map keys marshal sorted: stable bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestCacheCorrectness proves the cache serves byte-identical answers for
+// repeated identical queries — and never serves an answer across different
+// vertices selections, which are distinct cache keys.
+func TestCacheCorrectness(t *testing.T) {
+	_, ts := startServer(t, server.Config{
+		CacheEntries: 64,
+		CacheTTL:     time.Minute,
+	})
+	full := server.Query{Algo: "sssp", Graph: "road", Src: 0, Vertices: []uint32{0, 1, 2, 3, 4, 5, 6, 7}}
+
+	status, first := postRaw(t, ts, full)
+	if status != 200 {
+		t.Fatalf("first query: status %d: %s", status, first)
+	}
+	status, second := postRaw(t, ts, full)
+	if status != 200 {
+		t.Fatalf("second query: status %d: %s", status, second)
+	}
+	var marker struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(first, &marker); err != nil || marker.Cached {
+		t.Fatalf("first response already marked cached: %s", first)
+	}
+	if err := json.Unmarshal(second, &marker); err != nil || !marker.Cached {
+		t.Fatalf("second identical query not served from cache: %s", second)
+	}
+	if a, b := normalize(t, first), normalize(t, second); a != b {
+		t.Fatalf("cached response differs from the original:\n first: %s\nsecond: %s", a, b)
+	}
+
+	// A different vertices selection is a different key: it must miss, run,
+	// and answer for exactly its own selection.
+	sub := server.Query{Algo: "sssp", Graph: "road", Src: 0, Vertices: []uint32{9, 10, 11}}
+	status, third := postRaw(t, ts, sub)
+	if status != 200 {
+		t.Fatalf("selection query: status %d: %s", status, third)
+	}
+	var sel struct {
+		Cached bool             `json:"cached"`
+		Values map[string]int64 `json:"values"`
+	}
+	if err := json.Unmarshal(third, &sel); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Cached {
+		t.Fatalf("different selection served from cache: %s", third)
+	}
+	if len(sel.Values) != 3 {
+		t.Fatalf("selection answered with %d values, want 3: %s", len(sel.Values), third)
+	}
+	for _, id := range []string{"9", "10", "11"} {
+		if _, ok := sel.Values[id]; !ok {
+			t.Fatalf("selection missing vertex %s: %s", id, third)
+		}
+	}
+	// And the selection's own repeat is cached, byte-identical.
+	_, fourth := postRaw(t, ts, sub)
+	if err := json.Unmarshal(fourth, &marker); err != nil || !marker.Cached {
+		t.Fatalf("repeated selection not served from cache: %s", fourth)
+	}
+	if a, b := normalize(t, third), normalize(t, fourth); a != b {
+		t.Fatalf("cached selection differs from the original:\n first: %s\nsecond: %s", a, b)
+	}
+}

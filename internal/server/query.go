@@ -1,20 +1,13 @@
 package server
 
 import (
-	"context"
-	"fmt"
-	"runtime/debug"
-	"strconv"
-	"time"
-
 	"graphit"
 	"graphit/algo"
-	"graphit/internal/cliutil"
+	"graphit/internal/qexec"
 )
 
-// Query is the JSON body of POST /query. Schedule fields are optional and
-// by-name; an unknown name is rejected before admission with the shared
-// valid-options error (cliutil).
+// Query is the JSON body of POST /query — a pure wire shape; it maps 1:1
+// onto qexec.Request, where validation and canonicalization happen.
 type Query struct {
 	// Algo is the algorithm name (see algo.Names).
 	Algo string `json:"algo"`
@@ -30,15 +23,33 @@ type Query struct {
 	Delta      int64  `json:"delta,omitempty"`
 	NumBuckets int    `json:"num_buckets,omitempty"`
 	// BudgetMS is the client's wall-clock budget in milliseconds, clamped
-	// to the server's [min, max] range; 0 uses the server default. The
-	// budget maps to a context deadline plus the engine's round watchdog,
-	// so a stalled round cannot pin a run slot past it.
+	// to the server's [min, max] range; 0 uses the server default.
 	BudgetMS int64 `json:"budget_ms,omitempty"`
 	// Vertices asks for the result values of specific vertices.
 	Vertices []uint32 `json:"vertices,omitempty"`
 }
 
-// Response is the JSON body of a /query reply (success or failure).
+// request converts the wire shape to the pipeline's transport-agnostic one.
+func (q *Query) request() qexec.Request {
+	return qexec.Request{
+		Algo:       q.Algo,
+		Graph:      q.Graph,
+		Src:        q.Src,
+		Dst:        q.Dst,
+		Strategy:   q.Strategy,
+		Direction:  q.Direction,
+		Delta:      q.Delta,
+		NumBuckets: q.NumBuckets,
+		BudgetMS:   q.BudgetMS,
+		Vertices:   q.Vertices,
+	}
+}
+
+// Response is the JSON body of a /query reply (success or failure). The
+// result summary is the canonical algo.Summary, embedded: its result-kind
+// fields are pointers, so a legitimate zero (reached=0, max_value=0,
+// cover_size=0) is reported explicitly rather than vanishing under
+// omitempty.
 type Response struct {
 	Algo     string `json:"algo"`
 	Graph    string `json:"graph"`
@@ -47,6 +58,10 @@ type Response struct {
 	// schedule — either transparently after a primary-run fault, or
 	// directly because the (algo, strategy) breaker was open.
 	Fallback bool `json:"fallback"`
+	// Cached / Coalesced report that the answer was served from the result
+	// cache, or by sharing another in-flight identical query's engine run.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Breaker is the (algo, strategy) breaker's state after this request.
 	Breaker string `json:"breaker"`
 	// FaultKind is the primary run's contained fault ("panic" or "stuck"),
@@ -55,191 +70,48 @@ type Response struct {
 	Stats     *graphit.Stats `json:"stats,omitempty"`
 	ElapsedMS int64          `json:"elapsed_ms"`
 
-	// Result summary, by result kind.
-	Reached   int              `json:"reached,omitempty"`
-	MaxValue  int64            `json:"max_value,omitempty"`
-	PairDist  *int64           `json:"pair_dist,omitempty"`
-	CoverSize int              `json:"cover_size,omitempty"`
-	Values    map[string]int64 `json:"values,omitempty"`
+	// Result summary, by result kind (flattened into the object).
+	algo.Summary
 
 	Error string `json:"error,omitempty"`
 }
 
-// validate resolves the query against the registry and the loaded graphs,
-// building the primary schedule. All failures here are request errors
-// (HTTP 400): they never reach the engine or the breaker.
-func (s *Server) validate(q *Query) (*algo.Spec, *graphit.Graph, graphit.Schedule, cliutil.ScheduleParams, error) {
-	var zero graphit.Schedule
-	sp, err := cliutil.ParseAlgo(q.Algo)
-	if err != nil {
-		return nil, nil, zero, cliutil.ScheduleParams{}, err
+// newResponse renders a pipeline Outcome as the wire shape.
+func newResponse(out *qexec.Outcome) *Response {
+	resp := &Response{
+		Algo:      out.Algo,
+		Graph:     out.Graph,
+		Strategy:  out.Strategy,
+		Fallback:  out.Fallback,
+		Cached:    out.Cached,
+		Coalesced: out.Coalesced,
+		Breaker:   out.Breaker,
+		FaultKind: out.FaultKind,
+		Stats:     out.Stats,
+		Summary:   out.Summary,
 	}
-	g, ok := s.cfg.Graphs[q.Graph]
-	if !ok {
-		return nil, nil, zero, cliutil.ScheduleParams{}, fmt.Errorf("unknown graph %q (loaded: %s)", q.Graph, s.graphNames())
+	if out.Err != nil {
+		resp.Error = out.Err.Error()
 	}
-	if err := sp.CheckGraph(g); err != nil {
-		return nil, nil, zero, cliutil.ScheduleParams{}, err
-	}
-	n := uint32(g.NumVertices())
-	if q.Src >= n {
-		return nil, nil, zero, cliutil.ScheduleParams{}, fmt.Errorf("src %d out of range (graph has %d vertices)", q.Src, n)
-	}
-	if sp.NeedsDst && q.Dst >= n {
-		return nil, nil, zero, cliutil.ScheduleParams{}, fmt.Errorf("dst %d out of range (graph has %d vertices)", q.Dst, n)
-	}
-	for _, v := range q.Vertices {
-		if v >= n {
-			return nil, nil, zero, cliutil.ScheduleParams{}, fmt.Errorf("requested vertex %d out of range (graph has %d vertices)", v, n)
-		}
-	}
-	params := cliutil.ScheduleParams{
-		Strategy:   q.Strategy,
-		Direction:  q.Direction,
-		Delta:      q.Delta,
-		NumBuckets: q.NumBuckets,
-		Workers:    s.cfg.Workers,
-		// The server always arms the watchdogs: a query is untrusted, and a
-		// stalled round must not pin a run slot for longer than the budget.
-		RoundTimeout: s.cfg.RoundTimeout,
-		StuckRounds:  s.cfg.StuckRounds,
-	}
-	sched, err := params.Schedule()
-	if err != nil {
-		return nil, nil, zero, cliutil.ScheduleParams{}, err
-	}
-	return sp, g, sched, params, nil
+	return resp
 }
 
-// budget clamps the client's requested budget to the server's range.
-func (s *Server) budget(ms int64) time.Duration {
-	d := time.Duration(ms) * time.Millisecond
-	if d <= 0 {
-		d = s.cfg.DefaultBudget
-	}
-	if d > s.cfg.MaxBudget {
-		d = s.cfg.MaxBudget
-	}
-	if d < minBudget {
-		d = minBudget
-	}
-	return d
-}
-
-// fallbackSchedule is the known-safe schedule a faulted or broken (algo,
-// strategy) key is re-routed to: lazy bucketing (valid for every algorithm
-// and order), serial execution, SparsePush, with the PR 3 serial-retry
-// machinery absorbing any further contained faults deterministically. The
-// watchdogs stay armed — fallback runs are still untrusted.
-func fallbackSchedule(params cliutil.ScheduleParams) (graphit.Schedule, error) {
-	params.Strategy = "lazy"
-	params.Direction = "SparsePush"
-	params.Workers = 1
-	params.OnFault = "retry_serial"
-	return params.Schedule()
-}
-
-// runShielded executes one algorithm run with a last-resort panic shield:
-// the engine contains panics in its own phases, but algorithm code outside
-// an engine phase (argument checks, manual round loops like SetCover's)
-// could still unwind into the handler. Any such panic is converted to a
-// *graphit.PanicError so the serving layers see one fault taxonomy and the
-// process never dies for a query.
-func runShielded(ctx context.Context, sp *algo.Spec, g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (res *algo.QueryResult, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res = nil
-			err = &graphit.PanicError{Phase: "server.query", Value: r, Stack: debug.Stack()}
-		}
-	}()
-	return sp.Run(ctx, g, src, dst, sched)
-}
-
-// execute runs one validated query under the breaker policy for its (algo,
-// strategy) key and fills the response. It returns the HTTP status.
-func (s *Server) execute(ctx context.Context, q *Query, sp *algo.Spec, g *graphit.Graph, sched graphit.Schedule, params cliutil.ScheduleParams) (*Response, int) {
-	cfg, _ := sched.Config()
-	key := sp.Name + "/" + cfg.Strategy.String()
-	resp := &Response{Algo: sp.Name, Graph: q.Graph, Strategy: cfg.Strategy.String()}
-	src, dst := graphit.VertexID(q.Src), graphit.VertexID(q.Dst)
-
-	var res *algo.QueryResult
-	var err error
-	primary, done := s.breakers.Route(key)
-	if primary {
-		res, err = runShielded(ctx, sp, g, src, dst, sched)
-		fault := graphit.IsEngineFault(err)
-		done(fault)
-		if fault {
-			resp.FaultKind = graphit.ClassifyFault(err)
-			if ctx.Err() == nil {
-				// Transparent re-route: the client still gets an answer from
-				// the safe schedule, within what remains of its budget.
-				if fsched, ferr := fallbackSchedule(params); ferr == nil {
-					s.breakers.RecordFallback(key)
-					resp.Fallback = true
-					res, err = runShielded(ctx, sp, g, src, dst, fsched)
-				}
-			}
-		}
-	} else {
-		resp.Fallback = true
-		if fsched, ferr := fallbackSchedule(params); ferr == nil {
-			res, err = runShielded(ctx, sp, g, src, dst, fsched)
-		} else {
-			err = ferr
-		}
-	}
-	resp.Breaker = s.breakers.State(key).String()
-	if res != nil {
-		resp.Stats = &res.Stats
-	}
-
-	switch {
-	case err == nil:
-		s.summarize(resp, sp, res, q)
-		return resp, 200
-	case graphit.ClassifyFault(err) == graphit.FaultKindCanceled:
-		resp.Error = "budget exhausted: " + err.Error()
-		return resp, 504
-	case graphit.IsEngineFault(err):
-		// Both the primary and the fallback faulted (or the fallback alone,
-		// with the breaker open) — a genuinely hostile run.
-		resp.FaultKind = graphit.ClassifyFault(err)
-		resp.Error = err.Error()
-		return resp, 500
-	default:
-		// A request-shaped error surfaced by the wrapper itself (e.g.
-		// k-core rejecting ∆>1): the client's fault, not the engine's.
-		resp.Error = err.Error()
-		return resp, 400
-	}
-}
-
-// summarize fills the kind-specific result summary.
-func (s *Server) summarize(resp *Response, sp *algo.Spec, res *algo.QueryResult, q *Query) {
-	switch sp.Kind {
-	case algo.KindCover:
-		resp.CoverSize = res.NumChosen
-	case algo.KindPair:
-		if int(q.Dst) < len(res.Values) && res.Values[q.Dst] != graphit.Unreached {
-			d := res.Values[q.Dst]
-			resp.PairDist = &d
-		}
-	default: // KindDist, KindCoreness
-		for _, v := range res.Values {
-			if v != graphit.Unreached {
-				resp.Reached++
-				if v > resp.MaxValue {
-					resp.MaxValue = v
-				}
-			}
-		}
-	}
-	if len(q.Vertices) > 0 && res.Values != nil {
-		resp.Values = make(map[string]int64, len(q.Vertices))
-		for _, v := range q.Vertices {
-			resp.Values[strconv.FormatUint(uint64(v), 10)] = res.Values[v]
-		}
+// httpStatus maps the pipeline's outcome codes onto HTTP.
+func httpStatus(c qexec.Code) int {
+	switch c {
+	case qexec.CodeOK:
+		return 200
+	case qexec.CodeBadRequest:
+		return 400
+	case qexec.CodeShed:
+		return 429
+	case qexec.CodeDraining:
+		return 503
+	case qexec.CodeClientGone:
+		return 499 // client closed request (nginx convention)
+	case qexec.CodeBudget:
+		return 504
+	default: // qexec.CodeFault
+		return 500
 	}
 }

@@ -1,24 +1,12 @@
-// Package server implements graphd's fault-tolerant query service over the
-// ordered engine. Every query is treated as untrusted: it passes through a
-// four-stage pipeline —
-//
-//	admission  -> bounded queue + concurrency limiter sized to the shared
-//	              parallel.Executor pool; overflow is shed fast with 429.
-//	deadline   -> the client budget becomes a context deadline, and the
-//	              engine's RoundTimeout/StuckRounds watchdogs are always
-//	              armed, so a stalled round cannot pin a run slot.
-//	breaker    -> consecutive contained faults (PanicError/StuckError) for
-//	              an (algo, strategy) key trip a circuit breaker; while
-//	              open, requests are transparently served by a known-safe
-//	              serial lazy fallback schedule, and the breaker half-opens
-//	              on a timer to probe recovery.
-//	drain      -> shutdown flips /readyz, stops admission, and waits for
-//	              in-flight runs under a deadline, cancelling them at round
-//	              barriers if the deadline passes.
-//
-// The pipeline builds directly on the engine's containment primitives:
-// typed PanicError/StuckError faults, the round watchdog, and the
-// retry_serial recovery machinery.
+// Package server is graphd's HTTP codec over the transport-agnostic query
+// pipeline (internal/qexec). Everything substantive — admission, budgets,
+// caching, coalescing, breaker routing, shielded execution, fault fallback
+// — lives in the pipeline; this package only decodes JSON queries, calls
+// Pipeline.Do, and maps typed Outcomes to HTTP status codes. The one piece
+// of serving state it owns is the drain flag behind /readyz: shutdown flips
+// readiness first (so load balancers stop routing), then delegates the
+// actual drain — event-driven in-flight wait, kill-at-round-barrier, grace
+// period — to Pipeline.Close.
 package server
 
 import (
@@ -26,99 +14,56 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"runtime"
-	"sort"
 	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
 
 	"graphit"
-	"graphit/internal/parallel"
+	"graphit/internal/qexec"
 )
 
-// minBudget floors the per-query budget: below this a query cannot make a
-// round of progress and the deadline only produces noise.
-const minBudget = 10 * time.Millisecond
-
-// Config parameterizes a Server. Zero values take the documented defaults.
+// Config parameterizes a Server. It mirrors qexec.Config field for field
+// (zero values take the same documented defaults) so that operators
+// configure one surface; the zero-valued cache/coalesce knobs leave those
+// stages off.
 type Config struct {
 	// Graphs are the named graphs loaded at startup; queries reference them
 	// by name. The map is read-only after New.
 	Graphs map[string]*graphit.Graph
-	// MaxConcurrent bounds concurrently executing runs. Default:
-	// min(GOMAXPROCS, parallel.ExecutorPoolCap()) — beyond the executor
-	// pool's cap, admitted runs would construct worker pools per call.
+	// MaxConcurrent / QueueDepth bound the pipeline's admission stage.
 	MaxConcurrent int
-	// QueueDepth bounds requests waiting for a run slot; overflow is shed
-	// with 429. Default: 2*MaxConcurrent.
-	QueueDepth int
+	QueueDepth    int
 	// Workers is the per-run engine worker count (0 = engine default).
 	Workers int
 	// DefaultBudget / MaxBudget clamp the per-query wall-clock budget.
-	// Defaults: 2s / 30s.
 	DefaultBudget time.Duration
 	MaxBudget     time.Duration
-	// RoundTimeout arms the engine's per-round watchdog for every query
-	// (default 5s; it cannot be disabled — queries are untrusted).
+	// RoundTimeout / StuckRounds arm the engine watchdogs for every query.
 	RoundTimeout time.Duration
-	// StuckRounds arms the engine's no-progress detector (default 256).
-	StuckRounds int
-	// BreakerThreshold consecutive engine faults trip an (algo, strategy)
-	// breaker (default 3); BreakerCooldown later it half-opens (default 5s).
+	StuckRounds  int
+	// BreakerThreshold / BreakerCooldown parameterize the per-key breakers.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 	// DrainGrace bounds the extra wait for runs cancelled at the drain
-	// deadline to unwind (default 2s).
+	// deadline to unwind.
 	DrainGrace time.Duration
+	// CacheEntries / CacheTTL size the pipeline's result cache (0 entries
+	// disables it); Coalesce enables singleflight run sharing.
+	CacheEntries int
+	CacheTTL     time.Duration
+	Coalesce     bool
 	// BaseContext, if set, wraps every query's context before execution —
 	// the seam tests use to install fault injectors.
 	BaseContext func(context.Context) context.Context
-}
-
-func (c *Config) applyDefaults() {
-	if c.MaxConcurrent <= 0 {
-		c.MaxConcurrent = runtime.GOMAXPROCS(0)
-		if poolCap := parallel.ExecutorPoolCap(); c.MaxConcurrent > poolCap {
-			c.MaxConcurrent = poolCap
-		}
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 2 * c.MaxConcurrent
-	}
-	if c.DefaultBudget <= 0 {
-		c.DefaultBudget = 2 * time.Second
-	}
-	if c.MaxBudget <= 0 {
-		c.MaxBudget = 30 * time.Second
-	}
-	if c.RoundTimeout <= 0 {
-		c.RoundTimeout = 5 * time.Second
-	}
-	if c.StuckRounds <= 0 {
-		c.StuckRounds = 256
-	}
-	if c.DrainGrace <= 0 {
-		c.DrainGrace = 2 * time.Second
-	}
 }
 
 // Server is the query service. Construct with New, mount Handler on an
 // http.Server, and call Shutdown to drain.
 type Server struct {
 	cfg      Config
-	adm      *admission
-	breakers *Breakers
+	pipe     *qexec.Pipeline
 	mux      *http.ServeMux
-
 	draining atomic.Bool
-	inflight atomic.Int64
-
-	// killCtx is cancelled when a drain deadline expires: every in-flight
-	// query's context is chained to it (context.AfterFunc), forcing the
-	// engines to halt at their next round barrier.
-	killCtx context.Context
-	kill    context.CancelFunc
 }
 
 // New builds a Server over cfg.
@@ -126,13 +71,27 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Graphs) == 0 {
 		return nil, fmt.Errorf("server: no graphs configured")
 	}
-	cfg.applyDefaults()
-	s := &Server{
-		cfg:      cfg,
-		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		breakers: NewBreakers(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	pipe, err := qexec.New(qexec.Config{
+		Graphs:           cfg.Graphs,
+		MaxConcurrent:    cfg.MaxConcurrent,
+		QueueDepth:       cfg.QueueDepth,
+		Workers:          cfg.Workers,
+		DefaultBudget:    cfg.DefaultBudget,
+		MaxBudget:        cfg.MaxBudget,
+		RoundTimeout:     cfg.RoundTimeout,
+		StuckRounds:      cfg.StuckRounds,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		DrainGrace:       cfg.DrainGrace,
+		CacheEntries:     cfg.CacheEntries,
+		CacheTTL:         cfg.CacheTTL,
+		Coalesce:         cfg.Coalesce,
+		BaseContext:      cfg.BaseContext,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
-	s.killCtx, s.kill = context.WithCancel(context.Background())
+	s := &Server{cfg: cfg, pipe: pipe}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -143,15 +102,6 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-func (s *Server) graphNames() string {
-	names := make([]string, 0, len(s.cfg.Graphs))
-	for name := range s.cfg.Graphs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
-}
 
 // handleHealthz: liveness — the process is up.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -171,32 +121,43 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// Status is the /statusz document.
+// Status is the /statusz document: the pipeline's per-stage counters plus
+// the serving-level drain flag and graph inventory.
 type Status struct {
-	Draining  bool            `json:"draining"`
-	Graphs    map[string]int  `json:"graphs"` // name -> vertex count
-	Admission AdmissionStatus `json:"admission"`
-	Breakers  []BreakerStatus `json:"breakers"`
+	Draining  bool                  `json:"draining"`
+	Graphs    map[string]int        `json:"graphs"` // name -> vertex count
+	Admission qexec.AdmissionStatus `json:"admission"`
+	Breakers  []qexec.BreakerStatus `json:"breakers"`
+	Cache     qexec.CacheStatus     `json:"cache"`
+	Coalesce  qexec.CoalesceStatus  `json:"coalesce"`
+	Runs      int64                 `json:"runs"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	ps := s.pipe.Status()
 	st := Status{
 		Draining:  s.draining.Load(),
 		Graphs:    make(map[string]int, len(s.cfg.Graphs)),
-		Admission: s.adm.status(),
-		Breakers:  s.breakers.Snapshot(),
+		Admission: ps.Admission,
+		Breakers:  ps.Breakers,
+		Cache:     ps.Cache,
+		Coalesce:  ps.Coalesce,
+		Runs:      ps.Runs,
 	}
 	for name, g := range s.cfg.Graphs {
 		st.Graphs[name] = g.NumVertices()
 	}
-	sort.Slice(st.Breakers, func(i, j int) bool { return st.Breakers[i].Key < st.Breakers[j].Key })
 	writeJSON(w, 200, st)
 }
 
 // retryAfter estimates when shed load should come back: one default budget
 // is the expected time for the queue to turn over, floored at 1s.
 func (s *Server) retryAfter() string {
-	sec := int(s.cfg.DefaultBudget / time.Second)
+	budget := s.cfg.DefaultBudget
+	if budget <= 0 {
+		budget = 2 * time.Second // the pipeline's default
+	}
+	sec := int(budget / time.Second)
 	if sec < 1 {
 		sec = 1
 	}
@@ -206,7 +167,7 @@ func (s *Server) retryAfter() string {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", s.retryAfter())
-		writeJSON(w, http.StatusServiceUnavailable, &Response{Error: ErrDraining.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, &Response{Error: qexec.ErrDraining.Error()})
 		return
 	}
 	var q Query
@@ -214,85 +175,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, &Response{Error: "bad request body: " + err.Error()})
 		return
 	}
-	sp, g, sched, params, err := s.validate(&q)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, &Response{Algo: q.Algo, Graph: q.Graph, Error: err.Error()})
-		return
-	}
-
-	// Admission: hold a run slot or shed. Waiting is bounded by both the
-	// queue depth and the client's context.
-	release, err := s.adm.acquire(r.Context())
-	switch err {
-	case nil:
-	case ErrShed:
-		w.Header().Set("Retry-After", s.retryAfter())
-		writeJSON(w, http.StatusTooManyRequests, &Response{Algo: q.Algo, Graph: q.Graph, Error: err.Error()})
-		return
-	case ErrDraining:
-		w.Header().Set("Retry-After", s.retryAfter())
-		writeJSON(w, http.StatusServiceUnavailable, &Response{Algo: q.Algo, Graph: q.Graph, Error: err.Error()})
-		return
-	default: // client context ended while queued
-		writeJSON(w, 499, &Response{Algo: q.Algo, Graph: q.Graph, Error: err.Error()})
-		return
-	}
-	defer release()
-
-	// Deadline: client budget -> context; drain kill -> same context.
-	ctx, cancel := context.WithTimeout(r.Context(), s.budget(q.BudgetMS))
-	defer cancel()
-	stop := context.AfterFunc(s.killCtx, cancel)
-	defer stop()
-	if s.cfg.BaseContext != nil {
-		ctx = s.cfg.BaseContext(ctx)
-	}
-
-	s.inflight.Add(1)
 	start := time.Now()
-	resp, status := s.execute(ctx, &q, sp, g, sched, params)
+	out := s.pipe.Do(r.Context(), q.request())
+	resp := newResponse(out)
 	resp.ElapsedMS = time.Since(start).Milliseconds()
-	s.inflight.Add(-1)
+	status := httpStatus(out.Code)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", s.retryAfter())
+	}
 	writeJSON(w, status, resp)
 }
 
 // InFlight returns the number of queries currently executing (post-
 // admission). Exposed for drain tests.
-func (s *Server) InFlight() int { return int(s.inflight.Load()) }
+func (s *Server) InFlight() int { return s.pipe.InFlight() }
 
-// Shutdown gracefully drains the server: readiness flips immediately, new
-// queries are rejected, queued waiters fail with ErrDraining, and in-flight
-// runs are given until ctx's deadline to finish. If the deadline passes,
-// every in-flight run's context is cancelled — the engines halt at their
-// next round barrier — and Shutdown waits DrainGrace longer before
-// reporting the stragglers. Shutdown is idempotent; it never kills the
-// process state: a Server that failed to drain is still memory-safe, only
-// late.
+// Shutdown gracefully drains the server: readiness flips immediately, then
+// the pipeline stops admitting, waits (event-driven) for in-flight runs
+// under ctx's deadline, and cancels stragglers at their round barriers with
+// a bounded grace. Shutdown is idempotent; a Server that failed to drain is
+// still memory-safe, only late.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.adm.close()
-	tick := time.NewTicker(time.Millisecond)
-	defer tick.Stop()
-	for s.inflight.Load() > 0 {
-		select {
-		case <-ctx.Done():
-			// Deadline passed: cancel in-flight runs and give them a
-			// bounded grace to unwind through their round barriers.
-			s.kill()
-			grace := time.After(s.cfg.DrainGrace)
-			for s.inflight.Load() > 0 {
-				select {
-				case <-grace:
-					return fmt.Errorf("server: drain incomplete: %d queries still in flight: %w",
-						s.inflight.Load(), ctx.Err())
-				case <-tick.C:
-				}
-			}
-			return nil
-		case <-tick.C:
-		}
-	}
-	return nil
+	return s.pipe.Close(ctx)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"graphit/algo"
+)
+
+// TestRetryAfterFlooring pins the Retry-After arithmetic: one default
+// budget, in whole seconds, never below 1 — and the pipeline's 2s default
+// when the config leaves the budget zero.
+func TestRetryAfterFlooring(t *testing.T) {
+	cases := []struct {
+		budget time.Duration
+		want   string
+	}{
+		{0, "2"},                      // unset -> pipeline default (2s)
+		{500 * time.Millisecond, "1"}, // sub-second -> floored at 1
+		{time.Second, "1"},
+		{5 * time.Second, "5"},
+		{2500 * time.Millisecond, "2"}, // truncated, not rounded
+	}
+	for _, tc := range cases {
+		s := &Server{cfg: Config{DefaultBudget: tc.budget}}
+		if got := s.retryAfter(); got != tc.want {
+			t.Errorf("retryAfter with budget %v = %q, want %q", tc.budget, got, tc.want)
+		}
+	}
+}
+
+// TestResponseZeroFidelity locks the wire fidelity the pointer summary
+// fields exist for: a legitimate zero answer (reached=0, max_value=0,
+// cover_size=0) is encoded explicitly, and fields a result kind does not
+// produce stay absent instead of appearing as zeros.
+func TestResponseZeroFidelity(t *testing.T) {
+	zero, zero64 := 0, int64(0)
+	resp := &Response{
+		Algo: "sssp", Graph: "road", Strategy: "lazy",
+		Summary: algo.Summary{Reached: &zero, MaxValue: &zero64},
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	for _, want := range []string{`"reached":0`, `"max_value":0`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("zero answer dropped from the wire: %s missing in %s", want, body)
+		}
+	}
+	// Kind-inapplicable fields (nil pointers) must not materialize.
+	for _, absent := range []string{`"pair_dist"`, `"cover_size"`} {
+		if strings.Contains(body, absent) {
+			t.Errorf("inapplicable field %s encoded in %s", absent, body)
+		}
+	}
+
+	// The pair kind's "unreachable" (nil) is distinguishable from a real
+	// zero-length path.
+	pair := &Response{Summary: algo.Summary{PairDist: &zero64}}
+	b, err = json.Marshal(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"pair_dist":0`) {
+		t.Errorf("zero pair_dist dropped from the wire: %s", b)
+	}
+}

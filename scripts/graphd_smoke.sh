@@ -2,9 +2,11 @@
 # graphd boot/query/shed/drain smoke test, run by the graphd-smoke CI job.
 #
 # Boots the daemon on a generated road graph with a deliberately tiny
-# admission envelope (one run slot, one queue seat), then checks the four
+# admission envelope (one run slot, one queue seat), then checks the five
 # serving behaviors end to end: readiness, a correct query, fast load
-# shedding under saturation (429 + Retry-After), and a clean SIGTERM drain.
+# shedding under saturation (429 + Retry-After), repeated-identical-query
+# absorption by the cache + coalescer (exactly one engine run), and a clean
+# SIGTERM drain.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -43,11 +45,14 @@ echo "$resp" | grep -q '"reached":' || { echo "query response missing result" >&
 echo "$resp" | grep -q '"error"' && { echo "query unexpectedly errored" >&2; exit 1; }
 
 echo "== saturation sheds with 429 + Retry-After"
+# Each query gets a distinct src: identical bodies would coalesce into one
+# shared run (tested below) instead of contending for the single slot.
 mkdir -p "$workdir/headers"
 curl_pids=()
 for i in $(seq 1 40); do
+  sat_body="{\"algo\":\"sssp\",\"graph\":\"road\",\"src\":$((i * 97)),\"delta\":64}"
   curl -s -o /dev/null -D "$workdir/headers/$i" -w '%{http_code}\n' \
-    -d "$body" http://127.0.0.1:18090/query >>"$workdir/codes" &
+    -d "$sat_body" http://127.0.0.1:18090/query >>"$workdir/codes" &
   curl_pids+=($!)
 done
 # Wait for the curls only — a bare `wait` would also wait on graphd itself.
@@ -63,6 +68,38 @@ for h in "$workdir"/headers/*; do
     exit 1
   fi
 done
+
+echo "== cache + coalesce absorb 20 identical queries into one engine run"
+runs_before=$(curl -s http://127.0.0.1:18090/statusz | grep -o '"runs":[0-9]*' | cut -d: -f2)
+cbody='{"algo":"sssp","graph":"road","src":7777,"delta":64}'
+curl_pids=()
+for i in $(seq 1 20); do
+  curl -s -d "$cbody" http://127.0.0.1:18090/query >>"$workdir/repeat_resps" &
+  curl_pids+=($!)
+done
+wait "${curl_pids[@]}"
+# All 20 answered, correctly and identically: one distinct reached count,
+# one distinct max_value, no errors.
+[ "$(grep -c '"reached":' "$workdir/repeat_resps")" -eq 20 ] \
+  || { echo "not every repeated query answered" >&2; exit 1; }
+grep -q '"error"' "$workdir/repeat_resps" && { echo "repeated query errored" >&2; exit 1; }
+for field in reached max_value; do
+  distinct=$(grep -o "\"$field\":[0-9]*" "$workdir/repeat_resps" | sort -u | wc -l)
+  [ "$distinct" -eq 1 ] || { echo "repeated queries disagree on $field" >&2; exit 1; }
+done
+# Exactly one engine run produced all 20 answers...
+statusz=$(curl -s http://127.0.0.1:18090/statusz)
+runs_after=$(echo "$statusz" | grep -o '"runs":[0-9]*' | cut -d: -f2)
+runs_delta=$((runs_after - runs_before))
+[ "$runs_delta" -eq 1 ] \
+  || { echo "20 identical queries cost $runs_delta engine runs, want 1" >&2; exit 1; }
+# ...and the statusz counters attribute at least half to the cache/coalescer.
+hits=$(echo "$statusz" | grep -o '"hits":[0-9]*' | cut -d: -f2)
+coalesced=$(echo "$statusz" | grep -o '"coalesced":[0-9]*' | cut -d: -f2)
+absorbed=$((hits + coalesced))
+[ "$absorbed" -ge 10 ] \
+  || { echo "cache+coalesce served only $absorbed of 19 repeats (hits=$hits coalesced=$coalesced)" >&2; exit 1; }
+echo "repeats absorbed: $absorbed (cache hits=$hits, coalesced=$coalesced), engine runs=+$runs_delta"
 
 echo "== SIGTERM drains cleanly"
 kill -TERM "$pid"
