@@ -14,8 +14,12 @@
 //	curl localhost:8090/readyz
 //	curl -d '{"algo":"sssp","graph":"road","src":0}' localhost:8090/query
 //	curl localhost:8090/statusz
+//	curl localhost:8090/metrics
+//	curl localhost:8090/debug/queries
 //
-// Endpoints: POST /query, GET /healthz, GET /readyz, GET /statusz.
+// Endpoints: POST /query, GET /healthz, GET /readyz, GET /statusz,
+// GET /metrics (Prometheus text format), GET /debug/queries (recent
+// per-query structured traces).
 package main
 
 import (
@@ -53,6 +57,8 @@ func main() {
 		cacheN     = flag.Int("cache-entries", 1024, "result cache capacity in entries (0 disables the cache)")
 		cacheTTL   = flag.Duration("cache-ttl", time.Minute, "result cache entry lifetime")
 		coalesce   = flag.Bool("coalesce", true, "coalesce concurrent identical queries into one engine run")
+		metricsOn  = flag.Bool("metrics", true, "serve Prometheus metrics at /metrics (per-stage and per-(algo, strategy) engine histograms)")
+		traceRing  = flag.Int("trace-ring", 256, "per-query structured traces retained for /debug/queries (0 disables)")
 	)
 	// Graph specs are collected during parse and loaded afterwards, so the
 	// -symmetrize flag applies regardless of flag order.
@@ -105,6 +111,8 @@ func main() {
 		CacheEntries:     *cacheN,
 		CacheTTL:         *cacheTTL,
 		Coalesce:         *coalesce,
+		Metrics:          *metricsOn,
+		TraceRing:        *traceRing,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphd:", err)

@@ -1,0 +1,96 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Buckets is a fixed-bound concurrent histogram: observations are counted
+// into the first bucket whose upper bound is >= the value (Prometheus `le`
+// semantics), with an implicit +Inf bucket after the last bound. Observe is
+// lock-free (one atomic add per bucket/count plus a CAS loop for the float
+// sum) and allocation-free, so it is safe on hot paths; Snapshot reads the
+// counters without stopping writers, so a snapshot taken under concurrent
+// Observes may be skewed by in-flight observations but never torn within a
+// single counter. This is the bucketing layer behind the metrics registry
+// (internal/obs).
+type Buckets struct {
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewBuckets returns a histogram over the given strictly increasing upper
+// bounds. It panics on unsorted or empty bounds — a misconfigured metric is
+// a programmer error, caught at registration time.
+func NewBuckets(bounds []float64) *Buckets {
+	if len(bounds) == 0 {
+		panic("histogram: NewBuckets with no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("histogram: bounds not strictly increasing at %d: %v <= %v",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := &Buckets{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return b
+}
+
+// ExpBounds returns n exponentially spaced bounds: start, start*factor,
+// start*factor², … It panics on non-positive start, factor <= 1, or n < 1.
+func ExpBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("histogram: invalid ExpBounds(%v, %v, %d)", start, factor, n))
+	}
+	bounds := make([]float64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// Observe records one value. Safe for concurrent use; never allocates.
+func (b *Buckets) Observe(v float64) {
+	i := sort.SearchFloat64s(b.bounds, v)
+	b.counts[i].Add(1)
+	b.count.Add(1)
+	for {
+		old := b.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if b.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// BucketsSnapshot is a point-in-time copy of a Buckets' counters. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type BucketsSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the current counters. Safe under concurrent Observes.
+func (b *Buckets) Snapshot() BucketsSnapshot {
+	s := BucketsSnapshot{
+		Bounds: b.bounds, // immutable after NewBuckets; shared, not copied
+		Counts: make([]uint64, len(b.counts)),
+		Count:  b.count.Load(),
+		Sum:    math.Float64frombits(b.sum.Load()),
+	}
+	for i := range b.counts {
+		s.Counts[i] = b.counts[i].Load()
+	}
+	return s
+}

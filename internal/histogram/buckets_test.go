@@ -1,0 +1,97 @@
+package histogram
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketsPlacement pins `le` semantics: a value lands in the first
+// bucket whose bound is >= the value, boundary values inclusive, and
+// anything above the last bound in the +Inf bucket.
+func TestBucketsPlacement(t *testing.T) {
+	b := NewBuckets([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1} { // both <= 1
+		b.Observe(v)
+	}
+	b.Observe(10)   // exactly on a bound: inclusive
+	b.Observe(11)   // (10, 100]
+	b.Observe(1e9)  // +Inf bucket
+	b.Observe(-3.5) // below the first bound still counts in it
+
+	s := b.Snapshot()
+	want := []uint64{3, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count: got %d want 6", s.Count)
+	}
+	wantSum := 0.5 + 1 + 10 + 11 + 1e9 - 3.5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum: got %v want %v", s.Sum, wantSum)
+	}
+}
+
+func TestBucketsConcurrent(t *testing.T) {
+	b := NewBuckets(ExpBounds(1, 2, 10))
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Observe(float64(i % 700))
+				if i%100 == 0 {
+					_ = b.Snapshot() // concurrent reads must be safe
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := b.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count: got %d want %d", s.Count, workers*per)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket counts sum to %d, want %d", total, workers*per)
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(10e-6, 2, 4)
+	want := []float64{10e-6, 20e-6, 40e-6, 80e-6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bound %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewBucketsRejectsUnsorted(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBuckets(%v) did not panic", bounds)
+				}
+			}()
+			NewBuckets(bounds)
+		}()
+	}
+}
+
+// TestObserveAllocs gates the hot-path contract: Observe never allocates.
+func TestObserveAllocs(t *testing.T) {
+	b := NewBuckets(ExpBounds(10e-6, 2, 24))
+	if n := testing.AllocsPerRun(1000, func() { b.Observe(0.0042) }); n != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", n)
+	}
+}

@@ -7,6 +7,10 @@
 // updates each vertex receives in a round and applies the transformed
 // user-defined function once per vertex with that count, avoiding contention
 // on high-degree vertices.
+//
+// The package also provides Buckets, a lock-free fixed-bound histogram with
+// Prometheus `le` bucket semantics — the bucketing layer the metrics
+// registry (internal/obs) folds latencies and frontier sizes into.
 package histogram
 
 import (

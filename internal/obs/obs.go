@@ -1,0 +1,385 @@
+// Package obs is graphd's dependency-free observability core: a metrics
+// registry of counters, gauges, and histograms with hand-rolled Prometheus
+// text exposition (format version 0.0.4).
+//
+// Design constraints, in order:
+//
+//   - Recording is lock-free and allocation-free: Counter.Add and
+//     Histogram.Observe are atomic operations on pre-registered series
+//     (bucketing via internal/histogram.Buckets), so they are safe on the
+//     query hot path. The registry lock is taken only at registration and
+//     exposition time.
+//   - Registration is get-or-create: asking for the same (name, label set)
+//     twice returns the same instance, so per-key series (per-(algo,
+//     strategy, graph) engine histograms, per-key breaker gauges) can be
+//     resolved lazily at run start without an external cache.
+//   - Exposition is deterministic: families sort by name, series by label
+//     signature — the golden-file test pins the exact byte format.
+//
+// No third-party client library is involved; the exposition writer emits
+// the subset of the text format the metrics here need (HELP/TYPE headers,
+// counter/gauge samples, cumulative histogram buckets with le labels,
+// _sum/_count).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"graphit/internal/histogram"
+)
+
+// TextContentType is the Content-Type an HTTP handler should serve
+// WriteText's output under.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain one from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be non-negative (counters never go down).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Obtain from Registry.Gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bound distribution metric. Obtain from
+// Registry.Histogram; Observe is lock-free and allocation-free.
+type Histogram struct {
+	b *histogram.Buckets
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) { h.b.Observe(v) }
+
+// Snapshot returns the current bucket counters (tests and debug).
+func (h *Histogram) Snapshot() histogram.BucketsSnapshot { return h.b.Snapshot() }
+
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+var typeNames = [...]string{counterType: "counter", gaugeType: "gauge", histogramType: "histogram"}
+
+// series is one registered sample stream: a label set plus exactly one of
+// the value holders.
+type series struct {
+	labels []Label // sorted by name
+	sig    string
+
+	ctr   *Counter
+	gauge *Gauge
+	gfn   func() float64
+	hist  *Histogram
+}
+
+// family groups every series sharing a metric name (one HELP/TYPE block).
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	bounds []float64 // histogram families only; shared by every series
+	series []*series
+	index  map[string]*series
+}
+
+// Registry holds metric families and renders them. Construct with
+// NewRegistry; safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// It panics if name is already registered with a different type — metric
+// declarations are code, and a type clash is a programmer error.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, counterType, nil, labels)
+	return s.ctr
+}
+
+// Gauge returns the settable gauge for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, gaugeType, nil, labels)
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time — the fit for values another structure already tracks (in-flight
+// counts, breaker states). Re-registering the same (name, labels) keeps the
+// first fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, gaugeType, nil)
+	sig := signature(labels)
+	if _, ok := f.index[sig]; ok {
+		return
+	}
+	f.add(&series{labels: sortLabels(labels), sig: sig, gfn: fn})
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket bounds on first use. Every series of one family shares the
+// family's bounds (the first registration's); later bounds are ignored.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, histogramType, bounds, labels)
+	return s.hist
+}
+
+// lookup is the get-or-create path shared by the typed accessors.
+func (r *Registry) lookup(name, help string, typ metricType, bounds []float64, labels []Label) *series {
+	sig := signature(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			r.mu.RUnlock()
+			panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, typeNames[f.typ], typeNames[typ]))
+		}
+		if s, ok := f.index[sig]; ok {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ, bounds)
+	if s, ok := f.index[sig]; ok {
+		return s
+	}
+	s := &series{labels: sortLabels(labels), sig: sig}
+	switch typ {
+	case counterType:
+		s.ctr = &Counter{}
+	case gaugeType:
+		s.gauge = &Gauge{}
+	case histogramType:
+		s.hist = &Histogram{b: histogram.NewBuckets(f.bounds)}
+	}
+	f.add(s)
+	return s
+}
+
+func (r *Registry) familyLocked(name, help string, typ metricType, bounds []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, index: make(map[string]*series)}
+		if typ == histogramType {
+			if len(bounds) == 0 {
+				panic("obs: histogram " + name + " registered with no bounds")
+			}
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, typeNames[f.typ], typeNames[typ]))
+	}
+	return f
+}
+
+func (f *family) add(s *series) {
+	f.series = append(f.series, s)
+	f.index[s.sig] = s
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// signature canonicalizes a label set for indexing: sorted name\x00value
+// pairs joined by \x00.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := sortLabels(labels)
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(0)
+		}
+		sb.WriteString(l.Name)
+		sb.WriteByte(0)
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// WriteText renders every registered metric in the Prometheus text format,
+// deterministically: families sorted by name, series by label signature.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the series lists under the lock; the samples themselves are
+	// read lock-free afterwards (atomics / callback gauges).
+	fams := make([]*family, len(names))
+	sers := make([][]*series, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		fams[i] = f
+		ss := append([]*series(nil), f.series...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].sig < ss[b].sig })
+		sers[i] = ss
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, typeNames[f.typ])
+		for _, s := range sers[i] {
+			switch f.typ {
+			case counterType:
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels, nil)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.ctr.Value(), 10))
+				b.WriteByte('\n')
+			case gaugeType:
+				v := 0.0
+				if s.gfn != nil {
+					v = s.gfn()
+				} else {
+					v = s.gauge.Value()
+				}
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels, nil)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(v))
+				b.WriteByte('\n')
+			case histogramType:
+				snap := s.hist.Snapshot()
+				cum := uint64(0)
+				for bi, bound := range snap.Bounds {
+					cum += snap.Counts[bi]
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, s.labels, &Label{"le", formatFloat(bound)})
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatUint(cum, 10))
+					b.WriteByte('\n')
+				}
+				cum += snap.Counts[len(snap.Bounds)]
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, s.labels, &Label{"le", "+Inf"})
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, s.labels, nil)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(snap.Sum))
+				b.WriteByte('\n')
+
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, s.labels, nil)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(snap.Count, 10))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLabels renders {a="x",b="y"}; extra (the le label) is appended last.
+// No braces are emitted for an empty set.
+func writeLabels(b *strings.Builder, labels []Label, extra *Label) {
+	if len(labels) == 0 && extra == nil {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(extra.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteTextGolden pins the exact exposition bytes: family ordering,
+// series ordering, HELP/TYPE headers, label escaping, cumulative histogram
+// buckets with the +Inf terminator, _sum and _count.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qexec_outcomes_total", "Requests by final outcome code.", L("code", "ok")).Add(41)
+	r.Counter("qexec_outcomes_total", "Requests by final outcome code.", L("code", "shed")).Inc()
+	r.Counter("app_requests_total", "Total requests.").Add(7)
+	r.Gauge("app_temperature", "A settable gauge.").Set(36.6)
+	r.GaugeFunc("qexec_inflight", "Queries currently executing.", func() float64 { return 3 })
+	r.GaugeFunc("qexec_breaker_state", "Breaker state by key.",
+		func() float64 { return 1 }, L("key", `sssp/lazy "quoted"`))
+
+	h := r.Histogram("stage_duration_seconds", "Stage wall time.",
+		[]float64{0.001, 0.01, 0.1}, L("stage", "run"))
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2.5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestGetOrCreate pins registration semantics: the same (name, labels)
+// returns the same instance regardless of label order, and a type clash
+// panics.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "h", L("x", "1"), L("y", "2"))
+	b := r.Counter("c_total", "h", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Errorf("same labels in different order produced distinct counters")
+	}
+	h1 := r.Histogram("h_seconds", "h", []float64{1, 2}, L("k", "v"))
+	h2 := r.Histogram("h_seconds", "h", []float64{9, 99}, L("k", "v")) // later bounds ignored
+	if h1 != h2 {
+		t.Errorf("same histogram series resolved to distinct instances")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("type clash did not panic")
+			}
+		}()
+		r.Gauge("c_total", "h")
+	}()
+}
+
+// TestConcurrentRecording hammers one counter and one histogram series from
+// many goroutines while scraping concurrently; final values must be exact.
+// CI runs this under -race.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Get-or-create on every iteration: the registry lookup path
+				// must be race-free with concurrent registration and scrapes.
+				r.Counter("hits_total", "h", L("worker", "shared")).Inc()
+				r.Histogram("lat_seconds", "h", []float64{0.01, 0.1, 1}, L("worker", "shared")).Observe(0.05)
+				if i%500 == 0 {
+					var buf bytes.Buffer
+					_ = r.WriteText(&buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "h", L("worker", "shared")).Value(); got != workers*per {
+		t.Errorf("counter: got %d want %d", got, workers*per)
+	}
+	snap := r.Histogram("lat_seconds", "h", nil, L("worker", "shared")).Snapshot()
+	if snap.Count != workers*per {
+		t.Errorf("histogram count: got %d want %d", snap.Count, workers*per)
+	}
+}
+
+// TestRecordingAllocs gates the lock-free hot path: counter increments and
+// histogram observations on pre-resolved series never allocate.
+func TestRecordingAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h", L("k", "v"))
+	h := r.Histogram("h_seconds", "h", []float64{0.001, 0.01, 0.1, 1}, L("k", "v"))
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); h.Observe(0.02) }); n != 0 {
+		t.Fatalf("recording allocates %v per op, want 0", n)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "help with \\ and\nnewline", L("k", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`# HELP e_total help with \\ and\nnewline`,
+		`e_total{k="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -56,8 +56,7 @@ func (a *admission) acquire(ctx context.Context) (func(), error) {
 	// Fast path: a free slot, no queueing.
 	select {
 	case <-a.slots:
-		a.admitted.Add(1)
-		return a.releaseFunc(), nil
+		return a.admitSlot()
 	default:
 	}
 	// Bounded queue: reserve a waiter position or shed. The counter is an
@@ -71,13 +70,28 @@ func (a *admission) acquire(ctx context.Context) (func(), error) {
 	defer a.queued.Add(-1)
 	select {
 	case <-a.slots:
-		a.admitted.Add(1)
-		return a.releaseFunc(), nil
+		return a.admitSlot()
 	case <-a.closed:
 		return nil, ErrDraining
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// admitSlot finalizes an acquisition after a slot has been grabbed. closed
+// is re-checked here: the closeFlag load at acquire's entry races with a
+// slot freed by a finishing run, so without this a request could be
+// admitted after close() returned — and in the queued select, a slot send
+// and the closed channel can be ready simultaneously, letting the random
+// select choice admit during a drain. The grabbed slot is returned on the
+// draining path (the send cannot block: we hold the capacity we just took).
+func (a *admission) admitSlot() (func(), error) {
+	if a.closeFlag.Load() {
+		a.slots <- struct{}{}
+		return nil, ErrDraining
+	}
+	a.admitted.Add(1)
+	return a.releaseFunc(), nil
 }
 
 func (a *admission) releaseFunc() func() {

@@ -2,8 +2,13 @@ package qexec
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// ErrFlightAbandoned is the error followers observe when a flight's leader
+// panicked out of its run without producing an Outcome.
+var ErrFlightAbandoned = errors.New("coalesced flight abandoned: leader panicked")
 
 // flight is one in-progress shared execution. done is closed — after out is
 // set — when the leader finishes; every follower then reads out.
@@ -44,6 +49,11 @@ func (g *flightGroup) do(ctx context.Context, key string, run func() *Outcome) *
 		g.mu.Unlock()
 		select {
 		case <-f.done:
+			if f.out == nil {
+				// The leader panicked out of run(): synthesize a fault rather
+				// than dereferencing the Outcome it never produced.
+				return &Outcome{Code: CodeFault, Err: ErrFlightAbandoned, Coalesced: true}
+			}
 			out := *f.out // shallow copy; Summary/Stats are shared read-only
 			out.Coalesced = true
 			return &out
@@ -56,15 +66,23 @@ func (g *flightGroup) do(ctx context.Context, key string, run func() *Outcome) *
 	g.leaders++
 	g.mu.Unlock()
 
-	f.out = run()
-
+	// Unpublish + release in a defer, so they happen even if run() panics:
+	// otherwise the key stays poisoned forever (every later identical
+	// request would join a flight whose done never closes) and the waiting
+	// followers hang until their contexts expire. The panic itself still
+	// propagates to the leader's caller; followers observe the nil Outcome
+	// and synthesize a fault above.
+	//
 	// Unpublish before release: a request arriving after completion must
 	// start a fresh flight (whether it is then served by the cache is the
 	// cache stage's decision, not the coalescer's).
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(f.done)
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.out = run()
 	return f.out
 }
 

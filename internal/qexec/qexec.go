@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"graphit"
+	"graphit/internal/obs"
 	"graphit/internal/parallel"
 )
 
@@ -81,6 +82,14 @@ type Config struct {
 	// Coalesce enables singleflight coalescing of concurrent identical
 	// plans into one engine run.
 	Coalesce bool
+	// Metrics, when non-nil, receives the pipeline's counters, gauges, and
+	// per-stage latency histograms plus the engine's per-(algo, strategy,
+	// graph) round histograms. nil disables instrumentation entirely; the
+	// disabled hot path is allocation-free.
+	Metrics *obs.Registry
+	// TraceRing retains the last N per-query structured traces (served by
+	// graphd at /debug/queries); 0 disables trace retention.
+	TraceRing int
 	// BaseContext, if set, wraps every run's context before execution —
 	// the seam tests use to install fault injectors.
 	BaseContext func(context.Context) context.Context
@@ -124,6 +133,8 @@ type Pipeline struct {
 	breakers *Breakers
 	cache    *resultCache // nil: cache stage disabled
 	flights  *flightGroup // nil: coalesce stage disabled
+	met      *pipeMetrics // nil: metrics disabled (every method nil-safe)
+	ring     *traceRing   // nil: trace retention disabled
 
 	closed atomic.Bool
 	runs   atomic.Int64 // engine executions (post-admission route/run entries)
@@ -159,6 +170,12 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Coalesce {
 		p.flights = newFlightGroup()
 	}
+	if cfg.Metrics != nil {
+		p.met = newPipeMetrics(cfg.Metrics, p)
+	}
+	if cfg.TraceRing > 0 {
+		p.ring = newTraceRing(cfg.TraceRing)
+	}
 	p.killCtx, p.kill = context.WithCancel(context.Background())
 	return p, nil
 }
@@ -170,26 +187,108 @@ func New(cfg Config) (*Pipeline, error) {
 // single caller and bounded by the plan budget and the drain kill switch
 // instead.
 func (p *Pipeline) Do(ctx context.Context, req Request) *Outcome {
+	start := time.Now()
+	var et execTrace
+	out := p.do(ctx, req, &et)
+	p.met.observeOutcome(out)
+	if p.ring != nil {
+		p.ring.add(buildTrace(&req, out, &et, start))
+	}
+	return out
+}
+
+// execTrace accumulates one request's per-stage wall times and (for leaders
+// of engine runs) the round events the runTracer retained. It lives on Do's
+// stack: when metrics and the trace ring are both disabled it is written but
+// never read, at zero heap cost.
+type execTrace struct {
+	plan, cache, coalesceWait, queueWait, run time.Duration
+
+	events    []graphit.RoundEvent
+	rounds    int64
+	truncated bool
+}
+
+// do is Do's body; Do itself only wraps it with outcome metrics and trace
+// capture so every return path funnels through one recording point.
+func (p *Pipeline) do(ctx context.Context, req Request, et *execTrace) *Outcome {
 	if p.closed.Load() {
 		return &Outcome{Algo: req.Algo, Graph: req.Graph, Code: CodeDraining, Err: ErrDraining}
 	}
+	t := time.Now()
 	pl, err := p.plan(&req)
+	et.plan = time.Since(t)
+	p.met.observePlan(et.plan)
 	if err != nil {
 		return &Outcome{Algo: req.Algo, Graph: req.Graph, Code: CodeBadRequest, Err: err}
 	}
-	if out, ok := p.cached(pl); ok {
-		return out
+	if p.cache != nil {
+		t = time.Now()
+		out, ok := p.cached(pl)
+		et.cache = time.Since(t)
+		p.met.observeCache(et.cache)
+		if ok {
+			return out
+		}
 	}
 	if p.flights != nil {
+		t = time.Now()
 		out := p.flights.do(ctx, pl.flightKey(), func() *Outcome {
-			return p.execute(ctx, pl, true)
+			return p.execute(ctx, pl, true, et)
 		})
+		if out.Coalesced {
+			et.coalesceWait = time.Since(t)
+			p.met.observeCoalesceWait(et.coalesceWait)
+		}
 		if out.Algo == "" { // a follower that gave up waiting carries no plan echo
 			out.Algo, out.Graph, out.Strategy = pl.Spec.Name, pl.GraphName, pl.Strategy
 		}
 		return out
 	}
-	return p.execute(ctx, pl, false)
+	return p.execute(ctx, pl, false, et)
+}
+
+// buildTrace renders one finished request as its ring record.
+func buildTrace(req *Request, out *Outcome, et *execTrace, start time.Time) QueryTrace {
+	qt := QueryTrace{
+		At:        time.Now(),
+		Algo:      out.Algo,
+		Graph:     out.Graph,
+		Strategy:  out.Strategy,
+		Src:       req.Src,
+		Dst:       req.Dst,
+		Code:      out.Code.String(),
+		FaultKind: out.FaultKind,
+		Breaker:   out.Breaker,
+		Fallback:  out.Fallback,
+		Cached:    out.Cached,
+		Coalesced: out.Coalesced,
+		ElapsedUS: time.Since(start).Microseconds(),
+		Stages: StageTimings{
+			PlanUS:         et.plan.Microseconds(),
+			CacheUS:        et.cache.Microseconds(),
+			CoalesceWaitUS: et.coalesceWait.Microseconds(),
+			QueueWaitUS:    et.queueWait.Microseconds(),
+			RunUS:          et.run.Microseconds(),
+		},
+		Rounds:    et.rounds,
+		Events:    et.events,
+		Truncated: et.truncated,
+		Stats:     out.Stats,
+	}
+	if out.Err != nil {
+		qt.Error = out.Err.Error()
+	}
+	return qt
+}
+
+// Traces returns the retained per-query traces, newest first (empty when
+// the trace ring is disabled).
+func (p *Pipeline) Traces() []QueryTrace {
+	if p.ring == nil {
+		return nil
+	}
+	return p.ring.snapshot()
 }
 
 // cached serves pl from the result cache when it holds a fresh entry. The
@@ -220,7 +319,7 @@ func (p *Pipeline) cached(pl *Plan) (*Outcome, bool) {
 // budget across both the queue wait and the run; a non-detached run keeps
 // the pre-pipeline behavior — the caller's context gates the queue wait,
 // and the budget is applied after admission.
-func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool) *Outcome {
+func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool, et *execTrace) *Outcome {
 	out := &Outcome{Algo: pl.Spec.Name, Graph: pl.GraphName, Strategy: pl.Strategy}
 	if detached {
 		var cancel context.CancelFunc
@@ -229,7 +328,10 @@ func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool) *Outcom
 	}
 
 	// Admit: hold a run slot or shed.
+	t := time.Now()
 	release, err := p.adm.acquire(ctx)
+	et.queueWait = time.Since(t)
+	p.met.observeQueueWait(et.queueWait)
 	switch err {
 	case nil:
 	case ErrShed:
@@ -248,9 +350,18 @@ func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool) *Outcom
 	}
 	defer release()
 
-	// Deadline: budget -> context; drain kill -> same context.
-	runCtx, cancel := context.WithCancel(ctx)
-	if !detached {
+	// Deadline: budget -> context; drain kill -> same context. Exactly one
+	// child context is created per path: a detached flight's budget deadline
+	// was already applied above, so it only needs a cancellable child for
+	// the kill switch, while an attached run layers the budget onto the
+	// caller's context here. (Creating a WithCancel child unconditionally
+	// and overwriting it on one path would leak the first CancelFunc — the
+	// abandoned child stays registered on the caller's context.)
+	var runCtx context.Context
+	var cancel context.CancelFunc
+	if detached {
+		runCtx, cancel = context.WithCancel(ctx)
+	} else {
 		runCtx, cancel = context.WithTimeout(ctx, pl.Budget)
 	}
 	defer cancel()
@@ -260,10 +371,27 @@ func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool) *Outcom
 		runCtx = p.cfg.BaseContext(runCtx)
 	}
 
+	// Observe the run: the tracer folds round events into the engine
+	// histograms and retains a capped event list for the trace ring. It is
+	// per-run state (the engine calls Tracers from one goroutine), installed
+	// through the WithTracer context seam.
+	var rt *runTracer
+	if p.met != nil || p.ring != nil {
+		rt = newRunTracer(p.met, pl.Spec.Name, pl.GraphName, p.ring != nil)
+		runCtx = graphit.WithTracer(runCtx, rt)
+		p.met.ensureBreakerGauge(pl.BreakerKey(), p.breakers)
+	}
+
 	p.beginRun()
 	defer p.endRun()
 	p.runs.Add(1)
+	t = time.Now()
 	p.route(runCtx, pl, out)
+	et.run = time.Since(t)
+	p.met.observeRun(et.run)
+	if rt != nil {
+		et.events, et.rounds, et.truncated = rt.events, rt.rounds, rt.truncated
+	}
 
 	// Cache only clean primary successes: fallback answers are correct but
 	// caching them would mask breaker recovery, and faults must stay

@@ -36,6 +36,24 @@ const (
 	CodeFault
 )
 
+// codeNames renders Codes for metrics labels and trace export.
+var codeNames = [...]string{
+	CodeOK:         "ok",
+	CodeBadRequest: "bad_request",
+	CodeShed:       "shed",
+	CodeDraining:   "draining",
+	CodeClientGone: "client_gone",
+	CodeBudget:     "budget",
+	CodeFault:      "fault",
+}
+
+func (c Code) String() string {
+	if c >= 0 && int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return "invalid"
+}
+
 // Outcome is the typed result of one pipeline execution — everything a
 // transport needs to render a reply, with no transport types involved.
 type Outcome struct {

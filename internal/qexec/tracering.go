@@ -1,0 +1,90 @@
+package qexec
+
+import (
+	"sync"
+	"time"
+
+	"graphit"
+)
+
+// StageTimings is one query's per-stage wall time, in microseconds. Stages
+// the request never entered stay zero (a cache hit has no queue_wait or
+// run; a coalesced follower has only plan, cache, and coalesce_wait).
+type StageTimings struct {
+	PlanUS         int64 `json:"plan_us"`
+	CacheUS        int64 `json:"cache_us,omitempty"`
+	CoalesceWaitUS int64 `json:"coalesce_wait_us,omitempty"`
+	QueueWaitUS    int64 `json:"queue_wait_us,omitempty"`
+	RunUS          int64 `json:"run_us,omitempty"`
+}
+
+// QueryTrace is one completed request's structured trace — the /debug/queries
+// record. It is self-contained: plan coordinates, outcome, per-stage wall
+// times, and (for requests that led an engine run) the first maxTraceEvents
+// per-round events plus the total round count.
+type QueryTrace struct {
+	At       time.Time `json:"at"` // completion time
+	Algo     string    `json:"algo"`
+	Graph    string    `json:"graph"`
+	Strategy string    `json:"strategy,omitempty"`
+	Src      uint32    `json:"src"`
+	Dst      uint32    `json:"dst,omitempty"`
+
+	Code      string `json:"code"`
+	Error     string `json:"error,omitempty"`
+	FaultKind string `json:"fault_kind,omitempty"`
+	Breaker   string `json:"breaker,omitempty"`
+	Fallback  bool   `json:"fallback,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+
+	ElapsedUS int64        `json:"elapsed_us"`
+	Stages    StageTimings `json:"stages"`
+
+	// Rounds is the total engine rounds this request's run(s) executed;
+	// Events holds the first maxTraceEvents of them (Truncated reports the
+	// cap was hit). Zero/empty for requests the cache or coalescer absorbed.
+	Rounds    int64                `json:"rounds,omitempty"`
+	Events    []graphit.RoundEvent `json:"events,omitempty"`
+	Truncated bool                 `json:"events_truncated,omitempty"`
+
+	Stats *graphit.Stats `json:"stats,omitempty"`
+}
+
+// traceRing is a bounded ring buffer of the most recent QueryTraces. Writes
+// overwrite the oldest entry; snapshot returns newest first. A short mutex
+// guards the ring — the per-request cost is one copy under an uncontended
+// lock, paid only when the ring is enabled.
+type traceRing struct {
+	mu    sync.Mutex
+	buf   []QueryTrace
+	next  int
+	total uint64
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{buf: make([]QueryTrace, n)}
+}
+
+func (r *traceRing) add(qt QueryTrace) {
+	r.mu.Lock()
+	r.buf[r.next] = qt
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot copies the retained traces, newest first.
+func (r *traceRing) snapshot() []QueryTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.total)
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]QueryTrace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

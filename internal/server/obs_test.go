@@ -1,0 +1,99 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"graphit/internal/server"
+)
+
+func get(t testing.TB, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsEndpoint drives a query through an instrumented server and
+// checks /metrics serves the Prometheus text format with the per-stage and
+// per-(algo, strategy, graph) series advanced, and /debug/queries exports
+// the structured trace.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := startServer(t, server.Config{Metrics: true, TraceRing: 16, CacheEntries: 8})
+
+	status, resp := postQuery(t, ts, server.Query{Algo: "sssp", Graph: "road", Src: 0})
+	if status != http.StatusOK || resp.Error != "" {
+		t.Fatalf("query: status=%d err=%q", status, resp.Error)
+	}
+	postQuery(t, ts, server.Query{Algo: "sssp", Graph: "road", Src: 0}) // cache hit
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE qexec_stage_duration_seconds histogram",
+		`qexec_stage_duration_seconds_count{stage="run"} 1`,
+		`qexec_outcomes_total{code="ok"} 2`,
+		"qexec_cache_hits_total 1",
+		`engine_runs_total{algo="sssp",graph="road",status="ok",strategy="`,
+		`engine_round_duration_seconds_bucket{algo="sssp",graph="road",`,
+		"qexec_inflight 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, ts, "/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/queries: status %d", code)
+	}
+	var dq server.DebugQueries
+	if err := json.Unmarshal([]byte(body), &dq); err != nil {
+		t.Fatalf("decode /debug/queries: %v", err)
+	}
+	if !dq.Enabled || len(dq.Queries) != 2 {
+		t.Fatalf("debug queries: enabled=%v n=%d, want enabled with 2", dq.Enabled, len(dq.Queries))
+	}
+	if !dq.Queries[0].Cached || dq.Queries[0].Algo != "sssp" {
+		t.Errorf("newest trace should be the sssp cache hit: %+v", dq.Queries[0])
+	}
+	if dq.Queries[1].Rounds == 0 || len(dq.Queries[1].Events) == 0 {
+		t.Errorf("leader trace carries no round events: %+v", dq.Queries[1])
+	}
+}
+
+// TestMetricsDisabled pins the off switch: /metrics 404s and /debug/queries
+// reports disabled, while querying still works.
+func TestMetricsDisabled(t *testing.T) {
+	_, ts := startServer(t, server.Config{})
+	if status, resp := postQuery(t, ts, server.Query{Algo: "sssp", Graph: "road", Src: 0}); status != http.StatusOK || resp.Error != "" {
+		t.Fatalf("query: status=%d err=%q", status, resp.Error)
+	}
+	if code, _ := get(t, ts, "/metrics"); code != http.StatusNotFound {
+		t.Errorf("/metrics with metrics disabled: status %d, want 404", code)
+	}
+	code, body := get(t, ts, "/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/queries: status %d", code)
+	}
+	var dq server.DebugQueries
+	if err := json.Unmarshal([]byte(body), &dq); err != nil {
+		t.Fatalf("decode /debug/queries: %v", err)
+	}
+	if dq.Enabled || len(dq.Queries) != 0 {
+		t.Errorf("debug queries should report disabled+empty, got %+v", dq)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"graphit"
+	"graphit/internal/obs"
 	"graphit/internal/qexec"
 )
 
@@ -52,6 +53,14 @@ type Config struct {
 	CacheEntries int
 	CacheTTL     time.Duration
 	Coalesce     bool
+	// Metrics enables GET /metrics (Prometheus text format) backed by the
+	// pipeline's counters and per-stage latency histograms plus the
+	// engine's per-(algo, strategy, graph) round histograms. Disabled, the
+	// endpoint 404s and the pipeline hot path records nothing.
+	Metrics bool
+	// TraceRing retains the last N per-query structured traces, served at
+	// GET /debug/queries; 0 disables both.
+	TraceRing int
 	// BaseContext, if set, wraps every query's context before execution —
 	// the seam tests use to install fault injectors.
 	BaseContext func(context.Context) context.Context
@@ -62,6 +71,7 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	pipe     *qexec.Pipeline
+	reg      *obs.Registry // nil: metrics disabled
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -70,6 +80,10 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Graphs) == 0 {
 		return nil, fmt.Errorf("server: no graphs configured")
+	}
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.NewRegistry()
 	}
 	pipe, err := qexec.New(qexec.Config{
 		Graphs:           cfg.Graphs,
@@ -86,18 +100,53 @@ func New(cfg Config) (*Server, error) {
 		CacheEntries:     cfg.CacheEntries,
 		CacheTTL:         cfg.CacheTTL,
 		Coalesce:         cfg.Coalesce,
+		Metrics:          reg,
+		TraceRing:        cfg.TraceRing,
 		BaseContext:      cfg.BaseContext,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s := &Server{cfg: cfg, pipe: pipe}
+	s := &Server{cfg: cfg, pipe: pipe, reg: reg}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	return s, nil
+}
+
+// handleMetrics serves the Prometheus text exposition. The registry is
+// scraped live: counters and histograms are read lock-free, and the gauges
+// (in-flight, queued, breaker states) are evaluated at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "metrics disabled (start with -metrics)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = s.reg.WriteText(w)
+}
+
+// DebugQueries is the /debug/queries document: the most recent per-query
+// structured traces, newest first.
+type DebugQueries struct {
+	Enabled bool               `json:"enabled"`
+	Queries []qexec.QueryTrace `json:"queries"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.TraceRing <= 0 {
+		writeJSON(w, 200, DebugQueries{Enabled: false, Queries: []qexec.QueryTrace{}})
+		return
+	}
+	qs := s.pipe.Traces()
+	if qs == nil {
+		qs = []qexec.QueryTrace{}
+	}
+	writeJSON(w, 200, DebugQueries{Enabled: true, Queries: qs})
 }
 
 // Handler returns the server's HTTP handler.

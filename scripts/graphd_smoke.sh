@@ -5,8 +5,9 @@
 # admission envelope (one run slot, one queue seat), then checks the five
 # serving behaviors end to end: readiness, a correct query, fast load
 # shedding under saturation (429 + Retry-After), repeated-identical-query
-# absorption by the cache + coalescer (exactly one engine run), and a clean
-# SIGTERM drain.
+# absorption by the cache + coalescer (exactly one engine run), live
+# observability (/metrics run + engine-round counters advanced by the query
+# phase, /debug/queries trace export), and a clean SIGTERM drain.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -100,6 +101,39 @@ absorbed=$((hits + coalesced))
 [ "$absorbed" -ge 10 ] \
   || { echo "cache+coalesce served only $absorbed of 19 repeats (hits=$hits coalesced=$coalesced)" >&2; exit 1; }
 echo "repeats absorbed: $absorbed (cache hits=$hits, coalesced=$coalesced), engine runs=+$runs_delta"
+
+echo "== /metrics scrapes with non-zero run and engine-round counters"
+curl -s http://127.0.0.1:18090/metrics >"$workdir/metrics"
+# Prometheus exposition shape: HELP/TYPE headers present.
+grep -q '^# TYPE qexec_stage_duration_seconds histogram$' "$workdir/metrics" \
+  || { echo "/metrics missing qexec stage histogram TYPE header" >&2; exit 1; }
+# The query phase above must have advanced the run-stage histogram...
+run_count=$(sed -n 's/^qexec_stage_duration_seconds_count{stage="run"} //p' "$workdir/metrics")
+[ -n "$run_count" ] && [ "$run_count" -ge 1 ] \
+  || { echo "run-stage histogram count is '${run_count:-missing}', want >= 1" >&2; exit 1; }
+# ...and the engine's per-(algo, strategy) round histogram for sssp/road.
+round_count=$(sed -n 's/^engine_round_duration_seconds_count{algo="sssp",graph="road",strategy="[a-z_]*"} //p' "$workdir/metrics" | head -1)
+[ -n "$round_count" ] && [ "$round_count" -ge 1 ] \
+  || { echo "engine round histogram count is '${round_count:-missing}', want >= 1" >&2; exit 1; }
+# Runs counted by (algo, strategy) with ok status.
+grep -q '^engine_runs_total{algo="sssp",graph="road",status="ok",strategy="' "$workdir/metrics" \
+  || { echo "/metrics missing engine_runs_total for sssp/road" >&2; exit 1; }
+# Outcome and shed counters reflect the phases above.
+grep -q '^qexec_outcomes_total{code="ok"} ' "$workdir/metrics" \
+  || { echo "/metrics missing ok outcome counter" >&2; exit 1; }
+shed_total=$(sed -n 's/^qexec_shed_total //p' "$workdir/metrics")
+[ -n "$shed_total" ] && [ "$shed_total" -ge 1 ] \
+  || { echo "saturation phase recorded no sheds in /metrics (got '${shed_total:-missing}')" >&2; exit 1; }
+echo "metrics: run_count=$run_count round_count=$round_count shed_total=$shed_total"
+
+echo "== /debug/queries exports structured traces"
+curl -s http://127.0.0.1:18090/debug/queries >"$workdir/queries"
+grep -q '"enabled":true' "$workdir/queries" \
+  || { echo "/debug/queries not enabled" >&2; exit 1; }
+grep -q '"algo":"sssp"' "$workdir/queries" \
+  || { echo "/debug/queries carries no sssp trace" >&2; exit 1; }
+grep -q '"stages":' "$workdir/queries" \
+  || { echo "/debug/queries traces carry no stage timings" >&2; exit 1; }
 
 echo "== SIGTERM drains cleanly"
 kill -TERM "$pid"
