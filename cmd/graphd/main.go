@@ -8,18 +8,26 @@
 // that re-routes to a safe serial fallback schedule, and SIGTERM drains
 // gracefully (readiness flips, in-flight queries finish under a deadline).
 //
+// With -mutable, POST /update applies atomic edge-mutation batches (add /
+// remove / reweight) to directed graphs. Each batch advances the graph's
+// epoch; queries pin an epoch snapshot for their whole run and the result
+// cache is epoch-keyed, so in-flight and cached answers are never torn
+// across a mutation. A background compactor folds accumulated mutations
+// into a fresh CSR without interrupting serving.
+//
 // Usage:
 //
-//	graphd -graph road=road.bin -graph social=social.wel -addr :8090
+//	graphd -graph road=road.bin -graph social=social.wel -addr :8090 -mutable
 //	curl localhost:8090/readyz
 //	curl -d '{"algo":"sssp","graph":"road","src":0}' localhost:8090/query
+//	curl -d '{"graph":"road","ops":[{"op":"reweight","src":0,"dst":401,"w":3}]}' localhost:8090/update
 //	curl localhost:8090/statusz
 //	curl localhost:8090/metrics
 //	curl localhost:8090/debug/queries
 //
-// Endpoints: POST /query, GET /healthz, GET /readyz, GET /statusz,
-// GET /metrics (Prometheus text format), GET /debug/queries (recent
-// per-query structured traces).
+// Endpoints: POST /query, POST /update (with -mutable), GET /healthz,
+// GET /readyz, GET /statusz, GET /metrics (Prometheus text format),
+// GET /debug/queries (recent per-query structured traces).
 package main
 
 import (
@@ -59,6 +67,10 @@ func main() {
 		coalesce   = flag.Bool("coalesce", true, "coalesce concurrent identical queries into one engine run")
 		metricsOn  = flag.Bool("metrics", true, "serve Prometheus metrics at /metrics (per-stage and per-(algo, strategy) engine histograms)")
 		traceRing  = flag.Int("trace-ring", 256, "per-query structured traces retained for /debug/queries (0 disables)")
+		mutable    = flag.Bool("mutable", false, "accept edge-mutation batches at POST /update (directed graphs only)")
+		maxBatch   = flag.Int("max-batch-ops", 0, "max ops per /update batch (0 = livegraph default, 8192)")
+		maxOverlay = flag.Int("max-overlay-ops", 0, "un-compacted ops that trigger 429 backpressure (0 = default, 1048576)")
+		compactAt  = flag.Int("compact-threshold", 0, "overlay size that wakes the background compactor (0 = default, 16384)")
 	)
 	// Graph specs are collected during parse and loaded afterwards, so the
 	// -symmetrize flag applies regardless of flag order.
@@ -113,6 +125,10 @@ func main() {
 		Coalesce:         *coalesce,
 		Metrics:          *metricsOn,
 		TraceRing:        *traceRing,
+		Mutable:          *mutable,
+		MaxBatchOps:      *maxBatch,
+		MaxOverlayOps:    *maxOverlay,
+		CompactThreshold: *compactAt,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphd:", err)

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadBinary hardens the snapshot loader against untrusted bytes: no
+// input may panic or over-allocate, and anything that parses must be a
+// structurally valid CSR (Validate passes), since accepted graphs are
+// served to the engines without further checks.
+//
+// The seed corpus mirrors the corruption table in io_test.go — a valid
+// snapshot plus every mutation class the table enumerates, so the fuzzer
+// starts from each interesting boundary rather than rediscovering them.
+func FuzzReadBinary(f *testing.F) {
+	g, err := Build([]Edge{{0, 1, 5}, {1, 2, 3}, {2, 0, 4}}, BuildOptions{
+		Weighted: true, InEdges: true,
+		Coords: []Point{{0, 0}, {10, 0}, {0, 10}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mut := func(off int, v uint64) []byte {
+		d := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint64(d[off:], v)
+		return d
+	}
+	f.Add([]byte(nil))
+	f.Add(valid)
+	f.Add(valid[:20])                               // truncated mid-header
+	f.Add(valid[:40])                               // truncated mid-Off
+	f.Add(valid[:66])                               // truncated mid-Neigh
+	f.Add(valid[:len(valid)-1])                     // truncated last byte
+	f.Add(append(append([]byte(nil), valid...), 0)) // trailing byte
+	f.Add(mut(0, 0xdeadbeef))                       // bad magic
+	f.Add(mut(24, 1<<40))                           // unknown flag bit
+	f.Add(mut(8, 1<<40))                            // absurd vertex count
+	f.Add(mut(16, 1<<40))                           // absurd edge count
+	f.Add(mut(8, 2))                                // plausible lying vertex count
+	f.Add(mut(16, 2))                               // plausible lying edge count
+	f.Add(mut(32, ^uint64(0)))                      // negative offset
+	f.Add(mut(32+3*8, 99))                          // offsets exceed edges
+	d := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(d[64:], 99) // neighbor out of range
+	f.Add(d)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Exercise both paths: the seekable size-precheck path and the
+		// plain chunked path. The seekable path is strictly stricter (it
+		// additionally rejects trailing garbage), so anything it accepts
+		// the chunked path must also accept.
+		gs, errSeek := ReadBinary(bytes.NewReader(data))
+		gc, errChunk := ReadBinary(onlyReader{bytes.NewReader(data)})
+		if errSeek == nil && errChunk != nil {
+			t.Fatalf("seekable path accepted what the chunked path rejects: %v", errChunk)
+		}
+		for _, pg := range []*Graph{gs, gc} {
+			if pg == nil {
+				continue
+			}
+			if err := Validate(pg); err != nil {
+				t.Fatalf("accepted graph fails validation: %v", err)
+			}
+		}
+	})
+}
+
+// onlyReader strips io.Seeker so ReadBinary takes the chunked path.
+type onlyReader struct{ r *bytes.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }

@@ -1,0 +1,335 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file holds the CSR-level mutation primitives behind the live-graph
+// subsystem (internal/livegraph). A Graph stays immutable: ApplyDelta never
+// modifies its receiver — it produces a new Graph that shares every array
+// the delta leaves untouched (a weight-only delta shares all topology
+// arrays and copies only the weight vectors), so concurrently running
+// queries keep reading a frozen view while a new epoch is materialized
+// beside them.
+
+// Delta is one batch of edge changes, pre-resolved by the caller: the
+// per-(src, dst) sets must be disjoint, except that a Del and an Add for
+// the same pair together mean "replace". Parallel edges are addressed as a
+// group: Del removes every copy of (src, dst) and SetW rewrites every
+// copy's weight; Add requires the edge to be entirely absent.
+type Delta struct {
+	// Add inserts new edges (weights ignored for unweighted graphs).
+	Add []Edge
+	// Del removes existing edges (the W field is ignored).
+	Del []Edge
+	// SetW rewrites the weights of existing edges (weighted graphs only).
+	SetW []Edge
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool {
+	return len(d.Add) == 0 && len(d.Del) == 0 && len(d.SetW) == 0
+}
+
+// weightOnly reports that the delta leaves the topology untouched.
+func (d *Delta) weightOnly() bool { return len(d.Add) == 0 && len(d.Del) == 0 }
+
+// edgeKey packs a (src, dst) pair for map indexing.
+func edgeKey(s, d VertexID) uint64 { return uint64(s)<<32 | uint64(d) }
+
+// ApplyDelta materializes g ⊕ d as a new Graph, leaving g untouched. The
+// result shares g's unchanged arrays: a weight-only delta copies just Wts
+// (and InWts), a topology delta rebuilds the out-CSR by a per-vertex merge
+// (no global sort) and re-derives the in-CSR when g has one. Coordinates
+// are shared. The delta is validated against g — a missing Del/SetW target,
+// a duplicate Add, an out-of-range endpoint, or a negative weight is an
+// error and g is returned unmodified in spirit (the new graph is never
+// half-built into the old one's arrays).
+//
+// Symmetric graphs are rejected: a single-direction edit would silently
+// break the symmetry invariant kcore/setcover rely on.
+func ApplyDelta(g *Graph, d Delta) (*Graph, error) {
+	if g.symmetric {
+		return nil, fmt.Errorf("graph: cannot mutate a symmetrized graph")
+	}
+	if d.Empty() {
+		ng := *g
+		return &ng, nil
+	}
+	n := VertexID(g.n)
+	for _, e := range d.Add {
+		if e.Src >= n || e.Dst >= n {
+			return nil, fmt.Errorf("graph: add %d->%d out of range (graph has %d vertices)", e.Src, e.Dst, g.n)
+		}
+		if g.Weighted() && e.W < 0 {
+			return nil, fmt.Errorf("graph: add %d->%d with negative weight %d", e.Src, e.Dst, e.W)
+		}
+	}
+	for _, e := range d.Del {
+		if e.Src >= n || e.Dst >= n {
+			return nil, fmt.Errorf("graph: remove %d->%d out of range (graph has %d vertices)", e.Src, e.Dst, g.n)
+		}
+	}
+	if len(d.SetW) > 0 && !g.Weighted() {
+		return nil, fmt.Errorf("graph: cannot reweight an unweighted graph")
+	}
+	for _, e := range d.SetW {
+		if e.Src >= n || e.Dst >= n {
+			return nil, fmt.Errorf("graph: reweight %d->%d out of range (graph has %d vertices)", e.Src, e.Dst, g.n)
+		}
+		if e.W < 0 {
+			return nil, fmt.Errorf("graph: reweight %d->%d to negative weight %d", e.Src, e.Dst, e.W)
+		}
+	}
+
+	if d.weightOnly() {
+		return patchWeights(g, d.SetW)
+	}
+	return splice(g, d)
+}
+
+// patchWeights is the reweight fast path: copy the weight vectors, share
+// every topology array.
+func patchWeights(g *Graph, setw []Edge) (*Graph, error) {
+	ng := *g
+	ng.Wts = append([]Weight(nil), g.Wts...)
+	if g.InWts != nil {
+		ng.InWts = append([]Weight(nil), g.InWts...)
+	}
+	for _, e := range setw {
+		found := false
+		base := g.Off[e.Src]
+		for i, dst := range g.OutNeigh(e.Src) {
+			if dst == e.Dst {
+				ng.Wts[base+int64(i)] = e.W
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("graph: reweight %d->%d: edge does not exist", e.Src, e.Dst)
+		}
+		if ng.InWts != nil {
+			inBase := g.InOff[e.Dst]
+			for i, src := range g.InNeighbors(e.Dst) {
+				if src == e.Src {
+					ng.InWts[inBase+int64(i)] = e.W
+				}
+			}
+		}
+	}
+	return &ng, nil
+}
+
+// splice rebuilds the out-CSR with d's topology changes merged in, one
+// linear pass over the old arrays, then re-derives the in-CSR.
+func splice(g *Graph, d Delta) (*Graph, error) {
+	addBySrc := make(map[VertexID][]Edge, len(d.Add))
+	for _, e := range d.Add {
+		addBySrc[e.Src] = append(addBySrc[e.Src], e)
+	}
+	for _, adds := range addBySrc {
+		sort.Slice(adds, func(i, j int) bool { return adds[i].Dst < adds[j].Dst })
+	}
+	dels := make(map[uint64]bool, len(d.Del))
+	for _, e := range d.Del {
+		dels[edgeKey(e.Src, e.Dst)] = false // false = not yet matched
+	}
+	setw := make(map[uint64]Weight, len(d.SetW))
+	setwHit := make(map[uint64]bool, len(d.SetW))
+	for _, e := range d.SetW {
+		setw[edgeKey(e.Src, e.Dst)] = e.W
+	}
+	// An Add must target an absent edge — unless the same delta Dels it
+	// first (replace).
+	for _, e := range d.Add {
+		k := edgeKey(e.Src, e.Dst)
+		if _, replaced := dels[k]; replaced {
+			continue
+		}
+		for _, dst := range g.OutNeigh(e.Src) {
+			if dst == e.Dst {
+				return nil, fmt.Errorf("graph: add %d->%d: edge already exists", e.Src, e.Dst)
+			}
+		}
+	}
+
+	ng := &Graph{
+		n:     g.n,
+		Off:   make([]int64, g.n+1),
+		Neigh: make([]VertexID, 0, g.m+len(d.Add)),
+		Coord: g.Coord,
+	}
+	weighted := g.Weighted()
+	if weighted {
+		ng.Wts = make([]Weight, 0, g.m+len(d.Add))
+	}
+	for v := 0; v < g.n; v++ {
+		src := VertexID(v)
+		adj := g.OutNeigh(src)
+		wts := g.OutWts(src)
+		adds := addBySrc[src]
+		ai := 0
+		for i, dst := range adj {
+			// Keep per-vertex dst order stable for sorted bases: pending
+			// adds with a smaller dst go first. (Unsorted bases stay valid —
+			// CSR correctness does not depend on adjacency order.)
+			for ai < len(adds) && adds[ai].Dst < dst {
+				ng.Neigh = append(ng.Neigh, adds[ai].Dst)
+				if weighted {
+					ng.Wts = append(ng.Wts, adds[ai].W)
+				}
+				ai++
+			}
+			k := edgeKey(src, dst)
+			if _, ok := dels[k]; ok {
+				dels[k] = true
+				continue
+			}
+			var w Weight
+			if weighted {
+				w = wts[i]
+				if nw, ok := setw[k]; ok {
+					w = nw
+					setwHit[k] = true
+				}
+			}
+			ng.Neigh = append(ng.Neigh, dst)
+			if weighted {
+				ng.Wts = append(ng.Wts, w)
+			}
+		}
+		for ; ai < len(adds); ai++ {
+			ng.Neigh = append(ng.Neigh, adds[ai].Dst)
+			if weighted {
+				ng.Wts = append(ng.Wts, adds[ai].W)
+			}
+		}
+		ng.Off[v+1] = int64(len(ng.Neigh))
+	}
+	for _, e := range d.Del {
+		if !dels[edgeKey(e.Src, e.Dst)] {
+			return nil, fmt.Errorf("graph: remove %d->%d: edge does not exist", e.Src, e.Dst)
+		}
+	}
+	for _, e := range d.SetW {
+		k := edgeKey(e.Src, e.Dst)
+		if _, deleted := dels[k]; deleted {
+			continue // reweight of a replaced edge is carried by its Add
+		}
+		if !setwHit[k] {
+			return nil, fmt.Errorf("graph: reweight %d->%d: edge does not exist", e.Src, e.Dst)
+		}
+	}
+	ng.m = len(ng.Neigh)
+	if g.HasInEdges() {
+		buildInEdges(ng)
+	}
+	return ng, nil
+}
+
+// Clone deep-copies g: the result shares no memory with the original. The
+// torn-read drills freeze a snapshot with it and compare query results
+// byte for byte.
+func Clone(g *Graph) *Graph {
+	ng := *g
+	ng.Off = append([]int64(nil), g.Off...)
+	ng.Neigh = append([]VertexID(nil), g.Neigh...)
+	if g.Wts != nil {
+		ng.Wts = append([]Weight(nil), g.Wts...)
+	}
+	if g.InOff != nil {
+		ng.InOff = append([]int64(nil), g.InOff...)
+		ng.InNeigh = append([]VertexID(nil), g.InNeigh...)
+		if g.InWts != nil {
+			ng.InWts = append([]Weight(nil), g.InWts...)
+		}
+	}
+	if g.Coord != nil {
+		ng.Coord = append([]Point(nil), g.Coord...)
+	}
+	return &ng
+}
+
+// Validate checks the structural invariants of g: offset monotonicity and
+// bounds on both CSR halves, weight/coordinate vector lengths, and in/out
+// edge-count agreement. The live-graph compactor runs it as the
+// pre-compaction audit — an incremental splice that ever produced a
+// structurally invalid view fails here instead of being folded into a new
+// base.
+func Validate(g *Graph) error {
+	if len(g.Off) != g.n+1 {
+		return fmt.Errorf("graph: Off has %d entries for %d vertices", len(g.Off), g.n)
+	}
+	if len(g.Neigh) != g.m {
+		return fmt.Errorf("graph: Neigh has %d entries for %d edges", len(g.Neigh), g.m)
+	}
+	if err := validateCSR(g.Off, g.Neigh, g.n, g.m, "out"); err != nil {
+		return err
+	}
+	if g.Wts != nil && len(g.Wts) != g.m {
+		return fmt.Errorf("graph: Wts has %d entries for %d edges", len(g.Wts), g.m)
+	}
+	if g.HasInEdges() {
+		if len(g.InOff) != g.n+1 {
+			return fmt.Errorf("graph: InOff has %d entries for %d vertices", len(g.InOff), g.n)
+		}
+		if len(g.InNeigh) != g.m {
+			return fmt.Errorf("graph: in-CSR holds %d edges, out-CSR %d", len(g.InNeigh), g.m)
+		}
+		if err := validateCSR(g.InOff, g.InNeigh, g.n, g.m, "in"); err != nil {
+			return err
+		}
+		if g.InWts != nil && len(g.InWts) != g.m {
+			return fmt.Errorf("graph: InWts has %d entries for %d edges", len(g.InWts), g.m)
+		}
+	}
+	if g.Coord != nil && len(g.Coord) != g.n {
+		return fmt.Errorf("graph: %d coords for %d vertices", len(g.Coord), g.n)
+	}
+	return nil
+}
+
+// HasEdge reports whether at least one (src, dst) edge exists. Callers
+// must bounds-check src themselves.
+func (g *Graph) HasEdge(src, dst VertexID) bool {
+	for _, d := range g.OutNeigh(src) {
+		if d == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// Fingerprint hashes every array of g (FNV-1a). The mutation drills use it
+// to prove a pinned snapshot's arrays are never written while queries run.
+func Fingerprint(g *Graph) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(uint64(g.n))
+	mix(uint64(g.m))
+	for _, v := range g.Off {
+		mix(uint64(v))
+	}
+	for _, v := range g.Neigh {
+		mix(uint64(v))
+	}
+	for _, v := range g.Wts {
+		mix(uint64(uint32(v)))
+	}
+	for _, v := range g.InOff {
+		mix(uint64(v))
+	}
+	for _, v := range g.InNeigh {
+		mix(uint64(v))
+	}
+	for _, v := range g.InWts {
+		mix(uint64(uint32(v)))
+	}
+	return h
+}

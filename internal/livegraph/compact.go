@@ -1,0 +1,211 @@
+package livegraph
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"graphit/internal/graph"
+)
+
+// errStale reports that mutation batches landed while a compaction was
+// rebuilding — the rebuilt graph describes an older epoch and must be
+// discarded. Not a failure: the loop immediately retries against the new
+// tip.
+var errStale = errors.New("livegraph: compaction raced a mutation, retrying")
+
+// wake nudges the compactor goroutine, starting it on first use. Lazy
+// start keeps read-only Lives (every graph wrapped by a static serving
+// path) free of background goroutines.
+func (l *Live) wake() {
+	l.loopOnce.Do(func() {
+		l.wg.Add(1)
+		go l.compactLoop()
+	})
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// CompactNow folds the overlay synchronously, retrying internally if a
+// concurrent batch makes the rebuild stale. It returns the first real
+// failure (after containment) without retrying it — the background loop
+// owns backoff-retry; tests and operators get the error directly.
+func (l *Live) CompactNow() error {
+	for {
+		err := l.compactOnce()
+		if errors.Is(err, errStale) {
+			continue
+		}
+		return err
+	}
+}
+
+// compactLoop is the background compactor: wait for a kick, fold the
+// overlay, and on failure retry with exponential backoff while the
+// current epoch keeps serving untouched.
+func (l *Live) compactLoop() {
+	defer l.wg.Done()
+	backoff := l.cfg.CompactBackoff
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.kick:
+		}
+		for {
+			err := l.compactOnce()
+			if err == nil {
+				backoff = l.cfg.CompactBackoff
+				break
+			}
+			if errors.Is(err, errStale) {
+				continue // a batch landed mid-rebuild; retry immediately
+			}
+			select {
+			case <-l.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > l.cfg.CompactMaxBackoff {
+				backoff = l.cfg.CompactMaxBackoff
+			}
+		}
+	}
+}
+
+// compactOnce rebuilds the current snapshot's graph into pristine CSR
+// arrays and swaps it in, keeping the same epoch (compaction is
+// content-preserving). The rebuild runs under panic containment with a
+// structural audit on both sides: the incremental graph is validated
+// before it is trusted as the rebuild source, and the rebuilt graph is
+// validated before it is allowed to serve.
+func (l *Live) compactOnce() (err error) {
+	l.mu.Lock()
+	if l.closed || l.cur == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	if len(l.log) == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	snap := l.cur
+	snap.refs.Add(1) // pin the rebuild source
+	startEpoch := l.epoch
+	l.mu.Unlock()
+	defer snap.Release()
+
+	attempt := l.compactAttempts.Add(1)
+	start := time.Now()
+	fresh, err := l.rebuild(snap.Graph(), attempt)
+	if err != nil {
+		l.compactFailures.Add(1)
+		l.lastCompactErr.Store(err.Error())
+		if l.mCompactFailures != nil {
+			l.mCompactFailures.Inc()
+		}
+		if l.cfg.OnCompact != nil {
+			l.cfg.OnCompact(err)
+		}
+		return err
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.epoch != startEpoch {
+		l.mu.Unlock()
+		return errStale
+	}
+	if l.cfg.FaultHook != nil {
+		// The swap checkpoint fires under the lock on purpose: an
+		// injected panic here would poison the Live, which is exactly the
+		// containment property rebuild()'s recover is NOT covering — so
+		// fire-and-release before mutating any state.
+		hook := l.cfg.FaultHook
+		l.mu.Unlock()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("livegraph: compaction panic at swap: %v", r)
+				}
+			}()
+			hook(PhaseCompactSwap, attempt, 0)
+		}()
+		if err != nil {
+			l.compactFailures.Add(1)
+			l.lastCompactErr.Store(err.Error())
+			if l.mCompactFailures != nil {
+				l.mCompactFailures.Inc()
+			}
+			if l.cfg.OnCompact != nil {
+				l.cfg.OnCompact(err)
+			}
+			return err
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.epoch != startEpoch {
+			l.mu.Unlock()
+			return errStale
+		}
+	}
+	old := l.cur
+	l.cur = l.newSnapshot(startEpoch, fresh)
+	l.log = nil
+	l.mu.Unlock()
+	old.Release()
+
+	l.compactions.Add(1)
+	l.lastCompactErr.Store("")
+	if l.mCompactions != nil {
+		l.mCompactions.Inc()
+		l.mCompactDur.Observe(time.Since(start).Seconds())
+	}
+	if l.cfg.OnCompact != nil {
+		l.cfg.OnCompact(nil)
+	}
+	return nil
+}
+
+// rebuild audits src and reconstructs it from scratch through the batch
+// builder, under panic containment. Any panic — injected or real —
+// becomes an error and the caller keeps serving the current epoch.
+func (l *Live) rebuild(src *graph.Graph, attempt int64) (fresh *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fresh = nil
+			err = fmt.Errorf("livegraph: compaction panic: %v", r)
+		}
+	}()
+	if l.cfg.FaultHook != nil {
+		l.cfg.FaultHook(PhaseCompactBuild, attempt, 0)
+	}
+	if err := graph.Validate(src); err != nil {
+		return nil, fmt.Errorf("livegraph: pre-compaction audit: %w", err)
+	}
+	fresh, err = graph.Build(src.Edges(), graph.BuildOptions{
+		NumVertices: src.NumVertices(),
+		Weighted:    src.Weighted(),
+		InEdges:     src.HasInEdges(),
+		Coords:      src.Coord,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("livegraph: compaction rebuild: %w", err)
+	}
+	if fresh.NumEdges() != src.NumEdges() {
+		return nil, fmt.Errorf("livegraph: compaction changed edge count: %d -> %d",
+			src.NumEdges(), fresh.NumEdges())
+	}
+	if err := graph.Validate(fresh); err != nil {
+		return nil, fmt.Errorf("livegraph: post-compaction audit: %w", err)
+	}
+	return fresh, nil
+}

@@ -1,0 +1,409 @@
+package livegraph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"graphit/internal/faults"
+	"graphit/internal/graph"
+	"graphit/internal/obs"
+	"graphit/internal/testutil"
+)
+
+// newTestLive builds a live graph over a small weighted directed base:
+//
+//	0 -> 1 (w 5), 0 -> 2 (w 3), 1 -> 2 (w 1), 2 -> 0 (w 7), 3 isolated
+func newTestLive(t *testing.T, cfg Config) *Live {
+	t.Helper()
+	g, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1, W: 5}, {Src: 0, Dst: 2, W: 3},
+		{Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 0, W: 7},
+	}, graph.BuildOptions{NumVertices: 4, Weighted: true, InEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New("test", g, cfg)
+}
+
+func weightOf(g *graph.Graph, src, dst graph.VertexID) (graph.Weight, bool) {
+	ws := g.OutWts(src)
+	for i, d := range g.OutNeigh(src) {
+		if d == dst {
+			return ws[i], true
+		}
+	}
+	return 0, false
+}
+
+func TestApplyBatchAdvancesEpochAndIsolatesSnapshots(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	l := newTestLive(t, Config{})
+	defer l.Close()
+
+	s0 := l.Acquire()
+	if s0 == nil || s0.Epoch() != 0 {
+		t.Fatalf("initial snapshot = %v", s0)
+	}
+	fp0 := graph.Fingerprint(s0.Graph())
+
+	res, err := l.ApplyBatch([]Op{
+		{Kind: OpReweight, Src: 0, Dst: 1, W: 50},
+		{Kind: OpAdd, Src: 3, Dst: 0, W: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.Applied != 2 || res.OverlayOps != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// The pinned epoch-0 snapshot is untouched, byte for byte.
+	if graph.Fingerprint(s0.Graph()) != fp0 {
+		t.Fatal("epoch-0 snapshot mutated by a batch")
+	}
+	if w, ok := weightOf(s0.Graph(), 0, 1); !ok || w != 5 {
+		t.Fatalf("old snapshot sees new weight: %d", w)
+	}
+
+	s1 := l.Acquire()
+	if s1.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", s1.Epoch())
+	}
+	if w, _ := weightOf(s1.Graph(), 0, 1); w != 50 {
+		t.Fatalf("new snapshot weight 0->1 = %d, want 50", w)
+	}
+	if !s1.Graph().HasEdge(3, 0) {
+		t.Fatal("new snapshot missing added edge")
+	}
+	s0.Release()
+	s1.Release()
+}
+
+func TestSequentialBatchSemantics(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	l := newTestLive(t, Config{})
+	defer l.Close()
+
+	// add → reweight → remove of a new edge nets out to nothing.
+	res, err := l.ApplyBatch([]Op{
+		{Kind: OpAdd, Src: 3, Dst: 1, W: 9},
+		{Kind: OpReweight, Src: 3, Dst: 1, W: 4},
+		{Kind: OpRemove, Src: 3, Dst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Acquire()
+	if s.Graph().HasEdge(3, 1) {
+		t.Fatal("cancelled add still present")
+	}
+	if s.Epoch() != res.Epoch {
+		t.Fatalf("epoch mismatch %d vs %d", s.Epoch(), res.Epoch)
+	}
+	s.Release()
+
+	// remove → add replaces an existing edge's weight.
+	if _, err := l.ApplyBatch([]Op{
+		{Kind: OpRemove, Src: 0, Dst: 1},
+		{Kind: OpAdd, Src: 0, Dst: 1, W: 77},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s = l.Acquire()
+	if w, ok := weightOf(s.Graph(), 0, 1); !ok || w != 77 {
+		t.Fatalf("replace: weight 0->1 = %d ok=%v, want 77", w, ok)
+	}
+	s.Release()
+}
+
+func TestApplyBatchValidation(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	l := newTestLive(t, Config{MaxBatchOps: 4, MaxOverlayOps: 6})
+	defer l.Close()
+
+	cases := []struct {
+		name string
+		ops  []Op
+		want error
+	}{
+		{"empty", nil, ErrValidation},
+		{"duplicate add", []Op{{Kind: OpAdd, Src: 0, Dst: 1, W: 1}}, ErrValidation},
+		{"double add in batch", []Op{{Kind: OpAdd, Src: 3, Dst: 1, W: 1}, {Kind: OpAdd, Src: 3, Dst: 1, W: 2}}, ErrValidation},
+		{"remove missing", []Op{{Kind: OpRemove, Src: 3, Dst: 1}}, ErrValidation},
+		{"reweight missing", []Op{{Kind: OpReweight, Src: 3, Dst: 1, W: 1}}, ErrValidation},
+		{"out of range", []Op{{Kind: OpAdd, Src: 0, Dst: 99, W: 1}}, ErrValidation},
+		{"negative weight", []Op{{Kind: OpAdd, Src: 3, Dst: 1, W: -1}}, ErrValidation},
+		{"unknown kind", []Op{{Kind: 0, Src: 0, Dst: 1}}, ErrValidation},
+		{"too large", []Op{{}, {}, {}, {}, {}}, ErrBatchTooLarge},
+	}
+	for _, tc := range cases {
+		if _, err := l.ApplyBatch(tc.ops); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if l.Epoch() != 0 {
+		t.Fatalf("failed batches advanced the epoch to %d", l.Epoch())
+	}
+
+	// Overlay cap: 6 ops of room, two 3-op batches fit, the third doesn't.
+	mk := func(dst graph.VertexID) []Op {
+		return []Op{
+			{Kind: OpAdd, Src: 3, Dst: dst, W: 1},
+			{Kind: OpReweight, Src: 3, Dst: dst, W: 2},
+			{Kind: OpRemove, Src: 3, Dst: dst},
+		}
+	}
+	if _, err := l.ApplyBatch(mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ApplyBatch(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ApplyBatch(mk(2)); !errors.Is(err, ErrOverlayFull) {
+		t.Fatalf("overlay cap: err = %v, want ErrOverlayFull", err)
+	}
+}
+
+func TestImmutableAndClosed(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	g, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1, W: 5}},
+		graph.BuildOptions{NumVertices: 2, Weighted: true, Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := New("sym", g, Config{})
+	defer sym.Close()
+	if sym.Mutable() {
+		t.Fatal("symmetrized graph reported mutable")
+	}
+	if _, err := sym.ApplyBatch([]Op{{Kind: OpReweight, Src: 0, Dst: 1, W: 2}}); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("err = %v, want ErrImmutable", err)
+	}
+
+	l := newTestLive(t, Config{})
+	l.Close()
+	l.Close() // idempotent
+	if _, err := l.ApplyBatch([]Op{{Kind: OpReweight, Src: 0, Dst: 1, W: 2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if s := l.Acquire(); s != nil {
+		t.Fatal("Acquire after Close returned a snapshot")
+	}
+}
+
+func TestSnapshotReclaimedExactlyOnLastRelease(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	var reclaimed []uint64
+	ch := make(chan uint64, 16)
+	l := newTestLive(t, Config{OnReclaim: func(e uint64) { ch <- e }})
+
+	s0a := l.Acquire()
+	s0b := l.Acquire()
+	if _, err := l.ApplyBatch([]Op{{Kind: OpReweight, Src: 0, Dst: 1, W: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 0 has two outstanding query refs; the owner ref was dropped by
+	// the batch. Nothing reclaimed yet.
+	select {
+	case e := <-ch:
+		t.Fatalf("epoch %d reclaimed while refs outstanding", e)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s0a.Release()
+	select {
+	case e := <-ch:
+		t.Fatalf("epoch %d reclaimed with one ref outstanding", e)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s0b.Release() // last ref: reclamation happens exactly here
+	select {
+	case e := <-ch:
+		reclaimed = append(reclaimed, e)
+	case <-time.After(time.Second):
+		t.Fatal("epoch 0 never reclaimed")
+	}
+	if len(reclaimed) != 1 || reclaimed[0] != 0 {
+		t.Fatalf("reclaimed = %v, want [0]", reclaimed)
+	}
+	if got := l.active.Load(); got != 1 {
+		t.Fatalf("active snapshots = %d, want 1 (current epoch)", got)
+	}
+	l.Close()
+	select {
+	case e := <-ch:
+		if e != 1 {
+			t.Fatalf("close reclaimed epoch %d, want 1", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("current epoch never reclaimed on Close")
+	}
+	if got := l.active.Load(); got != 0 {
+		t.Fatalf("active snapshots after Close = %d, want 0", got)
+	}
+}
+
+func TestCompactionFoldsOverlayAndKeepsEpoch(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	l := newTestLive(t, Config{})
+	defer l.Close()
+
+	if _, err := l.ApplyBatch([]Op{{Kind: OpAdd, Src: 3, Dst: 2, W: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ApplyBatch([]Op{{Kind: OpReweight, Src: 0, Dst: 2, W: 30}}); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Acquire()
+	if err := l.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Acquire()
+
+	st := l.Status()
+	if st.OverlayOps != 0 {
+		t.Fatalf("overlay not folded: %d ops", st.OverlayOps)
+	}
+	if st.Compactions != 1 || st.CompactionFailures != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	// Content-preserving: same epoch, same logical graph, fresh arrays.
+	if after.Epoch() != before.Epoch() {
+		t.Fatalf("compaction changed epoch %d -> %d", before.Epoch(), after.Epoch())
+	}
+	if after.Graph() == before.Graph() {
+		t.Fatal("compaction did not swap the graph")
+	}
+	if w, _ := weightOf(after.Graph(), 0, 2); w != 30 {
+		t.Fatalf("compacted weight 0->2 = %d, want 30", w)
+	}
+	if !after.Graph().HasEdge(3, 2) {
+		t.Fatal("compacted graph lost added edge")
+	}
+	if err := graph.Validate(after.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	before.Release()
+	after.Release()
+
+	// Idempotent on an empty overlay.
+	if err := l.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Status().Compactions; got != 1 {
+		t.Fatalf("empty-overlay compaction ran anyway (count %d)", got)
+	}
+}
+
+func TestCompactionPanicIsContainedAndRetried(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	for _, phase := range []string{PhaseCompactBuild, PhaseCompactSwap} {
+		t.Run(phase, func(t *testing.T) {
+			inj := faults.New(faults.PanicAt(phase, 1, "injected compaction fault"))
+			reg := obs.NewRegistry()
+			l := newTestLive(t, Config{Metrics: reg, FaultHook: inj.Hook()})
+			defer l.Close()
+
+			if _, err := l.ApplyBatch([]Op{{Kind: OpReweight, Src: 0, Dst: 1, W: 9}}); err != nil {
+				t.Fatal(err)
+			}
+			pinned := l.Acquire()
+
+			// First attempt panics at the injected checkpoint; containment
+			// turns it into an error and serving is untouched.
+			err := l.CompactNow()
+			if err == nil || !strings.Contains(err.Error(), "injected compaction fault") {
+				t.Fatalf("err = %v, want contained injected panic", err)
+			}
+			st := l.Status()
+			if st.CompactionFailures != 1 || st.Compactions != 0 {
+				t.Fatalf("status after panic = %+v", st)
+			}
+			if st.LastCompactError == "" {
+				t.Fatal("last compact error not recorded")
+			}
+			// Queries still serve the current epoch.
+			s := l.Acquire()
+			if s == nil || s.Epoch() != 1 {
+				t.Fatalf("serving disrupted: snapshot %v", s)
+			}
+			if w, _ := weightOf(s.Graph(), 0, 1); w != 9 {
+				t.Fatalf("current epoch weight = %d, want 9", w)
+			}
+			s.Release()
+			pinned.Release()
+
+			// The retry succeeds (the trigger was one-shot).
+			if err := l.CompactNow(); err != nil {
+				t.Fatalf("retry failed: %v", err)
+			}
+			st = l.Status()
+			if st.Compactions != 1 || st.OverlayOps != 0 {
+				t.Fatalf("status after retry = %+v", st)
+			}
+			if st.LastCompactError != "" {
+				t.Fatalf("last compact error not cleared: %q", st.LastCompactError)
+			}
+			var buf strings.Builder
+			if err := reg.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{
+				`livegraph_compaction_failures_total{graph="test"} 1`,
+				`livegraph_compactions_total{graph="test"} 1`,
+				`livegraph_epoch{graph="test"} 1`,
+				`livegraph_overlay_ops{graph="test"} 0`,
+			} {
+				if !strings.Contains(buf.String(), want) {
+					t.Errorf("metrics missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+func TestBackgroundCompactorWakesOnThreshold(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	done := make(chan error, 4)
+	l := newTestLive(t, Config{
+		CompactThreshold: 2,
+		OnCompact:        func(err error) { done <- err },
+	})
+	defer l.Close()
+
+	if _, err := l.ApplyBatch([]Op{
+		{Kind: OpReweight, Src: 0, Dst: 1, W: 9},
+		{Kind: OpReweight, Src: 0, Dst: 2, W: 9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("background compaction failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("background compactor never ran")
+	}
+	if st := l.Status(); st.OverlayOps != 0 || st.Compactions < 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestStatusCounters(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	l := newTestLive(t, Config{})
+	defer l.Close()
+	if _, err := l.ApplyBatch([]Op{
+		{Kind: OpAdd, Src: 3, Dst: 0, W: 1},
+		{Kind: OpReweight, Src: 0, Dst: 1, W: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.Name != "test" || !st.Mutable || st.Epoch != 1 ||
+		st.Batches != 1 || st.OpsApplied != 2 || st.OverlayOps != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+}

@@ -1,0 +1,481 @@
+// Package livegraph serves a mutating graph with snapshot isolation.
+//
+// A Live wraps the immutable CSR substrate (internal/graph) with a batched
+// mutation log and epoch-numbered, refcounted snapshot handles. Queries
+// Acquire a snapshot at plan time and hold it for their whole run: the
+// graph a query reads is frozen — mutation batches materialize a *new*
+// graph beside it (sharing unchanged arrays) and advance the epoch with a
+// pointer swap, so a concurrent reader can never observe a torn view.
+//
+// A background compactor folds the accumulated overlay into a pristine
+// rebuilt CSR (sorted adjacency, fresh arrays, validated both halves)
+// behind the same swap. The compactor runs under panic containment: a
+// compaction fault — including an injected panic — degrades to "keep
+// serving the current epoch, retry with backoff", never an outage. If
+// compaction keeps failing, the overlay cap (MaxOverlayOps) turns into
+// backpressure (ErrOverlayFull) rather than unbounded memory growth.
+//
+// Ownership rules (see DESIGN.md §11):
+//   - Live owns exactly one reference to the current snapshot; every
+//     Acquire adds one and must be paired with exactly one Release.
+//   - A snapshot is reclaimed (counted out of snapshots_active) at the
+//     moment its last reference is released — never earlier, never later.
+//   - Epochs only advance on mutation. Compaction is content-preserving
+//     and keeps the epoch, so epoch-keyed result caches stay warm across
+//     compactions and can never serve a stale answer across a mutation.
+package livegraph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphit/internal/core"
+	"graphit/internal/graph"
+	"graphit/internal/histogram"
+	"graphit/internal/obs"
+)
+
+// Sentinel errors, ordered roughly by how the transport maps them:
+// validation failures are client errors (400), ErrBatchTooLarge is a
+// client error with a documented limit (400), ErrOverlayFull is
+// backpressure (429 + Retry-After), ErrImmutable is a conflict with the
+// graph's build mode (409), ErrClosed means the server is draining (503).
+var (
+	ErrValidation    = errors.New("livegraph: invalid batch")
+	ErrBatchTooLarge = errors.New("livegraph: batch exceeds max ops")
+	ErrOverlayFull   = errors.New("livegraph: overlay full, retry after compaction")
+	ErrImmutable     = errors.New("livegraph: graph is immutable")
+	ErrClosed        = errors.New("livegraph: closed")
+)
+
+// Compaction checkpoint phases, fired through the configured
+// core.FaultHook so internal/faults can inject panics/delays at them.
+// The round argument carries the compaction attempt number (1-based,
+// monotone per Live) — deliberately not the epoch, so a repeating
+// injection can never pin one epoch into permanent failure: the retry
+// is a new round and gets a fresh roll.
+const (
+	PhaseCompactBuild = "livegraph_compact_build"
+	PhaseCompactSwap  = "livegraph_compact_swap"
+)
+
+// OpKind enumerates mutation operations.
+type OpKind uint8
+
+const (
+	OpAdd OpKind = iota + 1
+	OpRemove
+	OpReweight
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpReweight:
+		return "reweight"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one edge mutation. Ops within a batch apply sequentially: add
+// then reweight adjusts the pending add, add then remove cancels out,
+// remove then add replaces the edge. W is ignored for OpRemove and for
+// adds to unweighted graphs.
+type Op struct {
+	Kind OpKind
+	Src  graph.VertexID
+	Dst  graph.VertexID
+	W    graph.Weight
+}
+
+// Config tunes a Live. The zero value is usable: defaults are filled in
+// by New.
+type Config struct {
+	// MaxBatchOps caps a single ApplyBatch (default 8192).
+	MaxBatchOps int
+	// MaxOverlayOps caps un-compacted ops before ApplyBatch returns
+	// ErrOverlayFull (default 1<<20).
+	MaxOverlayOps int
+	// CompactThreshold is the overlay size that wakes the compactor
+	// (default 16384). Compaction also runs on explicit CompactNow.
+	CompactThreshold int
+	// CompactBackoff / CompactMaxBackoff bound the retry schedule after a
+	// failed compaction (defaults 100ms / 5s).
+	CompactBackoff    time.Duration
+	CompactMaxBackoff time.Duration
+	// Metrics, when non-nil, receives livegraph_* series labeled by graph.
+	Metrics *obs.Registry
+	// FaultHook, when non-nil, is fired at the Phase* checkpoints; tests
+	// install an internal/faults Injector here.
+	FaultHook core.FaultHook
+	// OnReclaim, when non-nil, is called each time a snapshot's last
+	// reference is released (drills assert reclamation exactness).
+	OnReclaim func(epoch uint64)
+	// OnCompact, when non-nil, is called after each compaction attempt
+	// with nil on success or the contained error.
+	OnCompact func(err error)
+}
+
+func (c *Config) fill() {
+	if c.MaxBatchOps <= 0 {
+		c.MaxBatchOps = 8192
+	}
+	if c.MaxOverlayOps <= 0 {
+		c.MaxOverlayOps = 1 << 20
+	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 16384
+	}
+	if c.CompactBackoff <= 0 {
+		c.CompactBackoff = 100 * time.Millisecond
+	}
+	if c.CompactMaxBackoff <= 0 {
+		c.CompactMaxBackoff = 5 * time.Second
+	}
+}
+
+// Snapshot is a refcounted handle on one epoch's graph. The graph behind
+// it is immutable for the handle's lifetime; Release it exactly once.
+type Snapshot struct {
+	l     *Live
+	epoch uint64
+	g     *graph.Graph
+	refs  atomic.Int64
+}
+
+// Graph returns the frozen graph this handle pins.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Epoch returns the epoch number this handle pins.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Release drops one reference. When the last reference goes, the snapshot
+// is reclaimed (snapshots_active decremented, OnReclaim fired). Releasing
+// more times than acquired panics — that is a refcount bug, not a
+// recoverable condition.
+func (s *Snapshot) Release() {
+	n := s.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("livegraph: snapshot over-released")
+	}
+	s.l.active.Add(-1)
+	if s.l.cfg.OnReclaim != nil {
+		s.l.cfg.OnReclaim(s.epoch)
+	}
+}
+
+// Live is a mutable graph served through immutable snapshots. All methods
+// are safe for concurrent use.
+type Live struct {
+	name    string
+	mutable bool
+	cfg     Config
+
+	mu     sync.Mutex
+	cur    *Snapshot // holds one owner reference; nil after Close
+	epoch  uint64
+	log    []Op // ops applied since the overlay was last folded
+	closed bool
+
+	active atomic.Int64 // live snapshot handles (unreclaimed)
+
+	loopOnce sync.Once
+	kick     chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	batches         atomic.Int64
+	opsApplied      atomic.Int64
+	compactAttempts atomic.Int64
+	compactions     atomic.Int64
+	compactFailures atomic.Int64
+	lastCompactErr  atomic.Value // string
+
+	mBatches, mCompactions, mCompactFailures *obs.Counter
+	mOps                                     map[OpKind]*obs.Counter
+	mCompactDur                              *obs.Histogram
+}
+
+// New wraps g as a live graph named name. Symmetrized graphs are served
+// read-only (ApplyBatch returns ErrImmutable): a single-direction edit
+// would silently break the symmetry invariant kcore/setcover rely on.
+func New(name string, g *graph.Graph, cfg Config) *Live {
+	cfg.fill()
+	l := &Live{
+		name:    name,
+		mutable: !g.Symmetric(),
+		cfg:     cfg,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	l.cur = l.newSnapshot(0, g)
+	if r := cfg.Metrics; r != nil {
+		lbl := obs.L("graph", name)
+		r.GaugeFunc("livegraph_epoch", "Current graph epoch (advances on every mutation batch).",
+			func() float64 { return float64(l.Epoch()) }, lbl)
+		r.GaugeFunc("livegraph_overlay_ops", "Mutation ops applied since the overlay was last compacted.",
+			func() float64 { l.mu.Lock(); defer l.mu.Unlock(); return float64(len(l.log)) }, lbl)
+		r.GaugeFunc("livegraph_snapshots_active", "Snapshot handles not yet reclaimed.",
+			func() float64 { return float64(l.active.Load()) }, lbl)
+		l.mBatches = r.Counter("livegraph_batches_total", "Mutation batches applied.", lbl)
+		l.mOps = map[OpKind]*obs.Counter{
+			OpAdd:      r.Counter("livegraph_ops_total", "Mutation ops applied by kind.", lbl, obs.L("op", "add")),
+			OpRemove:   r.Counter("livegraph_ops_total", "Mutation ops applied by kind.", lbl, obs.L("op", "remove")),
+			OpReweight: r.Counter("livegraph_ops_total", "Mutation ops applied by kind.", lbl, obs.L("op", "reweight")),
+		}
+		l.mCompactions = r.Counter("livegraph_compactions_total", "Successful overlay compactions.", lbl)
+		l.mCompactFailures = r.Counter("livegraph_compaction_failures_total", "Compaction attempts that failed or panicked.", lbl)
+		l.mCompactDur = r.Histogram("livegraph_compaction_duration_seconds", "Wall time of successful compactions.",
+			histogram.ExpBounds(10e-6, 2, 24), lbl)
+	}
+	return l
+}
+
+// Name returns the graph's serving name.
+func (l *Live) Name() string { return l.name }
+
+// Mutable reports whether ApplyBatch can succeed.
+func (l *Live) Mutable() bool { return l.mutable }
+
+// Epoch returns the current epoch.
+func (l *Live) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+func (l *Live) newSnapshot(epoch uint64, g *graph.Graph) *Snapshot {
+	s := &Snapshot{l: l, epoch: epoch, g: g}
+	s.refs.Store(1) // the owner reference held by l.cur
+	l.active.Add(1)
+	return s
+}
+
+// Acquire pins the current snapshot and returns it, or nil after Close.
+// The caller must Release it exactly once.
+func (l *Live) Acquire() *Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.cur == nil {
+		return nil
+	}
+	l.cur.refs.Add(1)
+	return l.cur
+}
+
+// BatchResult reports what ApplyBatch did.
+type BatchResult struct {
+	// Epoch is the new epoch the batch produced.
+	Epoch uint64
+	// Applied is the number of ops in the batch.
+	Applied int
+	// OverlayOps is the overlay size after the batch.
+	OverlayOps int
+}
+
+// ApplyBatch validates and applies one mutation batch atomically: either
+// every op lands and the epoch advances by one, or nothing changes.
+// Queries running against previously acquired snapshots are unaffected.
+func (l *Live) ApplyBatch(ops []Op) (BatchResult, error) {
+	if len(ops) == 0 {
+		return BatchResult{}, fmt.Errorf("%w: empty batch", ErrValidation)
+	}
+	if !l.mutable {
+		return BatchResult{}, ErrImmutable
+	}
+	if len(ops) > l.cfg.MaxBatchOps {
+		return BatchResult{}, fmt.Errorf("%w (%d > %d)", ErrBatchTooLarge, len(ops), l.cfg.MaxBatchOps)
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return BatchResult{}, ErrClosed
+	}
+	if len(l.log)+len(ops) > l.cfg.MaxOverlayOps {
+		l.mu.Unlock()
+		return BatchResult{}, fmt.Errorf("%w (%d pending)", ErrOverlayFull, len(l.log))
+	}
+	old := l.cur
+	delta, err := buildDelta(old.g, ops)
+	if err != nil {
+		l.mu.Unlock()
+		return BatchResult{}, err
+	}
+	ng, err := graph.ApplyDelta(old.g, delta)
+	if err != nil {
+		// buildDelta pre-validated every op; reaching here is a bug, but
+		// the failure mode is still "reject the batch, keep serving".
+		l.mu.Unlock()
+		return BatchResult{}, fmt.Errorf("%w: %v", ErrValidation, err)
+	}
+	l.epoch++
+	l.log = append(l.log, ops...)
+	l.cur = l.newSnapshot(l.epoch, ng)
+	res := BatchResult{Epoch: l.epoch, Applied: len(ops), OverlayOps: len(l.log)}
+	wake := len(l.log) >= l.cfg.CompactThreshold
+	l.mu.Unlock()
+
+	old.Release() // drop the owner reference; readers may still hold it
+
+	l.batches.Add(1)
+	l.opsApplied.Add(int64(len(ops)))
+	if l.mBatches != nil {
+		l.mBatches.Inc()
+		for _, op := range ops {
+			l.mOps[op.Kind].Inc()
+		}
+	}
+	if wake {
+		l.wake()
+	}
+	return res, nil
+}
+
+// buildDelta resolves a sequential op list into one graph.Delta against
+// base, validating every op. Within a batch, later ops see earlier ops'
+// effects (add→reweight merges, add→remove cancels, remove→add replaces).
+func buildDelta(base *graph.Graph, ops []Op) (graph.Delta, error) {
+	type state struct {
+		origExists bool
+		nowExists  bool
+		w          graph.Weight
+		touched    bool // weight or existence differs from base
+	}
+	n := graph.VertexID(base.NumVertices())
+	weighted := base.Weighted()
+	states := make(map[uint64]*state, len(ops))
+	get := func(src, dst graph.VertexID) *state {
+		k := uint64(src)<<32 | uint64(dst)
+		st, ok := states[k]
+		if !ok {
+			st = &state{origExists: base.HasEdge(src, dst)}
+			st.nowExists = st.origExists
+			states[k] = st
+		}
+		return st
+	}
+	for i, op := range ops {
+		if op.Src >= n || op.Dst >= n {
+			return graph.Delta{}, fmt.Errorf("%w: op %d: vertex out of range (%d->%d, graph has %d vertices)",
+				ErrValidation, i, op.Src, op.Dst, n)
+		}
+		switch op.Kind {
+		case OpAdd:
+			if weighted && op.W < 0 {
+				return graph.Delta{}, fmt.Errorf("%w: op %d: negative weight %d", ErrValidation, i, op.W)
+			}
+			st := get(op.Src, op.Dst)
+			if st.nowExists {
+				return graph.Delta{}, fmt.Errorf("%w: op %d: add %d->%d: edge already exists",
+					ErrValidation, i, op.Src, op.Dst)
+			}
+			st.nowExists, st.w, st.touched = true, op.W, true
+		case OpRemove:
+			st := get(op.Src, op.Dst)
+			if !st.nowExists {
+				return graph.Delta{}, fmt.Errorf("%w: op %d: remove %d->%d: edge does not exist",
+					ErrValidation, i, op.Src, op.Dst)
+			}
+			st.nowExists, st.touched = false, true
+		case OpReweight:
+			if !weighted {
+				return graph.Delta{}, fmt.Errorf("%w: op %d: reweight on an unweighted graph", ErrValidation, i)
+			}
+			if op.W < 0 {
+				return graph.Delta{}, fmt.Errorf("%w: op %d: negative weight %d", ErrValidation, i, op.W)
+			}
+			st := get(op.Src, op.Dst)
+			if !st.nowExists {
+				return graph.Delta{}, fmt.Errorf("%w: op %d: reweight %d->%d: edge does not exist",
+					ErrValidation, i, op.Src, op.Dst)
+			}
+			st.w, st.touched = op.W, true
+		default:
+			return graph.Delta{}, fmt.Errorf("%w: op %d: unknown kind %d", ErrValidation, i, op.Kind)
+		}
+	}
+	var d graph.Delta
+	for k, st := range states {
+		if !st.touched {
+			continue
+		}
+		src, dst := graph.VertexID(k>>32), graph.VertexID(k&0xffffffff)
+		switch {
+		case st.origExists && !st.nowExists:
+			d.Del = append(d.Del, graph.Edge{Src: src, Dst: dst})
+		case !st.origExists && st.nowExists:
+			d.Add = append(d.Add, graph.Edge{Src: src, Dst: dst, W: st.w})
+		case st.origExists && st.nowExists:
+			// remove→add replace or plain reweight; both reduce to a
+			// weight rewrite on weighted graphs and a no-op otherwise.
+			if weighted {
+				d.SetW = append(d.SetW, graph.Edge{Src: src, Dst: dst, W: st.w})
+			}
+		}
+	}
+	return d, nil
+}
+
+// Status is a point-in-time summary for /statusz.
+type Status struct {
+	Name               string `json:"name"`
+	Mutable            bool   `json:"mutable"`
+	Epoch              uint64 `json:"epoch"`
+	OverlayOps         int    `json:"overlay_ops"`
+	ActiveSnapshots    int64  `json:"active_snapshots"`
+	Batches            int64  `json:"batches"`
+	OpsApplied         int64  `json:"ops_applied"`
+	Compactions        int64  `json:"compactions"`
+	CompactionFailures int64  `json:"compaction_failures"`
+	LastCompactError   string `json:"last_compact_error,omitempty"`
+}
+
+// Status returns a snapshot of the live graph's counters.
+func (l *Live) Status() Status {
+	l.mu.Lock()
+	epoch, overlay := l.epoch, len(l.log)
+	l.mu.Unlock()
+	lastErr, _ := l.lastCompactErr.Load().(string)
+	return Status{
+		Name:               l.name,
+		Mutable:            l.mutable,
+		Epoch:              epoch,
+		OverlayOps:         overlay,
+		ActiveSnapshots:    l.active.Load(),
+		Batches:            l.batches.Load(),
+		OpsApplied:         l.opsApplied.Load(),
+		Compactions:        l.compactions.Load(),
+		CompactionFailures: l.compactFailures.Load(),
+		LastCompactError:   lastErr,
+	}
+}
+
+// Close stops the compactor and drops the owner reference on the current
+// snapshot. In-flight queries holding acquired snapshots keep them until
+// they Release; Acquire returns nil afterwards. Close is idempotent.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	cur := l.cur
+	l.cur = nil
+	close(l.done)
+	l.mu.Unlock()
+	if cur != nil {
+		cur.Release()
+	}
+	l.wg.Wait()
+}

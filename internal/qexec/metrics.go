@@ -2,6 +2,7 @@ package qexec
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphit"
@@ -39,8 +40,18 @@ type pipeMetrics struct {
 	faultMu sync.Mutex
 	faults  map[string]*obs.Counter // by fault kind, lazily registered
 
-	breakerKeys sync.Map // breaker key -> struct{}{}: gauge registered
+	breakerKeys    sync.Map     // breaker key -> struct{}{}: gauge decided (registered or dropped)
+	breakerGauges  atomic.Int64 // gauges actually registered
+	breakerDropped *obs.Counter
 }
+
+// maxBreakerGaugeKeys caps the qexec_breaker_state label cardinality. The
+// (algo, strategy) axes are both validated enums today, so the organic
+// cardinality is small — the cap is the backstop that keeps a future axis
+// (or a validation bug) from letting a hostile query stream mint unbounded
+// metric series. Keys beyond the cap still get full breaker *behavior*;
+// they just aren't individually exported, and the drop is counted.
+const maxBreakerGaugeKeys = 64
 
 const (
 	helpStage = "Wall time of one pipeline stage for one request (stage label: plan, cache, coalesce_wait, queue_wait, run)."
@@ -72,6 +83,8 @@ func newPipeMetrics(reg *obs.Registry, p *Pipeline) *pipeMetrics {
 	m.coalesced = reg.Counter("qexec_coalesced_total", "Requests served by joining another request's engine run.")
 	m.fallbacks = reg.Counter("qexec_fallbacks_total", "Requests answered by the safe fallback schedule.")
 	m.shed = reg.Counter("qexec_shed_total", "Requests shed by admission control (queue full).")
+	m.breakerDropped = reg.Counter("qexec_breaker_gauges_dropped_total",
+		"Breaker keys whose state gauge was not exported because the per-key cardinality cap was reached.")
 	reg.GaugeFunc("qexec_inflight", "Queries currently executing (post-admission).",
 		func() float64 { return float64(p.InFlight()) })
 	reg.GaugeFunc("qexec_queued", "Requests waiting for a run slot.",
@@ -157,12 +170,19 @@ func (m *pipeMetrics) fault(kind string) *obs.Counter {
 }
 
 // ensureBreakerGauge registers the exposition-time breaker-state gauge for
-// key on its first routed request (0=closed, 1=open, 2=half_open).
+// key on its first routed request (0=closed, 1=open, 2=half_open). At most
+// maxBreakerGaugeKeys gauges are ever registered; keys beyond the cap are
+// recorded in qexec_breaker_gauges_dropped_total instead.
 func (m *pipeMetrics) ensureBreakerGauge(key string, b *Breakers) {
 	if m == nil {
 		return
 	}
 	if _, seen := m.breakerKeys.LoadOrStore(key, struct{}{}); seen {
+		return
+	}
+	if m.breakerGauges.Add(1) > maxBreakerGaugeKeys {
+		m.breakerGauges.Add(-1)
+		m.breakerDropped.Inc()
 		return
 	}
 	m.reg.GaugeFunc("qexec_breaker_state",

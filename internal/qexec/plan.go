@@ -11,6 +11,7 @@ import (
 	"graphit"
 	"graphit/algo"
 	"graphit/internal/cliutil"
+	"graphit/internal/livegraph"
 )
 
 // Request is the transport-agnostic form of one query — the fields a JSON
@@ -43,8 +44,14 @@ type Request struct {
 // and a stable cache key derived. Two Requests that mean the same query
 // produce byte-identical CacheKeys.
 type Plan struct {
-	Spec      *algo.Spec
+	Spec *algo.Spec
+	// Graph is the pinned snapshot's frozen graph; Snap holds the epoch
+	// reference that keeps it immutable for the plan's lifetime (the
+	// pipeline releases it when the request finishes). Epoch is baked into
+	// CacheKey, so a cached answer can never cross a mutation.
 	Graph     *graphit.Graph
+	Snap      *livegraph.Snapshot
+	Epoch     uint64
 	GraphName string
 	Src, Dst  graphit.VertexID
 	Sched     graphit.Schedule
@@ -73,17 +80,30 @@ func (pl *Plan) flightKey() string {
 }
 
 // plan validates req against the registry and the loaded graphs and
-// resolves it to a canonical Plan. All failures here are request errors
-// (CodeBadRequest): they never reach the engine or the breaker.
-func (p *Pipeline) plan(req *Request) (*Plan, error) {
+// resolves it to a canonical Plan holding a pinned epoch snapshot. All
+// failures here are request errors (CodeBadRequest) — except a live graph
+// that has already shut down, which is ErrDraining — and they never reach
+// the engine or the breaker. On success the caller owns one Release of
+// pl.Snap; on error the snapshot has already been released.
+func (p *Pipeline) plan(req *Request) (pl *Plan, err error) {
 	sp, err := cliutil.ParseAlgo(req.Algo)
 	if err != nil {
 		return nil, err
 	}
-	g, ok := p.cfg.Graphs[req.Graph]
+	live, ok := p.live[req.Graph]
 	if !ok {
 		return nil, fmt.Errorf("unknown graph %q (loaded: %s)", req.Graph, p.graphNames())
 	}
+	snap := live.Acquire()
+	if snap == nil {
+		return nil, ErrDraining
+	}
+	defer func() {
+		if err != nil {
+			snap.Release()
+		}
+	}()
+	g := snap.Graph()
 	if err := sp.CheckGraph(g); err != nil {
 		return nil, err
 	}
@@ -125,9 +145,11 @@ func (p *Pipeline) plan(req *Request) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl := &Plan{
+	pl = &Plan{
 		Spec:      sp,
 		Graph:     g,
+		Snap:      snap,
+		Epoch:     snap.Epoch(),
 		GraphName: req.Graph,
 		Src:       graphit.VertexID(req.Src),
 		Dst:       graphit.VertexID(dst),
@@ -137,24 +159,26 @@ func (p *Pipeline) plan(req *Request) (*Plan, error) {
 		Budget:    p.clampBudget(req.BudgetMS),
 		Vertices:  req.Vertices,
 	}
-	pl.CacheKey = cacheKey(sp.Name, req.Graph, req.Src, dst, norm, req.Vertices)
+	pl.CacheKey = cacheKey(sp.Name, req.Graph, pl.Epoch, req.Src, dst, norm, req.Vertices)
 	return pl, nil
 }
 
 // cacheKey renders the result-determining plan coordinates as one stable
-// string. The vertices selection is part of the key — a cached full-vector
-// answer must never be served to a different selection — hashed (FNV-1a
-// over the raw ids, plus the count) rather than spelled out, so a
-// 10⁶-vertex selection stays a fixed-size key.
-func cacheKey(algoName, graphName string, src, dst uint32, norm cliutil.ScheduleParams, vertices []uint32) string {
+// string. The graph epoch is part of the key — a mutation makes every
+// prior answer for that graph unreachable, and a cached answer can never
+// be served across epochs. The vertices selection is also keyed — a
+// cached full-vector answer must never be served to a different selection
+// — hashed (FNV-1a over the raw ids, plus the count) rather than spelled
+// out, so a 10⁶-vertex selection stays a fixed-size key.
+func cacheKey(algoName, graphName string, epoch uint64, src, dst uint32, norm cliutil.ScheduleParams, vertices []uint32) string {
 	h := fnv.New64a()
 	var buf [4]byte
 	for _, v := range vertices {
 		binary.LittleEndian.PutUint32(buf[:], v)
 		h.Write(buf[:])
 	}
-	return fmt.Sprintf("%s|%s|src=%d|dst=%d|%s|v=%d:%016x",
-		algoName, graphName, src, dst, norm.CanonicalKey(), len(vertices), h.Sum64())
+	return fmt.Sprintf("%s|%s|epoch=%d|src=%d|dst=%d|%s|v=%d:%016x",
+		algoName, graphName, epoch, src, dst, norm.CanonicalKey(), len(vertices), h.Sum64())
 }
 
 // clampBudget clamps the caller's requested budget to the pipeline's range:
@@ -175,8 +199,8 @@ func (p *Pipeline) clampBudget(ms int64) time.Duration {
 }
 
 func (p *Pipeline) graphNames() string {
-	names := make([]string, 0, len(p.cfg.Graphs))
-	for name := range p.cfg.Graphs {
+	names := make([]string, 0, len(p.live))
+	for name := range p.live {
 		names = append(names, name)
 	}
 	sort.Strings(names)

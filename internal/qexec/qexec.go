@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"graphit"
+	"graphit/internal/livegraph"
 	"graphit/internal/obs"
 	"graphit/internal/parallel"
 )
@@ -48,8 +49,14 @@ const minBudget = 10 * time.Millisecond
 // defaults; the zero-valued cache/coalesce knobs leave both stages off.
 type Config struct {
 	// Graphs are the named graphs loaded at startup; plans reference them
-	// by name. The map is read-only after New.
+	// by name. The map is read-only after New. Each graph is wrapped in a
+	// livegraph.Live owned (and closed) by the pipeline; use Live instead
+	// to share externally owned live graphs.
 	Graphs map[string]*graphit.Graph
+	// Live are externally owned live graphs served by name. The caller
+	// keeps ownership and must Close them after the pipeline drains. When
+	// a name appears in both maps, Live wins.
+	Live map[string]*livegraph.Live
 	// MaxConcurrent bounds concurrently executing runs. Default:
 	// min(GOMAXPROCS, parallel.ExecutorPoolCap()) — beyond the executor
 	// pool's cap, admitted runs would construct worker pools per call.
@@ -129,6 +136,9 @@ func (c *Config) applyDefaults() {
 // use. Call Close to drain.
 type Pipeline struct {
 	cfg      Config
+	live     map[string]*livegraph.Live // every served graph, by name
+	ownLive  []*livegraph.Live          // the subset the pipeline must close
+	liveOnce sync.Once
 	adm      *admission
 	breakers *Breakers
 	cache    *resultCache // nil: cache stage disabled
@@ -155,14 +165,30 @@ type Pipeline struct {
 
 // New builds a Pipeline over cfg.
 func New(cfg Config) (*Pipeline, error) {
-	if len(cfg.Graphs) == 0 {
+	if len(cfg.Graphs) == 0 && len(cfg.Live) == 0 {
 		return nil, fmt.Errorf("qexec: no graphs configured")
 	}
 	cfg.applyDefaults()
 	p := &Pipeline{
 		cfg:      cfg,
+		live:     make(map[string]*livegraph.Live, len(cfg.Graphs)+len(cfg.Live)),
 		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
 		breakers: NewBreakers(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
+	// Static graphs get a pipeline-owned Live wrapper so every plan pins an
+	// epoch snapshot the same way; the wrapper spawns no goroutines until a
+	// mutation actually lands. Externally owned Lives (the graphd path,
+	// which wires mutation limits and metrics itself) take precedence.
+	for name, g := range cfg.Graphs {
+		if _, shadowed := cfg.Live[name]; shadowed {
+			continue
+		}
+		l := livegraph.New(name, g, livegraph.Config{Metrics: cfg.Metrics})
+		p.live[name] = l
+		p.ownLive = append(p.ownLive, l)
+	}
+	for name, l := range cfg.Live {
+		p.live[name] = l
 	}
 	if cfg.CacheEntries > 0 {
 		p.cache = newResultCache(cfg.CacheEntries, cfg.CacheTTL)
@@ -220,8 +246,16 @@ func (p *Pipeline) do(ctx context.Context, req Request, et *execTrace) *Outcome 
 	et.plan = time.Since(t)
 	p.met.observePlan(et.plan)
 	if err != nil {
-		return &Outcome{Algo: req.Algo, Graph: req.Graph, Code: CodeBadRequest, Err: err}
+		code := CodeBadRequest
+		if err == ErrDraining {
+			code = CodeDraining
+		}
+		return &Outcome{Algo: req.Algo, Graph: req.Graph, Code: code, Err: err}
 	}
+	// The plan pinned an epoch snapshot; hold it for the whole request so
+	// the graph the engines read stays frozen even if mutation batches land
+	// and the compactor swaps bases mid-run.
+	defer pl.Snap.Release()
 	if p.cache != nil {
 		t = time.Now()
 		out, ok := p.cached(pl)
@@ -241,20 +275,38 @@ func (p *Pipeline) do(ctx context.Context, req Request, et *execTrace) *Outcome 
 			p.met.observeCoalesceWait(et.coalesceWait)
 		}
 		if out.Algo == "" { // a follower that gave up waiting carries no plan echo
-			out.Algo, out.Graph, out.Strategy = pl.Spec.Name, pl.GraphName, pl.Strategy
+			out.Algo, out.Graph, out.Strategy, out.Epoch = pl.Spec.Name, pl.GraphName, pl.Strategy, pl.Epoch
 		}
 		return out
 	}
 	return p.execute(ctx, pl, false, et)
 }
 
+// Caps on the string metadata one trace may retain. Bad requests echo the
+// raw Algo/Graph strings (and error text quoting them) into the ring; a
+// hostile stream of megabyte-long names must not turn a 256-entry ring
+// into a multi-hundred-megabyte resident set.
+const (
+	maxTraceField = 128
+	maxTraceError = 512
+)
+
+// clipTrace bounds one retained string, marking the cut visibly.
+func clipTrace(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "…(truncated)"
+}
+
 // buildTrace renders one finished request as its ring record.
 func buildTrace(req *Request, out *Outcome, et *execTrace, start time.Time) QueryTrace {
 	qt := QueryTrace{
 		At:        time.Now(),
-		Algo:      out.Algo,
-		Graph:     out.Graph,
-		Strategy:  out.Strategy,
+		Algo:      clipTrace(out.Algo, maxTraceField),
+		Graph:     clipTrace(out.Graph, maxTraceField),
+		Strategy:  clipTrace(out.Strategy, maxTraceField),
+		Epoch:     out.Epoch,
 		Src:       req.Src,
 		Dst:       req.Dst,
 		Code:      out.Code.String(),
@@ -277,7 +329,7 @@ func buildTrace(req *Request, out *Outcome, et *execTrace, start time.Time) Quer
 		Stats:     out.Stats,
 	}
 	if out.Err != nil {
-		qt.Error = out.Err.Error()
+		qt.Error = clipTrace(out.Err.Error(), maxTraceError)
 	}
 	return qt
 }
@@ -305,6 +357,7 @@ func (p *Pipeline) cached(pl *Plan) (*Outcome, bool) {
 		Algo:     pl.Spec.Name,
 		Graph:    pl.GraphName,
 		Strategy: pl.Strategy,
+		Epoch:    pl.Epoch,
 		Code:     CodeOK,
 		Cached:   true,
 		Breaker:  p.breakers.State(pl.BreakerKey()).String(),
@@ -320,7 +373,7 @@ func (p *Pipeline) cached(pl *Plan) (*Outcome, bool) {
 // the pre-pipeline behavior — the caller's context gates the queue wait,
 // and the budget is applied after admission.
 func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool, et *execTrace) *Outcome {
-	out := &Outcome{Algo: pl.Spec.Name, Graph: pl.GraphName, Strategy: pl.Strategy}
+	out := &Outcome{Algo: pl.Spec.Name, Graph: pl.GraphName, Strategy: pl.Strategy, Epoch: pl.Epoch}
 	if detached {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), pl.Budget)
@@ -453,6 +506,15 @@ func (p *Pipeline) idle() <-chan struct{} {
 func (p *Pipeline) Close(ctx context.Context) error {
 	p.closed.Store(true)
 	p.adm.close()
+	// Pipeline-owned live wrappers close once draining starts: in-flight
+	// queries keep the snapshots they already pinned (Release works after
+	// Close), new plans fail with ErrDraining before reaching Acquire.
+	// Externally owned Lives (cfg.Live) belong to the caller.
+	defer p.liveOnce.Do(func() {
+		for _, l := range p.ownLive {
+			l.Close()
+		}
+	})
 	select {
 	case <-p.idle():
 		return nil
@@ -482,7 +544,14 @@ type Status struct {
 	// admitted requests and runs is exactly the work the cache and
 	// coalescer absorbed.
 	Runs int64 `json:"runs"`
+	// Graphs is the per-graph live state (epoch, overlay, compactions),
+	// sorted by name.
+	Graphs []livegraph.Status `json:"graphs"`
 }
+
+// Live returns the live graph serving name, or nil if the name is unknown.
+// Transports use it to route mutation batches.
+func (p *Pipeline) Live(name string) *livegraph.Live { return p.live[name] }
 
 // Status snapshots every stage's counters. Breakers are sorted by key.
 func (p *Pipeline) Status() Status {
@@ -492,6 +561,10 @@ func (p *Pipeline) Status() Status {
 		Runs:      p.runs.Load(),
 	}
 	sort.Slice(st.Breakers, func(i, j int) bool { return st.Breakers[i].Key < st.Breakers[j].Key })
+	for _, l := range p.live {
+		st.Graphs = append(st.Graphs, l.Status())
+	}
+	sort.Slice(st.Graphs, func(i, j int) bool { return st.Graphs[i].Name < st.Graphs[j].Name })
 	if p.cache != nil {
 		st.Cache = p.cache.status()
 	}

@@ -62,6 +62,9 @@ type Outcome struct {
 	Algo     string
 	Graph    string
 	Strategy string
+	// Epoch is the graph epoch the answer was computed against (the
+	// snapshot the plan pinned; zero when planning failed).
+	Epoch uint64
 	// Code classifies the outcome; Err carries the failure detail for
 	// every Code but CodeOK.
 	Code Code

@@ -27,6 +27,7 @@ type QueryTrace struct {
 	Algo     string    `json:"algo"`
 	Graph    string    `json:"graph"`
 	Strategy string    `json:"strategy,omitempty"`
+	Epoch    uint64    `json:"epoch,omitempty"`
 	Src      uint32    `json:"src"`
 	Dst      uint32    `json:"dst,omitempty"`
 

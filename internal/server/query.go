@@ -54,6 +54,10 @@ type Response struct {
 	Algo     string `json:"algo"`
 	Graph    string `json:"graph"`
 	Strategy string `json:"strategy"`
+	// Epoch is the graph epoch the answer was computed against; a client
+	// that just POSTed an update sees its batch reflected in any answer
+	// whose epoch is >= the epoch the update returned.
+	Epoch uint64 `json:"epoch"`
 	// Fallback reports that the answer was produced by the safe fallback
 	// schedule — either transparently after a primary-run fault, or
 	// directly because the (algo, strategy) breaker was open.
@@ -82,6 +86,7 @@ func newResponse(out *qexec.Outcome) *Response {
 		Algo:      out.Algo,
 		Graph:     out.Graph,
 		Strategy:  out.Strategy,
+		Epoch:     out.Epoch,
 		Fallback:  out.Fallback,
 		Cached:    out.Cached,
 		Coalesced: out.Coalesced,

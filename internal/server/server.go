@@ -13,12 +13,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"graphit"
+	"graphit/internal/livegraph"
 	"graphit/internal/obs"
 	"graphit/internal/qexec"
 )
@@ -61,6 +63,17 @@ type Config struct {
 	// TraceRing retains the last N per-query structured traces, served at
 	// GET /debug/queries; 0 disables both.
 	TraceRing int
+	// Mutable enables POST /update. Read-only servers still wrap their
+	// graphs in live handles (queries pin epoch snapshots either way) but
+	// reject mutation batches with 403.
+	Mutable bool
+	// MaxBatchOps / MaxOverlayOps / CompactThreshold parameterize each
+	// graph's live handle: the per-batch op cap, the un-compacted overlay
+	// backpressure cap, and the overlay size that wakes the background
+	// compactor. Zeros take the livegraph defaults.
+	MaxBatchOps      int
+	MaxOverlayOps    int
+	CompactThreshold int
 	// BaseContext, if set, wraps every query's context before execution —
 	// the seam tests use to install fault injectors.
 	BaseContext func(context.Context) context.Context
@@ -71,7 +84,8 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	pipe     *qexec.Pipeline
-	reg      *obs.Registry // nil: metrics disabled
+	lives    map[string]*livegraph.Live // server-owned; closed after the pipeline drains
+	reg      *obs.Registry              // nil: metrics disabled
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -85,8 +99,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics {
 		reg = obs.NewRegistry()
 	}
+	// The server owns the live handles (not the pipeline) so that /update
+	// can reach them directly and Shutdown can sequence their close after
+	// the query drain.
+	lives := make(map[string]*livegraph.Live, len(cfg.Graphs))
+	for name, g := range cfg.Graphs {
+		lives[name] = livegraph.New(name, g, livegraph.Config{
+			MaxBatchOps:      cfg.MaxBatchOps,
+			MaxOverlayOps:    cfg.MaxOverlayOps,
+			CompactThreshold: cfg.CompactThreshold,
+			Metrics:          reg,
+		})
+	}
 	pipe, err := qexec.New(qexec.Config{
-		Graphs:           cfg.Graphs,
+		Live:             lives,
 		MaxConcurrent:    cfg.MaxConcurrent,
 		QueueDepth:       cfg.QueueDepth,
 		Workers:          cfg.Workers,
@@ -105,9 +131,12 @@ func New(cfg Config) (*Server, error) {
 		BaseContext:      cfg.BaseContext,
 	})
 	if err != nil {
+		for _, l := range lives {
+			l.Close()
+		}
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s := &Server{cfg: cfg, pipe: pipe, reg: reg}
+	s := &Server{cfg: cfg, pipe: pipe, lives: lives, reg: reg}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -115,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	return s, nil
 }
 
@@ -174,7 +204,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // the serving-level drain flag and graph inventory.
 type Status struct {
 	Draining  bool                  `json:"draining"`
+	Mutable   bool                  `json:"mutable"`
 	Graphs    map[string]int        `json:"graphs"` // name -> vertex count
+	Live      []livegraph.Status    `json:"live_graphs"`
 	Admission qexec.AdmissionStatus `json:"admission"`
 	Breakers  []qexec.BreakerStatus `json:"breakers"`
 	Cache     qexec.CacheStatus     `json:"cache"`
@@ -186,7 +218,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	ps := s.pipe.Status()
 	st := Status{
 		Draining:  s.draining.Load(),
+		Mutable:   s.cfg.Mutable,
 		Graphs:    make(map[string]int, len(s.cfg.Graphs)),
+		Live:      ps.Graphs,
 		Admission: ps.Admission,
 		Breakers:  ps.Breakers,
 		Cache:     ps.Cache,
@@ -199,18 +233,28 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, 200, st)
 }
 
-// retryAfter estimates when shed load should come back: one default budget
+// retryBase estimates when shed load should come back: one default budget
 // is the expected time for the queue to turn over, floored at 1s.
-func (s *Server) retryAfter() string {
+func (s *Server) retryBase() int64 {
 	budget := s.cfg.DefaultBudget
 	if budget <= 0 {
 		budget = 2 * time.Second // the pipeline's default
 	}
-	sec := int(budget / time.Second)
+	sec := int64(budget / time.Second)
 	if sec < 1 {
 		sec = 1
 	}
-	return strconv.Itoa(sec)
+	return sec
+}
+
+// retryAfter renders a Retry-After value drawn uniformly from [base, 2*base]
+// seconds. The jitter matters under load: every rejected client gets the
+// same header, and an un-jittered value re-synchronizes them into a retry
+// stampede that re-fills the queue the moment it drains. math/rand/v2's
+// global generator is goroutine-safe, so concurrent rejections need no lock.
+func (s *Server) retryAfter() string {
+	base := s.retryBase()
+	return strconv.FormatInt(base+rand.Int64N(base+1), 10)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -244,9 +288,16 @@ func (s *Server) InFlight() int { return s.pipe.InFlight() }
 // under ctx's deadline, and cancels stragglers at their round barriers with
 // a bounded grace. Shutdown is idempotent; a Server that failed to drain is
 // still memory-safe, only late.
+// Live handles close after the drain: a query admitted before the flip may
+// still need to pin a snapshot, and closing a Live only releases its owner
+// reference — snapshots pinned by stragglers stay valid until released.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.pipe.Close(ctx)
+	err := s.pipe.Close(ctx)
+	for _, l := range s.lives {
+		l.Close()
+	}
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -9,25 +10,48 @@ import (
 	"graphit/algo"
 )
 
-// TestRetryAfterFlooring pins the Retry-After arithmetic: one default
+// TestRetryAfterFlooring pins the Retry-After base arithmetic: one default
 // budget, in whole seconds, never below 1 — and the pipeline's 2s default
 // when the config leaves the budget zero.
 func TestRetryAfterFlooring(t *testing.T) {
 	cases := []struct {
 		budget time.Duration
-		want   string
+		want   int64
 	}{
-		{0, "2"},                      // unset -> pipeline default (2s)
-		{500 * time.Millisecond, "1"}, // sub-second -> floored at 1
-		{time.Second, "1"},
-		{5 * time.Second, "5"},
-		{2500 * time.Millisecond, "2"}, // truncated, not rounded
+		{0, 2},                      // unset -> pipeline default (2s)
+		{500 * time.Millisecond, 1}, // sub-second -> floored at 1
+		{time.Second, 1},
+		{5 * time.Second, 5},
+		{2500 * time.Millisecond, 2}, // truncated, not rounded
 	}
 	for _, tc := range cases {
 		s := &Server{cfg: Config{DefaultBudget: tc.budget}}
-		if got := s.retryAfter(); got != tc.want {
-			t.Errorf("retryAfter with budget %v = %q, want %q", tc.budget, got, tc.want)
+		if got := s.retryBase(); got != tc.want {
+			t.Errorf("retryBase with budget %v = %d, want %d", tc.budget, got, tc.want)
 		}
+	}
+}
+
+// TestRetryAfterJitterBounds pins the jitter contract: every rendered value
+// is a whole second in [base, 2*base], and the values actually spread (a
+// constant header would re-synchronize rejected clients into a stampede).
+func TestRetryAfterJitterBounds(t *testing.T) {
+	s := &Server{cfg: Config{DefaultBudget: 5 * time.Second}}
+	base := s.retryBase()
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		got := s.retryAfter()
+		sec, err := strconv.ParseInt(got, 10, 64)
+		if err != nil {
+			t.Fatalf("retryAfter returned a non-integer %q: %v", got, err)
+		}
+		if sec < base || sec > 2*base {
+			t.Fatalf("retryAfter = %d, outside [%d, %d]", sec, base, 2*base)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("500 draws produced %d distinct values — jitter is not jittering", len(seen))
 	}
 }
 

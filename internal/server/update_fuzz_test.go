@@ -1,0 +1,71 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"graphit/internal/livegraph"
+)
+
+// FuzzDecodeUpdateBody hammers the /update batch decoder with hostile
+// bodies. The decoder is the only code between a network client and
+// livegraph's op validation, so it must never panic, and every accepted
+// batch must be internally consistent: same op count as the wire batch,
+// only known op kinds, no negative weights (the ordered engines assume
+// non-negative weights throughout).
+func FuzzDecodeUpdateBody(f *testing.F) {
+	seeds := []string{
+		`{"graph":"road","ops":[{"op":"add","src":0,"dst":5,"w":3}]}`,
+		`{"graph":"road","ops":[{"op":"remove","src":0,"dst":5},{"op":"reweight","src":1,"dst":2,"w":9}]}`,
+		`{"graph":"","ops":[{"op":"add","src":0,"dst":5,"w":3}]}`,
+		`{"graph":"road","ops":[]}`,
+		`{"graph":"road","ops":[{"op":"upsert","src":0,"dst":5}]}`,
+		`{"graph":"road","ops":[{"op":"add","src":0,"dst":5,"w":-1}]}`,
+		`{"graph":"road","ops":[{"op":"add","src":4294967295,"dst":4294967295,"w":2147483647}]}`,
+		`{"graph":"road","ops":[{"op":"add","src":0,"dst":5,"w":3}]} trailing`,
+		`{"graph":"road","opz":[{"op":"add","src":0,"dst":5,"w":3}]}`,
+		`{"graph":"road","ops":[{"op":"add","src":-1,"dst":5,"w":3}]}`,
+		`{"graph":"road","ops":[{"op":"add","src":0.5,"dst":5,"w":3}]}`,
+		`{"graph":"road","ops":null}`,
+		`null`,
+		``,
+		`[`,
+		"{\"graph\":\"\x00\",\"ops\":[{\"op\":\"add\"}]}",
+		strings.Repeat(`{"graph":"r","ops":[`, 64),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, ops, err := decodeUpdateBody(data)
+		if err != nil {
+			if len(ops) != 0 {
+				t.Fatalf("decoder returned ops alongside error %v", err)
+			}
+			return
+		}
+		if req.Graph == "" {
+			t.Fatal("accepted a batch with no graph name")
+		}
+		if len(ops) == 0 || len(ops) != len(req.Ops) {
+			t.Fatalf("accepted batch has %d decoded ops for %d wire ops", len(ops), len(req.Ops))
+		}
+		for i, op := range ops {
+			switch op.Kind {
+			case livegraph.OpAdd, livegraph.OpRemove, livegraph.OpReweight:
+			default:
+				t.Fatalf("op %d: decoder produced unknown kind %d", i, op.Kind)
+			}
+			if op.W < 0 {
+				t.Fatalf("op %d: decoder accepted negative weight %d", i, op.W)
+			}
+		}
+		if !utf8.ValidString(req.Graph) {
+			// encoding/json replaces invalid UTF-8 with U+FFFD, so an
+			// accepted graph name is always valid UTF-8; a regression here
+			// means raw client bytes reach error messages and logs.
+			t.Fatalf("accepted graph name is not valid UTF-8: %q", req.Graph)
+		}
+	})
+}

@@ -7,7 +7,10 @@
 # shedding under saturation (429 + Retry-After), repeated-identical-query
 # absorption by the cache + coalescer (exactly one engine run), live
 # observability (/metrics run + engine-round counters advanced by the query
-# phase, /debug/queries trace export), and a clean SIGTERM drain.
+# phase, /debug/queries trace export), live mutation (/update batches advance
+# the graph epoch; identical queries re-run instead of serving the stale
+# cached answer, and mid-flight queries keep answering), and a clean SIGTERM
+# drain.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -18,13 +21,17 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== generate graph"
+echo "== generate graphs"
 go run ./cmd/graphgen -kind road -rows 400 -cols 400 -seed 1 -o "$workdir/road.bin"
+# A tiny directed weighted path for the mutation phase (road grids are
+# symmetric, which livegraph serves read-only): 0 -> 1 (w 5) -> 2 (w 10).
+printf '0 1 5\n1 2 10\n' >"$workdir/line.wel"
 
-echo "== build and boot graphd (1 slot, 1 queue seat)"
+echo "== build and boot graphd (1 slot, 1 queue seat, mutable)"
 go build -o "$workdir/graphd" ./cmd/graphd
-"$workdir/graphd" -graph road="$workdir/road.bin" -addr 127.0.0.1:18090 \
-  -max-concurrent 1 -queue-depth 1 -default-budget 10s &
+"$workdir/graphd" -graph road="$workdir/road.bin" -graph line="$workdir/line.wel" \
+  -addr 127.0.0.1:18090 \
+  -max-concurrent 1 -queue-depth 1 -default-budget 10s -mutable &
 pid=$!
 
 echo "== wait for readiness"
@@ -125,6 +132,52 @@ shed_total=$(sed -n 's/^qexec_shed_total //p' "$workdir/metrics")
 [ -n "$shed_total" ] && [ "$shed_total" -ge 1 ] \
   || { echo "saturation phase recorded no sheds in /metrics (got '${shed_total:-missing}')" >&2; exit 1; }
 echo "metrics: run_count=$run_count round_count=$round_count shed_total=$shed_total"
+
+echo "== mutate while querying: epoch advances, no stale cached answers"
+lbody='{"algo":"sssp","graph":"line","src":0,"vertices":[2]}'
+# Pre-batch: dist(0->2) = 5 + 10 = 15 at epoch 0; ask twice so the second
+# answer is served from the epoch-0 cache entry.
+for i in 1 2; do
+  resp=$(curl -s -d "$lbody" http://127.0.0.1:18090/query)
+  echo "$resp" | grep -q '"2":15' || { echo "pre-batch query $i: want dist 15, got: $resp" >&2; exit 1; }
+  echo "$resp" | grep -q '"epoch":0' || { echo "pre-batch query $i not at epoch 0: $resp" >&2; exit 1; }
+done
+# Reweight 1->2 to 9 while identical queries are in flight; every in-flight
+# answer must be a clean epoch-consistent one (15 at epoch 0 or 14 at 1).
+curl_pids=()
+for i in $(seq 1 8); do
+  curl -s -d "$lbody" http://127.0.0.1:18090/query >>"$workdir/mutate_resps" &
+  curl_pids+=($!)
+done
+up=$(curl -s -d '{"graph":"line","ops":[{"op":"reweight","src":1,"dst":2,"w":9}]}' \
+  http://127.0.0.1:18090/update)
+echo "$up" | grep -q '"epoch":1' || { echo "update did not advance to epoch 1: $up" >&2; exit 1; }
+wait "${curl_pids[@]}"
+[ "$(grep -c '"strategy"' "$workdir/mutate_resps")" -eq 8 ] \
+  || { echo "not every mid-flight query answered" >&2; exit 1; }
+grep -q '"error"' "$workdir/mutate_resps" && { echo "mid-flight query errored during mutation" >&2; exit 1; }
+while read -r line; do
+  echo "$line" | grep -Eq '"2":15.*"epoch":0|"epoch":0.*"2":15|"2":14.*"epoch":1|"epoch":1.*"2":14' \
+    || { echo "mid-flight answer not epoch-consistent: $line" >&2; exit 1; }
+done <"$workdir/mutate_resps"
+# Post-batch: the identical query must NOT serve the stale epoch-0 cache
+# entry — it re-runs against epoch 1 and sees the new weight.
+resp=$(curl -s -d "$lbody" http://127.0.0.1:18090/query)
+echo "$resp" | grep -q '"2":14' || { echo "post-batch query still sees old weight: $resp" >&2; exit 1; }
+echo "$resp" | grep -q '"epoch":1' || { echo "post-batch query not at epoch 1: $resp" >&2; exit 1; }
+# A second batch drops the weight to 3: epoch 2, dist 8.
+up=$(curl -s -d '{"graph":"line","ops":[{"op":"reweight","src":1,"dst":2,"w":3}]}' \
+  http://127.0.0.1:18090/update)
+echo "$up" | grep -q '"epoch":2' || { echo "second update did not reach epoch 2: $up" >&2; exit 1; }
+resp=$(curl -s -d "$lbody" http://127.0.0.1:18090/query)
+echo "$resp" | grep -q '"2":8' || { echo "query after second batch: want dist 8, got: $resp" >&2; exit 1; }
+# /metrics reflects the epoch advance and the applied batches.
+curl -s http://127.0.0.1:18090/metrics >"$workdir/metrics2"
+grep -q '^livegraph_epoch{graph="line"} 2$' "$workdir/metrics2" \
+  || { echo "/metrics does not show epoch 2 for line" >&2; exit 1; }
+batches=$(sed -n 's/^livegraph_batches_total{graph="line"} //p' "$workdir/metrics2")
+[ "${batches:-0}" -eq 2 ] || { echo "livegraph_batches_total is '${batches:-missing}', want 2" >&2; exit 1; }
+echo "mutation phase: epoch 0 -> 2, cached epoch-0 answer correctly bypassed"
 
 echo "== /debug/queries exports structured traces"
 curl -s http://127.0.0.1:18090/debug/queries >"$workdir/queries"
