@@ -59,6 +59,13 @@ type Spec struct {
 	// wrappers, it returns a non-nil partial result together with the error
 	// after a contained fault or cancellation.
 	Run func(ctx context.Context, g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*QueryResult, error)
+	// RunMulti, when non-nil, executes k source lanes as one shared engine
+	// run and returns one result per lane, each element-wise equal to the
+	// corresponding single-source Run. Algorithms that ignore dst accept a
+	// nil dsts slice; pair algorithms require len(dsts) == len(srcs). Only
+	// lazy schedules are supported — dispatchers must gate on the schedule
+	// before batching lanes together.
+	RunMulti func(ctx context.Context, g *graphit.Graph, srcs, dsts []graphit.VertexID, sched graphit.Schedule) ([]*QueryResult, error)
 	// Ref is the sequential reference implementation (nil Stats).
 	Ref func(g *graphit.Graph, src, dst graphit.VertexID) (*QueryResult, error)
 }
@@ -70,6 +77,9 @@ var specs = []*Spec{
 		Run: func(ctx context.Context, g *graphit.Graph, src, _ graphit.VertexID, sched graphit.Schedule) (*QueryResult, error) {
 			return fromSSSP(SSSPContext(ctx, g, src, sched))
 		},
+		RunMulti: func(ctx context.Context, g *graphit.Graph, srcs, _ []graphit.VertexID, sched graphit.Schedule) ([]*QueryResult, error) {
+			return fromSSSPMulti(SSSPMultiContext(ctx, g, srcs, sched))
+		},
 		Ref: refDijkstra,
 	},
 	{
@@ -77,12 +87,18 @@ var specs = []*Spec{
 		Run: func(ctx context.Context, g *graphit.Graph, src, _ graphit.VertexID, sched graphit.Schedule) (*QueryResult, error) {
 			return fromSSSP(WBFSContext(ctx, g, src, sched))
 		},
+		RunMulti: func(ctx context.Context, g *graphit.Graph, srcs, _ []graphit.VertexID, sched graphit.Schedule) ([]*QueryResult, error) {
+			return fromSSSPMulti(WBFSMultiContext(ctx, g, srcs, sched))
+		},
 		Ref: refDijkstra,
 	},
 	{
 		Name: "ppsp", Kind: KindPair, NeedsWeights: true, NeedsDst: true, Exact: true,
 		Run: func(ctx context.Context, g *graphit.Graph, src, dst graphit.VertexID, sched graphit.Schedule) (*QueryResult, error) {
 			return fromSSSP(PPSPContext(ctx, g, src, dst, sched))
+		},
+		RunMulti: func(ctx context.Context, g *graphit.Graph, srcs, dsts []graphit.VertexID, sched graphit.Schedule) ([]*QueryResult, error) {
+			return fromSSSPMulti(PPSPMultiContext(ctx, g, srcs, dsts, sched))
 		},
 		Ref: refDijkstra,
 	},
@@ -149,6 +165,17 @@ func fromSSSP(res *SSSPResult, err error) (*QueryResult, error) {
 		return nil, err
 	}
 	return &QueryResult{Values: res.Dist, Stats: res.Stats}, err
+}
+
+func fromSSSPMulti(res []*SSSPResult, err error) ([]*QueryResult, error) {
+	if res == nil {
+		return nil, err
+	}
+	out := make([]*QueryResult, len(res))
+	for l, r := range res {
+		out[l] = &QueryResult{Values: r.Dist, Stats: r.Stats}
+	}
+	return out, err
 }
 
 func fromKCore(res *KCoreResult, err error) (*QueryResult, error) {

@@ -11,6 +11,7 @@
 //	benchtab -workers 1,2,4,8      # the Figure 11 sweep points
 //	benchtab -timeout 5m           # bound the whole run; partial tables on expiry
 //	benchtab -exp perf -json BENCH_pr4.json -baseline old.json -pr pr4
+//	benchtab -exp batch -json BENCH_pr9.json -pr pr9
 //	benchtab -validate BENCH_pr4.json
 //
 // The perf experiment measures the lazy-engine kernels (time, allocs/op,
@@ -37,13 +38,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated: fig1, fig4, table4, table5, table6, table7, fig11, delta, autotune, reuse, perf")
+		exp      = flag.String("exp", "all", "comma-separated: fig1, fig4, table4, table5, table6, table7, fig11, delta, autotune, reuse, perf, batch")
 		scale    = flag.String("scale", "medium", "small | medium | large")
 		workers  = flag.String("workers", "1,2,4,8", "Figure 11 worker sweep")
 		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
 		jsonOut  = flag.String("json", "", "write the perf experiment's machine-readable report to this path")
 		baseline = flag.String("baseline", "", "embed this previously emitted perf report as the baseline (before) arm")
 		prLabel  = flag.String("pr", "dev", "label recorded in the perf report")
+		minTime  = flag.Duration("mintime", 0, "minimum measured wall-clock per perf/batch case (0 = default, 300ms)")
 		validate = flag.String("validate", "", "validate an emitted perf report against the schema and exit")
 	)
 	flag.Parse()
@@ -126,7 +128,7 @@ func main() {
 	run("fig11", func() error { return print1(bench.Fig11(ctx, s, ws)) })
 	run("delta", func() error { return print1(bench.DeltaSweep(ctx, s)) })
 	run("perf", func() error {
-		t, rep, err := bench.Perf(ctx, s, bench.PerfOptions{PR: *prLabel})
+		t, rep, err := bench.Perf(ctx, s, bench.PerfOptions{PR: *prLabel, MinTime: *minTime})
 		if err != nil {
 			return err
 		}
@@ -139,6 +141,23 @@ func main() {
 			base.Baseline = nil // one level of history is the contract
 			rep.Baseline = base
 		}
+		if *jsonOut != "" {
+			if err := rep.Validate(); err != nil {
+				return err
+			}
+			if err := rep.WriteFile(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	run("batch", func() error {
+		t, rep, err := bench.BatchQuery(ctx, s, bench.PerfOptions{PR: *prLabel, MinTime: *minTime})
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
 		if *jsonOut != "" {
 			if err := rep.Validate(); err != nil {
 				return err

@@ -7,6 +7,10 @@
 // consecutive contained faults trip a per-(algo, strategy) circuit breaker
 // that re-routes to a safe serial fallback schedule, and SIGTERM drains
 // gracefully (readiness flips, in-flight queries finish under a deadline).
+// With -batch-window, concurrent lazy-strategy queries that agree on
+// everything but their source collect for a short admission window and
+// execute as one multi-source ∆-stepping run, each answered and cached
+// under its own single-source identity.
 //
 // With -mutable, POST /update applies atomic edge-mutation batches (add /
 // remove / reweight) to directed graphs. Each batch advances the graph's
@@ -65,6 +69,9 @@ func main() {
 		cacheN     = flag.Int("cache-entries", 1024, "result cache capacity in entries (0 disables the cache)")
 		cacheTTL   = flag.Duration("cache-ttl", time.Minute, "result cache entry lifetime")
 		coalesce   = flag.Bool("coalesce", true, "coalesce concurrent identical queries into one engine run")
+		batchWin   = flag.Duration("batch-window", 0, "collect concurrent same-shape different-src lazy queries for this long and run them as one multi-source batch (0 disables)")
+		batchLanes = flag.Int("batch-max-lanes", 0, "max query lanes per batched multi-source run (0 = default, 8)")
+		maxVerts   = flag.Int("max-vertices", 0, "max per-request vertices selection (0 = default, 4096)")
 		metricsOn  = flag.Bool("metrics", true, "serve Prometheus metrics at /metrics (per-stage and per-(algo, strategy) engine histograms)")
 		traceRing  = flag.Int("trace-ring", 256, "per-query structured traces retained for /debug/queries (0 disables)")
 		mutable    = flag.Bool("mutable", false, "accept edge-mutation batches at POST /update (directed graphs only)")
@@ -123,6 +130,9 @@ func main() {
 		CacheEntries:     *cacheN,
 		CacheTTL:         *cacheTTL,
 		Coalesce:         *coalesce,
+		BatchWindow:      *batchWin,
+		BatchMaxLanes:    *batchLanes,
+		MaxVertices:      *maxVerts,
 		Metrics:          *metricsOn,
 		TraceRing:        *traceRing,
 		Mutable:          *mutable,

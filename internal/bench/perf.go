@@ -37,6 +37,10 @@ type PerfRecord struct {
 	// Rounds is the run's bulk-synchronous round count — the denominator
 	// turning allocs/op into allocs/round.
 	Rounds int64 `json:"rounds"`
+	// Extra carries experiment-specific rates (e.g. the batch experiment's
+	// lanes-per-window and speedup figures). Optional and additive: readers
+	// that do not know a key ignore it.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // PerfReport is the machine-readable perf trajectory emitted by

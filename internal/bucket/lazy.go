@@ -27,10 +27,18 @@ type Lazy struct {
 	// freely re-bucket vertices anywhere (initialization order).
 	started bool
 
+	// selfFiltered declares that the consumer drops stale and duplicate
+	// extracted ids itself, so Next returns raw slabs and no epoch plane is
+	// ever allocated (see SetSelfFiltered).
+	selfFiltered bool
+
 	// A vertex can accumulate one stale copy per re-bucketing; epoch-based
 	// deduplication guarantees each vertex appears at most once per
 	// extracted bucket and once per redistributed overflow, even when old
-	// copies collapse into the same bucket after a window advance.
+	// copies collapse into the same bucket after a window advance. The
+	// plane is allocated on first use, so self-filtered consumers never pay
+	// for it.
+	n        int
 	epoch    []uint64
 	curEpoch uint64
 
@@ -142,7 +150,7 @@ func NewLazy(n int, order Order, numOpen int, bktOf BktFunc) *Lazy {
 		numOpen: numOpen,
 		bktOf:   bktOf,
 		open:    make([][]uint32, numOpen),
-		epoch:   make([]uint64, n),
+		n:       n,
 	}
 	// Find the initial window base: the extreme bucket value present.
 	base := NullBkt
@@ -180,7 +188,7 @@ func NewLazyFrom(n int, order Order, numOpen int, bktOf BktFunc, active []uint32
 		numOpen: numOpen,
 		bktOf:   bktOf,
 		open:    make([][]uint32, numOpen),
-		epoch:   make([]uint64, n),
+		n:       n,
 	}
 	base := NullBkt
 	for _, v := range active {
@@ -262,6 +270,29 @@ func (l *Lazy) currentID() int64 {
 // set install the unrestricted function after construction.
 func (l *Lazy) SetBktFunc(f BktFunc) { l.bktOf = f }
 
+// Insert places v into the bucket for id b directly, bypassing the bulk
+// UpdateBuckets seam. Single-goroutine engines that discover bucket moves
+// during the sweep itself (the serial lane-batched fast path) insert at the
+// point of the win instead of collecting a round's ids; duplicate and stale
+// copies are tolerated and filtered on extraction, exactly as with
+// UpdateBuckets. Not safe for concurrent use, like every Lazy method.
+func (l *Lazy) Insert(v uint32, b int64) { l.place(v, b) }
+
+// SetSelfFiltered declares that the consumer recognizes and skips stale or
+// duplicate extracted ids itself (e.g. with a one-byte per-id queued mark),
+// so Next returns raw slabs without the extraction-time epoch filter and
+// window advances keep duplicate copies. This sheds the epoch plane and one
+// pass over every extracted slab; a Next call may then return a frontier
+// with nothing live in it, which such consumers treat as an empty round.
+func (l *Lazy) SetSelfFiltered() { l.selfFiltered = true }
+
+// ensureEpoch allocates the deduplication plane on first filtered use.
+func (l *Lazy) ensureEpoch() {
+	if l.epoch == nil {
+		l.epoch = make([]uint64, l.n)
+	}
+}
+
 // SetParallel lets UpdateBuckets fan out internally on ex for update sets of
 // at least cutoff ids (cutoff <= 0 selects a default). The call itself must
 // still come from a single goroutine, and bktOf must be safe for concurrent
@@ -280,6 +311,7 @@ func (l *Lazy) SetParallel(ex *parallel.Executor, cutoff int) {
 // vertex, and returns the compacted slice. It consumes one dedup epoch;
 // Next and window advances take fresh epochs, so interleaving is safe.
 func (l *Lazy) DedupeIDs(ids []uint32) []uint32 {
+	l.ensureEpoch()
 	l.curEpoch++
 	out := ids[:0]
 	for _, v := range ids {
@@ -442,7 +474,12 @@ func (l *Lazy) Next() (int64, []uint32) {
 				continue
 			}
 			l.open[l.cur] = nil
+			if l.selfFiltered {
+				l.lastRet = bkt
+				return bid, bkt
+			}
 			// Filter stale entries and duplicate copies in place.
+			l.ensureEpoch()
 			l.curEpoch++
 			live := bkt[:0]
 			for _, v := range bkt {
@@ -473,16 +510,25 @@ func (l *Lazy) advanceWindow() bool {
 	l.Rebuckets++
 	// New base: the extreme live bucket id in the overflow. Duplicate
 	// copies of a vertex are dropped here — they all map to the same
-	// bucket now, so keeping one is enough.
+	// bucket now, so keeping one is enough. (Self-filtered consumers keep
+	// duplicates; their consume check drops the extras.)
 	next := NullBkt
+	if !l.selfFiltered {
+		l.ensureEpoch()
+	}
 	l.curEpoch++
 	live := l.over[:0]
 	for _, v := range l.over {
 		b := l.bktOf(v)
-		if b == NullBkt || l.epoch[v] == l.curEpoch {
+		if b == NullBkt {
 			continue
 		}
-		l.epoch[v] = l.curEpoch
+		if !l.selfFiltered {
+			if l.epoch[v] == l.curEpoch {
+				continue
+			}
+			l.epoch[v] = l.curEpoch
+		}
 		live = append(live, v)
 		if next == NullBkt || l.before(b, next) {
 			next = b

@@ -167,6 +167,11 @@ func (s *Snapshot) Release() {
 	if n < 0 {
 		panic("livegraph: snapshot over-released")
 	}
+	s.l.pinMu.Lock()
+	if s.l.pinned[s.epoch]--; s.l.pinned[s.epoch] <= 0 {
+		delete(s.l.pinned, s.epoch)
+	}
+	s.l.pinMu.Unlock()
 	s.l.active.Add(-1)
 	if s.l.cfg.OnReclaim != nil {
 		s.l.cfg.OnReclaim(s.epoch)
@@ -187,6 +192,14 @@ type Live struct {
 	closed bool
 
 	active atomic.Int64 // live snapshot handles (unreclaimed)
+
+	// pinned counts unreclaimed snapshot handles per epoch. An epoch is
+	// pinned from the moment its snapshot is created until the last
+	// reference goes — there is no window in which a handle exists but the
+	// epoch reads unpinned, which is what lets the query layer's cache
+	// sweep trust EpochPinned against in-flight readers.
+	pinMu  sync.Mutex
+	pinned map[uint64]int
 
 	loopOnce sync.Once
 	kick     chan struct{}
@@ -216,6 +229,7 @@ func New(name string, g *graph.Graph, cfg Config) *Live {
 		cfg:     cfg,
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
+		pinned:  make(map[uint64]int),
 	}
 	l.cur = l.newSnapshot(0, g)
 	if r := cfg.Metrics; r != nil {
@@ -257,7 +271,20 @@ func (l *Live) newSnapshot(epoch uint64, g *graph.Graph) *Snapshot {
 	s := &Snapshot{l: l, epoch: epoch, g: g}
 	s.refs.Store(1) // the owner reference held by l.cur
 	l.active.Add(1)
+	l.pinMu.Lock()
+	l.pinned[epoch]++ // compaction can mint a second snapshot at the same epoch
+	l.pinMu.Unlock()
 	return s
+}
+
+// EpochPinned reports whether any snapshot handle for epoch is still
+// unreclaimed. True from snapshot creation through the last Release — a
+// reader that Acquired the epoch is always covered, even before it gets a
+// chance to register interest anywhere else.
+func (l *Live) EpochPinned(epoch uint64) bool {
+	l.pinMu.Lock()
+	defer l.pinMu.Unlock()
+	return l.pinned[epoch] > 0
 }
 
 // Acquire pins the current snapshot and returns it, or nil after Close.

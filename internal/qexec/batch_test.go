@@ -1,0 +1,261 @@
+package qexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphit"
+	"graphit/internal/livegraph"
+	"graphit/internal/parallel"
+	"graphit/internal/testutil"
+)
+
+// batchReq is the canonical batchable request shape: explicit lazy strategy
+// (the k-lane engine's only supported strategy — the pipeline default is
+// eager_with_fusion, which can never batch).
+func batchReq(src uint32, probe []uint32) Request {
+	return Request{Algo: "sssp", Graph: "road", Src: src, Strategy: "lazy", Vertices: probe}
+}
+
+// TestBatchFanOut drives k concurrent same-shape/different-src queries
+// through the batch-coalescing stage and proves the contract end to end:
+// one engine run serves every lane, each lane's answer equals an
+// independent single-source run's, and each lane lands in the result cache
+// under its own single-source key.
+func TestBatchFanOut(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	const k = 4
+	probe := []uint32{0, 7, 42, 255}
+
+	// Reference answers from a pipeline with batching disabled.
+	ref := newTestPipeline(t, Config{})
+	want := make([]*Outcome, k)
+	for i := range want {
+		want[i] = ref.Do(context.Background(), batchReq(uint32(i), probe))
+		if want[i].Code != CodeOK {
+			t.Fatalf("reference run src=%d: %s: %v", i, want[i].Code, want[i].Err)
+		}
+	}
+	mustClose(t, ref)
+
+	p := newTestPipeline(t, Config{
+		CacheEntries:  64,
+		BatchWindow:   300 * time.Millisecond,
+		BatchMaxLanes: k, // the k-th join seals the window, no timer needed
+	})
+	defer mustClose(t, p)
+
+	outs := make([]*Outcome, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = p.Do(context.Background(), batchReq(uint32(i), probe))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, out := range outs {
+		if out.Code != CodeOK {
+			t.Fatalf("lane src=%d: %s: %v", i, out.Code, out.Err)
+		}
+		if !out.Batched || out.BatchLanes != k {
+			t.Errorf("lane src=%d: Batched=%v BatchLanes=%d, want true/%d", i, out.Batched, out.BatchLanes, k)
+		}
+		if out.Fallback || out.Cached {
+			t.Errorf("lane src=%d: Fallback=%v Cached=%v on the primary batched path", i, out.Fallback, out.Cached)
+		}
+		for _, v := range probe {
+			key := fmt.Sprint(v)
+			if got, exp := out.Summary.Values[key], want[i].Summary.Values[key]; got != exp {
+				t.Errorf("lane src=%d vertex %s: batched dist %d != solo dist %d", i, key, got, exp)
+			}
+		}
+	}
+
+	st := p.Status()
+	if st.Runs != 1 {
+		t.Errorf("engine runs = %d, want 1 (one k-lane run for the whole batch)", st.Runs)
+	}
+	if st.Batch.Windows != 1 || st.Batch.MultiRuns != 1 || st.Batch.Lanes != int64(k) || st.Batch.Solo != 0 {
+		t.Errorf("batch status = %+v, want 1 window, 1 multi-run, %d lanes, 0 solo", st.Batch, k)
+	}
+
+	// Every lane was cached under its own single-source key.
+	for i := 0; i < k; i++ {
+		out := p.Do(context.Background(), batchReq(uint32(i), probe))
+		if out.Code != CodeOK || !out.Cached {
+			t.Errorf("re-issued src=%d: Code=%s Cached=%v, want cache hit", i, out.Code, out.Cached)
+		}
+	}
+}
+
+// TestBatchSoloWindow proves the degenerate window: a batchable request with
+// no companions pays the window, then runs as an ordinary single-source
+// execution — marked Batched with BatchLanes zero — and the stage records a
+// solo close.
+func TestBatchSoloWindow(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	p := newTestPipeline(t, Config{BatchWindow: 5 * time.Millisecond, BatchMaxLanes: 8})
+	defer mustClose(t, p)
+
+	out := p.Do(context.Background(), batchReq(3, []uint32{42}))
+	if out.Code != CodeOK {
+		t.Fatalf("solo window: %s: %v", out.Code, out.Err)
+	}
+	if !out.Batched || out.BatchLanes != 0 {
+		t.Errorf("Batched=%v BatchLanes=%d, want true/0", out.Batched, out.BatchLanes)
+	}
+	st := p.Status().Batch
+	if st.Windows != 1 || st.Solo != 1 || st.MultiRuns != 0 {
+		t.Errorf("batch status = %+v, want 1 window closed solo", st)
+	}
+}
+
+// TestBatchSkipsNonBatchable: the default schedule (eager_with_fusion) and
+// the retry_serial fault policy must bypass the batch stage entirely — the
+// k-lane engine supports neither.
+func TestBatchSkipsNonBatchable(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	p := newTestPipeline(t, Config{BatchWindow: 50 * time.Millisecond})
+	defer mustClose(t, p)
+
+	for _, req := range []Request{
+		{Algo: "sssp", Graph: "road", Src: 1}, // default strategy: eager_with_fusion
+		{Algo: "sssp", Graph: "road", Src: 1, Strategy: "eager_with_fusion"},
+	} {
+		out := p.Do(context.Background(), req)
+		if out.Code != CodeOK {
+			t.Fatalf("%+v: %s: %v", req, out.Code, out.Err)
+		}
+		if out.Batched {
+			t.Errorf("%+v: non-batchable request went through the batch stage", req)
+		}
+	}
+	if st := p.Status().Batch; st.Windows != 0 {
+		t.Errorf("batch windows = %d, want 0 (no batchable traffic)", st.Windows)
+	}
+}
+
+// TestCacheEpochSweep is the regression test for the epoch-sweep satellite:
+// once a mutation advances the epoch and no snapshot pins the old one, the
+// first new-epoch plan reclaims every dead entry eagerly — counted as
+// Invalidated, distinct from capacity/TTL evictions.
+func TestCacheEpochSweep(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	p := newTestPipeline(t, Config{
+		Graphs:       map[string]*graphit.Graph{"line": lineGraph(t)},
+		CacheEntries: 64,
+	})
+	defer mustClose(t, p)
+
+	// Two epoch-0 entries under distinct keys.
+	for _, src := range []uint32{0, 1} {
+		req := Request{Algo: "sssp", Graph: "line", Src: src, Vertices: []uint32{2}}
+		if out := p.Do(context.Background(), req); out.Code != CodeOK {
+			t.Fatalf("src=%d: %s: %v", src, out.Code, out.Err)
+		}
+	}
+	if st := p.Status().Cache; st.Entries != 2 || st.Invalidated != 0 {
+		t.Fatalf("pre-mutation cache = %+v, want 2 entries, 0 invalidated", st)
+	}
+
+	if _, err := p.Live("line").ApplyBatch([]livegraph.Op{
+		{Kind: livegraph.OpReweight, Src: 1, Dst: 2, W: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first post-mutation plan sweeps both dead entries and stores one
+	// fresh epoch-1 entry.
+	req := Request{Algo: "sssp", Graph: "line", Src: 0, Vertices: []uint32{2}}
+	out := p.Do(context.Background(), req)
+	if out.Code != CodeOK || out.Cached || out.Epoch != 1 {
+		t.Fatalf("post-mutation query: %+v", out)
+	}
+	st := p.Status().Cache
+	if st.Invalidated != 2 {
+		t.Errorf("invalidated = %d, want 2 (both epoch-0 entries swept)", st.Invalidated)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (only the fresh epoch-1 answer)", st.Entries)
+	}
+}
+
+// TestConfigValidation pins New's construction-time checks: each rejected
+// field surfaces as a typed *ConfigError naming the field, and the
+// historically dangerous MaxBudget-below-minimum shape — which the old
+// cap-then-floor clamp silently turned into budgets above the configured
+// maximum — is refused outright.
+func TestConfigValidation(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	g := map[string]*graphit.Graph{"road": testGraph(t)}
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"negative MaxConcurrent", Config{MaxConcurrent: -1}, "MaxConcurrent"},
+		{"negative QueueDepth", Config{QueueDepth: -1}, "QueueDepth"},
+		{"negative DefaultBudget", Config{DefaultBudget: -time.Second}, "DefaultBudget"},
+		{"negative MaxBudget", Config{MaxBudget: -time.Second}, "MaxBudget"},
+		{"MaxBudget below minimum", Config{MaxBudget: minBudget / 2}, "MaxBudget"},
+		{"negative CacheEntries", Config{CacheEntries: -1}, "CacheEntries"},
+		{"negative CacheTTL", Config{CacheTTL: -time.Second}, "CacheTTL"},
+		{"negative BatchWindow", Config{BatchWindow: -time.Second}, "BatchWindow"},
+		{"negative BatchMaxLanes", Config{BatchMaxLanes: -1}, "BatchMaxLanes"},
+		{"negative MaxVertices", Config{MaxVertices: -1}, "MaxVertices"},
+	}
+	for _, tc := range cases {
+		tc.cfg.Graphs = g
+		_, err := New(tc.cfg)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: New err = %v, want *ConfigError", tc.name, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: rejected field %q, want %q", tc.name, ce.Field, tc.field)
+		}
+	}
+
+	// The boundary itself is legal: MaxBudget == minBudget is satisfiable.
+	p, err := New(Config{Graphs: g, MaxBudget: minBudget})
+	if err != nil {
+		t.Fatalf("MaxBudget == minBudget rejected: %v", err)
+	}
+	mustClose(t, p)
+}
+
+// TestMaxVerticesCap: an over-limit Vertices selection is a plan-stage
+// rejection (CodeBadRequest) — it never reaches the engine or mints an
+// oversized summary.
+func TestMaxVerticesCap(t *testing.T) {
+	defer testutil.LeakCheck(t, parallel.CloseIdle)()
+	p := newTestPipeline(t, Config{MaxVertices: 4})
+	defer mustClose(t, p)
+
+	out := p.Do(context.Background(), Request{
+		Algo: "sssp", Graph: "road", Src: 0, Vertices: []uint32{0, 1, 2, 3, 4},
+	})
+	if out.Code != CodeBadRequest {
+		t.Fatalf("over-limit vertices: Code=%s Err=%v, want bad_request", out.Code, out.Err)
+	}
+	if out.Err == nil || !strings.Contains(out.Err.Error(), "limit is 4") {
+		t.Errorf("error %v does not name the limit", out.Err)
+	}
+
+	// Exactly at the limit is fine.
+	out = p.Do(context.Background(), Request{
+		Algo: "sssp", Graph: "road", Src: 0, Vertices: []uint32{0, 1, 2, 3},
+	})
+	if out.Code != CodeOK {
+		t.Fatalf("at-limit vertices: %s: %v", out.Code, out.Err)
+	}
+}

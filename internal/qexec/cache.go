@@ -10,9 +10,13 @@ import (
 )
 
 // cacheEntry is one cached result: the canonical summary plus the producing
-// run's stats. Entries are immutable once stored — readers share them.
+// run's stats. Entries are immutable once stored — readers share them. The
+// graph name and epoch are recorded so an epoch advance can sweep the dead
+// entries eagerly instead of letting them squat in the LRU until TTL.
 type cacheEntry struct {
 	key   string
+	graph string
+	epoch uint64
 	sum   algo.Summary
 	stats *graphit.Stats
 	at    time.Time
@@ -28,9 +32,14 @@ type resultCache struct {
 	ttl      time.Duration
 	ll       *list.List // front = most recently used
 	m        map[string]*list.Element
+	// epochs is the highest epoch planned per graph. Epoch is part of every
+	// cache key, so entries from older epochs are unreachable the moment a
+	// mutation lands — noteEpoch reclaims them instead of letting dead
+	// results crowd live ones out of the LRU until their TTL expires.
+	epochs map[string]uint64
 
-	hits, misses, evictions int64
-	now                     func() time.Time // injectable clock for tests
+	hits, misses, evictions, invalidated int64
+	now                                  func() time.Time // injectable clock for tests
 }
 
 func newResultCache(capacity int, ttl time.Duration) *resultCache {
@@ -39,7 +48,40 @@ func newResultCache(capacity int, ttl time.Duration) *resultCache {
 		ttl:      ttl,
 		ll:       list.New(),
 		m:        make(map[string]*list.Element, capacity),
+		epochs:   make(map[string]uint64),
 		now:      time.Now,
+	}
+}
+
+// noteEpoch records that graph is being served at epoch and, on an epoch
+// advance, sweeps the graph's dead older-epoch entries. Called once per
+// planned request — the sweep itself runs only when a mutation actually
+// moved the epoch forward, so the steady-state cost is one map probe.
+//
+// pinned (when non-nil) reports whether some unreclaimed snapshot still
+// holds the given epoch of this graph. Such epochs are spared: in-flight
+// requests planned against them still probe their keys, and reclaiming the
+// entries would force each one into a redundant engine run (re-swept on the
+// next advance instead, once the stragglers have drained). Unpinned older
+// epochs are unreachable by construction — a plan holds its snapshot for
+// the whole request, so no pin means no prober — and are reclaimed on the
+// spot.
+func (c *resultCache) noteEpoch(graph string, epoch uint64, pinned func(epoch uint64) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.epochs[graph]; ok && epoch <= prev {
+		return
+	}
+	c.epochs[graph] = epoch
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.graph == graph && e.epoch < epoch && (pinned == nil || !pinned(e.epoch)) {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+			c.invalidated++
+		}
 	}
 }
 
@@ -67,11 +109,15 @@ func (c *resultCache) get(key string) (*cacheEntry, bool) {
 }
 
 // put stores (or refreshes) key's entry, evicting the least recently used
-// entry when the cache is full.
-func (c *resultCache) put(key string, sum algo.Summary, stats *graphit.Stats) {
+// entry when the cache is full. A put may carry an epoch the sweep has
+// already passed — a run that raced a mutation — and is stored anyway:
+// plans pinned to the old snapshot are still in flight and still probe its
+// key, and the entry is reclaimed by the next epoch advance (or TTL) rather
+// than re-run by every remaining old-epoch request.
+func (c *resultCache) put(key, graph string, epoch uint64, sum algo.Summary, stats *graphit.Stats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := &cacheEntry{key: key, sum: sum, stats: stats, at: c.now()}
+	e := &cacheEntry{key: key, graph: graph, epoch: epoch, sum: sum, stats: stats, at: c.now()}
 	if el, ok := c.m[key]; ok {
 		el.Value = e
 		c.ll.MoveToFront(el)
@@ -94,17 +140,22 @@ type CacheStatus struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// Invalidated counts entries reclaimed because a graph mutation advanced
+	// past their epoch — distinct from capacity/TTL evictions, which reflect
+	// cache pressure rather than staleness.
+	Invalidated int64 `json:"invalidated"`
 }
 
 func (c *resultCache) status() CacheStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStatus{
-		Capacity:  c.capacity,
-		Entries:   c.ll.Len(),
-		TTLMS:     c.ttl.Milliseconds(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Capacity:    c.capacity,
+		Entries:     c.ll.Len(),
+		TTLMS:       c.ttl.Milliseconds(),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Invalidated: c.invalidated,
 	}
 }

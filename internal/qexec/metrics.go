@@ -28,6 +28,7 @@ type pipeMetrics struct {
 	stagePlan     *obs.Histogram
 	stageCache    *obs.Histogram
 	stageCoalesce *obs.Histogram
+	stageBatch    *obs.Histogram
 	stageQueue    *obs.Histogram
 	stageRun      *obs.Histogram
 
@@ -36,6 +37,11 @@ type pipeMetrics struct {
 	coalesced *obs.Counter
 	fallbacks *obs.Counter
 	shed      *obs.Counter
+
+	batchWindows *obs.Counter
+	batchRuns    *obs.Counter
+	batchLanes   *obs.Counter
+	batchSolo    *obs.Counter
 
 	faultMu sync.Mutex
 	faults  map[string]*obs.Counter // by fault kind, lazily registered
@@ -54,7 +60,7 @@ type pipeMetrics struct {
 const maxBreakerGaugeKeys = 64
 
 const (
-	helpStage = "Wall time of one pipeline stage for one request (stage label: plan, cache, coalesce_wait, queue_wait, run)."
+	helpStage = "Wall time of one pipeline stage for one request (stage label: plan, cache, coalesce_wait, batch_wait, queue_wait, run)."
 	helpRound = "Engine round wall time by (algo, strategy, graph)."
 )
 
@@ -70,6 +76,7 @@ func newPipeMetrics(reg *obs.Registry, p *Pipeline) *pipeMetrics {
 		{&m.stagePlan, "plan"},
 		{&m.stageCache, "cache"},
 		{&m.stageCoalesce, "coalesce_wait"},
+		{&m.stageBatch, "batch_wait"},
 		{&m.stageQueue, "queue_wait"},
 		{&m.stageRun, "run"},
 	} {
@@ -83,6 +90,10 @@ func newPipeMetrics(reg *obs.Registry, p *Pipeline) *pipeMetrics {
 	m.coalesced = reg.Counter("qexec_coalesced_total", "Requests served by joining another request's engine run.")
 	m.fallbacks = reg.Counter("qexec_fallbacks_total", "Requests answered by the safe fallback schedule.")
 	m.shed = reg.Counter("qexec_shed_total", "Requests shed by admission control (queue full).")
+	m.batchWindows = reg.Counter("qexec_batch_windows_total", "Batch admission windows opened.")
+	m.batchRuns = reg.Counter("qexec_batch_runs_total", "Multi-source engine runs executed by the batch stage (windows that closed with ≥2 lanes).")
+	m.batchLanes = reg.Counter("qexec_batch_lanes_total", "Query lanes carried by batched multi-source runs.")
+	m.batchSolo = reg.Counter("qexec_batch_solo_total", "Batch windows that closed with a single occupant and ran single-source.")
 	m.breakerDropped = reg.Counter("qexec_breaker_gauges_dropped_total",
 		"Breaker keys whose state gauge was not exported because the per-key cardinality cap was reached.")
 	reg.GaugeFunc("qexec_inflight", "Queries currently executing (post-admission).",
@@ -111,6 +122,29 @@ func (m *pipeMetrics) observeCoalesceWait(d time.Duration) {
 		return
 	}
 	m.stageCoalesce.Observe(d.Seconds())
+}
+
+func (m *pipeMetrics) observeBatchWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stageBatch.Observe(d.Seconds())
+}
+
+// observeBatch folds one sealed batch window into the counters: every window
+// counts, and it lands on the multi-run/lanes side or the solo side by its
+// final occupancy.
+func (m *pipeMetrics) observeBatch(lanes int) {
+	if m == nil {
+		return
+	}
+	m.batchWindows.Inc()
+	if lanes > 1 {
+		m.batchRuns.Inc()
+		m.batchLanes.Add(int64(lanes))
+	} else {
+		m.batchSolo.Inc()
+	}
 }
 
 func (m *pipeMetrics) observeQueueWait(d time.Duration) {

@@ -79,6 +79,27 @@ func (pl *Plan) flightKey() string {
 	return pl.CacheKey + "|budget=" + pl.Budget.String()
 }
 
+// batchKey keys the batch-coalescing stage: everything a multi-source run
+// must agree on — algorithm, graph, epoch, canonical schedule, and budget —
+// with src, dst, and the vertices selection deliberately excluded. Plans
+// sharing a batchKey differ only per lane, so one k-lane engine run answers
+// all of them.
+func (pl *Plan) batchKey() string {
+	return fmt.Sprintf("%s|%s|epoch=%d|%s|budget=%s",
+		pl.Spec.Name, pl.GraphName, pl.Epoch, pl.Params.CanonicalKey(), pl.Budget)
+}
+
+// batchable reports whether pl may join a multi-source batch: the algorithm
+// must have a lane-parallel entry point, the schedule must be plain lazy
+// bucketing (the only strategy the k-lane engine supports), and the serial
+// retry policy is excluded (a deterministic serial re-run is undefined for
+// a shared frontier).
+func (pl *Plan) batchable() bool {
+	return pl.Spec.RunMulti != nil &&
+		pl.Params.Strategy == "lazy" &&
+		pl.Params.OnFault != "retry_serial"
+}
+
 // plan validates req against the registry and the loaded graphs and
 // resolves it to a canonical Plan holding a pinned epoch snapshot. All
 // failures here are request errors (CodeBadRequest) — except a live graph
@@ -89,6 +110,12 @@ func (p *Pipeline) plan(req *Request) (pl *Plan, err error) {
 	sp, err := cliutil.ParseAlgo(req.Algo)
 	if err != nil {
 		return nil, err
+	}
+	// Bound the vertices selection before touching any graph state: every
+	// requested vertex is echoed into the summary, so an unbounded selection
+	// lets one request mint an arbitrarily large response (and cache entry).
+	if max := p.cfg.MaxVertices; len(req.Vertices) > max {
+		return nil, fmt.Errorf("requested %d vertices, limit is %d", len(req.Vertices), max)
 	}
 	live, ok := p.live[req.Graph]
 	if !ok {
@@ -182,18 +209,23 @@ func cacheKey(algoName, graphName string, epoch uint64, src, dst uint32, norm cl
 }
 
 // clampBudget clamps the caller's requested budget to the pipeline's range:
-// 0 takes the default, anything above MaxBudget is capped, and anything
-// below minBudget is floored (a shorter deadline cannot fit one round).
+// 0 takes the default, anything below minBudget is floored (a shorter
+// deadline cannot fit one round), and anything above MaxBudget is capped.
+// The floor runs before the cap so MaxBudget is a hard ceiling: the old
+// order (cap, then floor) let a misconfigured MaxBudget below minBudget
+// grant every query a budget above the configured maximum. New rejects that
+// configuration outright, and this order keeps the cap authoritative even
+// if the two bounds ever collide again.
 func (p *Pipeline) clampBudget(ms int64) time.Duration {
 	d := time.Duration(ms) * time.Millisecond
 	if d <= 0 {
 		d = p.cfg.DefaultBudget
 	}
-	if d > p.cfg.MaxBudget {
-		d = p.cfg.MaxBudget
-	}
 	if d < minBudget {
 		d = minBudget
+	}
+	if d > p.cfg.MaxBudget {
+		d = p.cfg.MaxBudget
 	}
 	return d
 }

@@ -89,6 +89,18 @@ type Config struct {
 	// Coalesce enables singleflight coalescing of concurrent identical
 	// plans into one engine run.
 	Coalesce bool
+	// BatchWindow enables the batch-coalescing stage: admitted lazy-strategy
+	// queries that agree on (algo, graph, epoch, schedule, budget) but
+	// differ in source collect for this long and execute as one multi-source
+	// engine run, each lane cached and answered under its own single-source
+	// identity. 0 disables the stage.
+	BatchWindow time.Duration
+	// BatchMaxLanes caps one batched run's lane count; a window seals early
+	// when it fills. Default 8, hard cap graphit.MaxLanes.
+	BatchMaxLanes int
+	// MaxVertices caps the per-request Vertices selection (each requested
+	// vertex is echoed into the summary). Default 4096.
+	MaxVertices int
 	// Metrics, when non-nil, receives the pipeline's counters, gauges, and
 	// per-stage latency histograms plus the engine's per-(algo, strategy,
 	// graph) round histograms. nil disables instrumentation entirely; the
@@ -130,6 +142,57 @@ func (c *Config) applyDefaults() {
 	if c.CacheTTL <= 0 {
 		c.CacheTTL = time.Minute
 	}
+	if c.BatchMaxLanes <= 0 {
+		c.BatchMaxLanes = 8
+	}
+	if c.BatchMaxLanes > graphit.MaxLanes {
+		c.BatchMaxLanes = graphit.MaxLanes
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 4096
+	}
+}
+
+// ConfigError reports a Config field New rejected, with the reason.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("qexec: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// validate rejects Config values that applyDefaults would otherwise paper
+// over into surprising behavior. Notably MaxBudget below minBudget: the
+// budget clamp floors at minBudget, so such a maximum is unsatisfiable —
+// before this check it silently granted every query a budget above the
+// configured ceiling. CacheEntries == 0 stays legal (it disables the cache).
+func (c *Config) validate() error {
+	type check struct {
+		field string
+		bad   bool
+		why   string
+	}
+	checks := []check{
+		{"MaxConcurrent", c.MaxConcurrent < 0, "must not be negative"},
+		{"QueueDepth", c.QueueDepth < 0, "must not be negative"},
+		{"DefaultBudget", c.DefaultBudget < 0, "must not be negative"},
+		{"MaxBudget", c.MaxBudget < 0, "must not be negative"},
+		{"MaxBudget", c.MaxBudget > 0 && c.MaxBudget < minBudget,
+			fmt.Sprintf("is below the %v minimum budget (unsatisfiable)", minBudget)},
+		{"CacheEntries", c.CacheEntries < 0, "must not be negative"},
+		{"CacheTTL", c.CacheTTL < 0, "must not be negative"},
+		{"BatchWindow", c.BatchWindow < 0, "must not be negative"},
+		{"BatchMaxLanes", c.BatchMaxLanes < 0, "must not be negative"},
+		{"MaxVertices", c.MaxVertices < 0, "must not be negative"},
+	}
+	for _, ck := range checks {
+		if ck.bad {
+			return &ConfigError{Field: ck.field, Reason: ck.why}
+		}
+	}
+	return nil
 }
 
 // Pipeline executes queries. Construct with New; it is safe for concurrent
@@ -143,6 +206,7 @@ type Pipeline struct {
 	breakers *Breakers
 	cache    *resultCache // nil: cache stage disabled
 	flights  *flightGroup // nil: coalesce stage disabled
+	batch    *batcher     // nil: batch-coalescing stage disabled
 	met      *pipeMetrics // nil: metrics disabled (every method nil-safe)
 	ring     *traceRing   // nil: trace retention disabled
 
@@ -167,6 +231,9 @@ type Pipeline struct {
 func New(cfg Config) (*Pipeline, error) {
 	if len(cfg.Graphs) == 0 && len(cfg.Live) == 0 {
 		return nil, fmt.Errorf("qexec: no graphs configured")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	cfg.applyDefaults()
 	p := &Pipeline{
@@ -195,6 +262,9 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.Coalesce {
 		p.flights = newFlightGroup()
+	}
+	if cfg.BatchWindow > 0 {
+		p.batch = newBatcher(cfg.BatchWindow, cfg.BatchMaxLanes)
 	}
 	if cfg.Metrics != nil {
 		p.met = newPipeMetrics(cfg.Metrics, p)
@@ -228,7 +298,7 @@ func (p *Pipeline) Do(ctx context.Context, req Request) *Outcome {
 // stack: when metrics and the trace ring are both disabled it is written but
 // never read, at zero heap cost.
 type execTrace struct {
-	plan, cache, coalesceWait, queueWait, run time.Duration
+	plan, cache, coalesceWait, batchWait, queueWait, run time.Duration
 
 	events    []graphit.RoundEvent
 	rounds    int64
@@ -257,6 +327,15 @@ func (p *Pipeline) do(ctx context.Context, req Request, et *execTrace) *Outcome 
 	// and the compactor swaps bases mid-run.
 	defer pl.Snap.Release()
 	if p.cache != nil {
+		// Seeing a graph at a new epoch means every older-epoch entry for it
+		// is dead once no unreclaimed snapshot pins its epoch (the epoch is
+		// part of the key, so new plans cannot reach it) — reclaim those now
+		// rather than letting dead results ride the LRU until TTL. The pin
+		// check is the live graph's own snapshot refcount, so a straggling
+		// plan that Acquired just before the mutation is covered from the
+		// instant of the Acquire — there is no registration gap for the
+		// sweep to race through.
+		p.cache.noteEpoch(pl.GraphName, pl.Epoch, p.live[pl.GraphName].EpochPinned)
 		t = time.Now()
 		out, ok := p.cached(pl)
 		et.cache = time.Since(t)
@@ -268,7 +347,7 @@ func (p *Pipeline) do(ctx context.Context, req Request, et *execTrace) *Outcome 
 	if p.flights != nil {
 		t = time.Now()
 		out := p.flights.do(ctx, pl.flightKey(), func() *Outcome {
-			return p.execute(ctx, pl, true, et)
+			return p.batched(ctx, pl, true, et)
 		})
 		if out.Coalesced {
 			et.coalesceWait = time.Since(t)
@@ -279,7 +358,7 @@ func (p *Pipeline) do(ctx context.Context, req Request, et *execTrace) *Outcome 
 		}
 		return out
 	}
-	return p.execute(ctx, pl, false, et)
+	return p.batched(ctx, pl, false, et)
 }
 
 // Caps on the string metadata one trace may retain. Bad requests echo the
@@ -302,24 +381,27 @@ func clipTrace(s string, max int) string {
 // buildTrace renders one finished request as its ring record.
 func buildTrace(req *Request, out *Outcome, et *execTrace, start time.Time) QueryTrace {
 	qt := QueryTrace{
-		At:        time.Now(),
-		Algo:      clipTrace(out.Algo, maxTraceField),
-		Graph:     clipTrace(out.Graph, maxTraceField),
-		Strategy:  clipTrace(out.Strategy, maxTraceField),
-		Epoch:     out.Epoch,
-		Src:       req.Src,
-		Dst:       req.Dst,
-		Code:      out.Code.String(),
-		FaultKind: out.FaultKind,
-		Breaker:   out.Breaker,
-		Fallback:  out.Fallback,
-		Cached:    out.Cached,
-		Coalesced: out.Coalesced,
-		ElapsedUS: time.Since(start).Microseconds(),
+		At:         time.Now(),
+		Algo:       clipTrace(out.Algo, maxTraceField),
+		Graph:      clipTrace(out.Graph, maxTraceField),
+		Strategy:   clipTrace(out.Strategy, maxTraceField),
+		Epoch:      out.Epoch,
+		Src:        req.Src,
+		Dst:        req.Dst,
+		Code:       out.Code.String(),
+		FaultKind:  out.FaultKind,
+		Breaker:    out.Breaker,
+		Fallback:   out.Fallback,
+		Cached:     out.Cached,
+		Coalesced:  out.Coalesced,
+		Batched:    out.Batched,
+		BatchLanes: out.BatchLanes,
+		ElapsedUS:  time.Since(start).Microseconds(),
 		Stages: StageTimings{
 			PlanUS:         et.plan.Microseconds(),
 			CacheUS:        et.cache.Microseconds(),
 			CoalesceWaitUS: et.coalesceWait.Microseconds(),
+			BatchWaitUS:    et.batchWait.Microseconds(),
 			QueueWaitUS:    et.queueWait.Microseconds(),
 			RunUS:          et.run.Microseconds(),
 		},
@@ -450,7 +532,7 @@ func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool, et *exe
 	// caching them would mask breaker recovery, and faults must stay
 	// observable.
 	if p.cache != nil && out.Code == CodeOK && !out.Fallback {
-		p.cache.put(pl.CacheKey, out.Summary, out.Stats)
+		p.cache.put(pl.CacheKey, pl.GraphName, pl.Epoch, out.Summary, out.Stats)
 	}
 	return out
 }
@@ -540,6 +622,7 @@ type Status struct {
 	Breakers  []BreakerStatus `json:"breakers"`
 	Cache     CacheStatus     `json:"cache"`
 	Coalesce  CoalesceStatus  `json:"coalesce"`
+	Batch     BatchStatus     `json:"batch"`
 	// Runs counts engine executions (post-admission). The gap between
 	// admitted requests and runs is exactly the work the cache and
 	// coalescer absorbed.
@@ -570,6 +653,9 @@ func (p *Pipeline) Status() Status {
 	}
 	if p.flights != nil {
 		st.Coalesce = p.flights.status()
+	}
+	if p.batch != nil {
+		st.Batch = p.batch.status()
 	}
 	return st
 }

@@ -153,14 +153,14 @@ func TestResultCacheLRUTTL(t *testing.T) {
 
 	reached := 5
 	sum := algo.Summary{Reached: &reached}
-	c.put("a", sum, nil)
-	c.put("b", sum, nil)
+	c.put("a", "g", 1, sum, nil)
+	c.put("b", "g", 1, sum, nil)
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("fresh entry missing")
 	}
 	// Capacity 2: inserting c evicts the LRU entry — b, since a was just
 	// touched.
-	c.put("c", sum, nil)
+	c.put("c", "g", 1, sum, nil)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("LRU entry survived eviction")
 	}

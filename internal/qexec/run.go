@@ -83,6 +83,12 @@ type Outcome struct {
 	// without (Cached) or by sharing (Coalesced) an engine run.
 	Cached    bool
 	Coalesced bool
+	// Batched reports that the request went through the batch-coalescing
+	// stage; BatchLanes is the lane count of the shared multi-source run
+	// that answered it (0 when the window closed solo or the stage only
+	// classified a failure).
+	Batched    bool
+	BatchLanes int
 	// Summary is the canonical result summary (CodeOK only).
 	Summary algo.Summary
 	// Stats are the engine's execution counters (partial after a contained

@@ -14,6 +14,7 @@ type StageTimings struct {
 	PlanUS         int64 `json:"plan_us"`
 	CacheUS        int64 `json:"cache_us,omitempty"`
 	CoalesceWaitUS int64 `json:"coalesce_wait_us,omitempty"`
+	BatchWaitUS    int64 `json:"batch_wait_us,omitempty"`
 	QueueWaitUS    int64 `json:"queue_wait_us,omitempty"`
 	RunUS          int64 `json:"run_us,omitempty"`
 }
@@ -31,13 +32,15 @@ type QueryTrace struct {
 	Src      uint32    `json:"src"`
 	Dst      uint32    `json:"dst,omitempty"`
 
-	Code      string `json:"code"`
-	Error     string `json:"error,omitempty"`
-	FaultKind string `json:"fault_kind,omitempty"`
-	Breaker   string `json:"breaker,omitempty"`
-	Fallback  bool   `json:"fallback,omitempty"`
-	Cached    bool   `json:"cached,omitempty"`
-	Coalesced bool   `json:"coalesced,omitempty"`
+	Code       string `json:"code"`
+	Error      string `json:"error,omitempty"`
+	FaultKind  string `json:"fault_kind,omitempty"`
+	Breaker    string `json:"breaker,omitempty"`
+	Fallback   bool   `json:"fallback,omitempty"`
+	Cached     bool   `json:"cached,omitempty"`
+	Coalesced  bool   `json:"coalesced,omitempty"`
+	Batched    bool   `json:"batched,omitempty"`
+	BatchLanes int    `json:"batch_lanes,omitempty"`
 
 	ElapsedUS int64        `json:"elapsed_us"`
 	Stages    StageTimings `json:"stages"`

@@ -66,6 +66,11 @@ type Response struct {
 	// cache, or by sharing another in-flight identical query's engine run.
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Batched reports that the answer came through the batch-coalescing
+	// stage; BatchLanes is the lane count of the shared multi-source run
+	// that produced it (absent when the window closed solo).
+	Batched    bool `json:"batched,omitempty"`
+	BatchLanes int  `json:"batch_lanes,omitempty"`
 	// Breaker is the (algo, strategy) breaker's state after this request.
 	Breaker string `json:"breaker"`
 	// FaultKind is the primary run's contained fault ("panic" or "stuck"),
@@ -83,17 +88,19 @@ type Response struct {
 // newResponse renders a pipeline Outcome as the wire shape.
 func newResponse(out *qexec.Outcome) *Response {
 	resp := &Response{
-		Algo:      out.Algo,
-		Graph:     out.Graph,
-		Strategy:  out.Strategy,
-		Epoch:     out.Epoch,
-		Fallback:  out.Fallback,
-		Cached:    out.Cached,
-		Coalesced: out.Coalesced,
-		Breaker:   out.Breaker,
-		FaultKind: out.FaultKind,
-		Stats:     out.Stats,
-		Summary:   out.Summary,
+		Algo:       out.Algo,
+		Graph:      out.Graph,
+		Strategy:   out.Strategy,
+		Epoch:      out.Epoch,
+		Fallback:   out.Fallback,
+		Cached:     out.Cached,
+		Coalesced:  out.Coalesced,
+		Batched:    out.Batched,
+		BatchLanes: out.BatchLanes,
+		Breaker:    out.Breaker,
+		FaultKind:  out.FaultKind,
+		Stats:      out.Stats,
+		Summary:    out.Summary,
 	}
 	if out.Err != nil {
 		resp.Error = out.Err.Error()

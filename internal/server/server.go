@@ -55,6 +55,14 @@ type Config struct {
 	CacheEntries int
 	CacheTTL     time.Duration
 	Coalesce     bool
+	// BatchWindow / BatchMaxLanes parameterize the batch-coalescing stage:
+	// concurrent lazy-strategy queries that differ only in source collect
+	// for BatchWindow and execute as one multi-source engine run (0
+	// disables the stage); BatchMaxLanes caps a run's lane count.
+	BatchWindow   time.Duration
+	BatchMaxLanes int
+	// MaxVertices caps the per-request vertices selection.
+	MaxVertices int
 	// Metrics enables GET /metrics (Prometheus text format) backed by the
 	// pipeline's counters and per-stage latency histograms plus the
 	// engine's per-(algo, strategy, graph) round histograms. Disabled, the
@@ -126,6 +134,9 @@ func New(cfg Config) (*Server, error) {
 		CacheEntries:     cfg.CacheEntries,
 		CacheTTL:         cfg.CacheTTL,
 		Coalesce:         cfg.Coalesce,
+		BatchWindow:      cfg.BatchWindow,
+		BatchMaxLanes:    cfg.BatchMaxLanes,
+		MaxVertices:      cfg.MaxVertices,
 		Metrics:          reg,
 		TraceRing:        cfg.TraceRing,
 		BaseContext:      cfg.BaseContext,
@@ -211,6 +222,7 @@ type Status struct {
 	Breakers  []qexec.BreakerStatus `json:"breakers"`
 	Cache     qexec.CacheStatus     `json:"cache"`
 	Coalesce  qexec.CoalesceStatus  `json:"coalesce"`
+	Batch     qexec.BatchStatus     `json:"batch"`
 	Runs      int64                 `json:"runs"`
 }
 
@@ -225,6 +237,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Breakers:  ps.Breakers,
 		Cache:     ps.Cache,
 		Coalesce:  ps.Coalesce,
+		Batch:     ps.Batch,
 		Runs:      ps.Runs,
 	}
 	for name, g := range s.cfg.Graphs {

@@ -27,6 +27,10 @@ type Queue = core.Updater
 // the DSL's updateEdge UDF (paper Figure 3, lines 7–10).
 type EdgeFunc = core.EdgeFunc
 
+// StopFunc is a customized stop condition checked once per round with the
+// priority of the bucket about to be processed.
+type StopFunc = core.StopFunc
+
 // Ordered is a fully-configured ordered edgeset-apply operator — the
 // runtime object the GraphIt compiler generates for
 // `while(pq.finished()==false){ ... applyUpdatePriority(f) }` loops.
@@ -47,6 +51,40 @@ func RunOrderedContext(ctx context.Context, op *Ordered, s Schedule) (Stats, err
 	cfg, err := s.Config()
 	if err != nil {
 		return Stats{}, err
+	}
+	op.Cfg = cfg
+	return op.RunContext(ctx)
+}
+
+// MultiOrdered executes k single-source ordered operators ("lanes") as one
+// shared round loop: one frontier and bucket structure keyed by the minimum
+// pending priority across lanes, one edge sweep per round applying the UDF
+// once per (edge, active lane). Each lane's priority vector converges to
+// exactly the result an independent single-source run would produce. Lazy
+// strategies with lower_first order only; see core.MultiOrdered.
+type MultiOrdered = core.MultiOrdered
+
+// MultiStats reports one multi-source run: shared round-loop counters plus
+// the per-lane relaxation/processed split (see MultiStats.Lane).
+type MultiStats = core.MultiStats
+
+// LaneStats is the per-lane slice of a multi-source run's counters.
+type LaneStats = core.LaneStats
+
+// MaxLanes bounds the lane count of one multi-source run.
+const MaxLanes = core.MaxLanes
+
+// RunOrderedMulti executes the multi-source operator op under schedule s.
+func RunOrderedMulti(op *MultiOrdered, s Schedule) (MultiStats, error) {
+	return RunOrderedMultiContext(context.Background(), op, s)
+}
+
+// RunOrderedMultiContext is RunOrderedMulti under a context, with the same
+// cooperative cancellation contract as RunOrderedContext.
+func RunOrderedMultiContext(ctx context.Context, op *MultiOrdered, s Schedule) (MultiStats, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return MultiStats{}, err
 	}
 	op.Cfg = cfg
 	return op.RunContext(ctx)

@@ -31,7 +31,8 @@ echo "== build and boot graphd (1 slot, 1 queue seat, mutable)"
 go build -o "$workdir/graphd" ./cmd/graphd
 "$workdir/graphd" -graph road="$workdir/road.bin" -graph line="$workdir/line.wel" \
   -addr 127.0.0.1:18090 \
-  -max-concurrent 1 -queue-depth 1 -default-budget 10s -mutable &
+  -max-concurrent 1 -queue-depth 1 -default-budget 10s -mutable \
+  -batch-window 250ms -batch-max-lanes 16 &
 pid=$!
 
 echo "== wait for readiness"
@@ -132,6 +133,29 @@ shed_total=$(sed -n 's/^qexec_shed_total //p' "$workdir/metrics")
 [ -n "$shed_total" ] && [ "$shed_total" -ge 1 ] \
   || { echo "saturation phase recorded no sheds in /metrics (got '${shed_total:-missing}')" >&2; exit 1; }
 echo "metrics: run_count=$run_count round_count=$round_count shed_total=$shed_total"
+
+echo "== batch window merges 16 different-src lazy queries into multi-lane runs"
+lanes_before=$(curl -s http://127.0.0.1:18090/metrics | sed -n 's/^qexec_batch_lanes_total //p')
+lanes_before=${lanes_before:-0}
+curl_pids=()
+for i in $(seq 1 16); do
+  bbody="{\"algo\":\"sssp\",\"graph\":\"road\",\"src\":$((i * 131 + 3)),\"delta\":64,\"strategy\":\"lazy\"}"
+  curl -s -d "$bbody" http://127.0.0.1:18090/query >>"$workdir/batch_resps" &
+  curl_pids+=($!)
+done
+wait "${curl_pids[@]}"
+[ "$(grep -c '"reached":' "$workdir/batch_resps")" -eq 16 ] \
+  || { echo "not every batched query answered" >&2; exit 1; }
+grep -q '"error"' "$workdir/batch_resps" && { echo "batched query errored" >&2; exit 1; }
+curl -s http://127.0.0.1:18090/metrics >"$workdir/metrics_batch"
+lanes_after=$(sed -n 's/^qexec_batch_lanes_total //p' "$workdir/metrics_batch")
+batch_runs=$(sed -n 's/^qexec_batch_runs_total //p' "$workdir/metrics_batch")
+lanes_delta=$(( ${lanes_after:-0} - lanes_before ))
+[ "$lanes_delta" -ge 2 ] \
+  || { echo "batch stage carried only $lanes_delta lanes, want >= 2 (runs=${batch_runs:-0})" >&2; exit 1; }
+[ "${batch_runs:-0}" -ge 1 ] \
+  || { echo "batch stage executed no multi-source run" >&2; exit 1; }
+echo "batch phase: +$lanes_delta lanes over $batch_runs multi-source runs"
 
 echo "== mutate while querying: epoch advances, no stale cached answers"
 lbody='{"algo":"sssp","graph":"line","src":0,"vertices":[2]}'
