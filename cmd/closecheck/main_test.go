@@ -1,0 +1,87 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return checkFile(fset, file)
+}
+
+func TestFlagsDeferredCloseOnCreate(t *testing.T) {
+	fs := run(t, `package p
+import "os"
+func f() error {
+	f, err := os.Create("x")
+	if err != nil { return err }
+	defer f.Close()
+	return nil
+}`)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "deferred f.Close()") {
+		t.Fatalf("want one deferred-Close finding, got %v", fs)
+	}
+}
+
+func TestFlagsBareCloseAndSync(t *testing.T) {
+	fs := run(t, `package p
+import "os"
+func f() {
+	w, _ := os.OpenFile("x", os.O_WRONLY|os.O_CREATE, 0o644)
+	w.Sync()
+	w.Close()
+}`)
+	if len(fs) != 2 {
+		t.Fatalf("want two findings (Sync, Close), got %v", fs)
+	}
+}
+
+func TestAllowsCheckedAndExplicitDiscard(t *testing.T) {
+	fs := run(t, `package p
+import "os"
+func f() error {
+	f, err := os.Create("x")
+	if err != nil { return err }
+	if err := f.Sync(); err != nil { _ = f.Close(); return err }
+	return f.Close()
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestAllowsFatalWrappedDeferAndReadOnlyHandles(t *testing.T) {
+	fs := run(t, `package p
+import "os"
+func fatal(error) {}
+func f() {
+	r, _ := os.Open("x")
+	defer r.Close() // read-only: fine
+	w, _ := os.Create("y")
+	defer func() { fatal(w.Close()) }()
+	ro, _ := os.OpenFile("z", os.O_RDONLY, 0)
+	defer ro.Close()
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestTaintIsPerFunction(t *testing.T) {
+	fs := run(t, `package p
+import "os"
+func open() { w, _ := os.Create("x"); _ = w.Close() }
+func other(w *os.File) { defer w.Close() } // not opened here: unknown mode
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}

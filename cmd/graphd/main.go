@@ -19,6 +19,13 @@
 // across a mutation. A background compactor folds accumulated mutations
 // into a fresh CSR without interrupting serving.
 //
+// With -mutable and -data-dir, mutations are durable: every acked batch is
+// appended to a per-graph write-ahead log (fsync policy: -wal-sync) before
+// the client sees 200, periodic checkpoints bound replay, and on restart
+// graphd recovers each graph — newest valid checkpoint plus WAL replay —
+// while the already-bound listener serves 503 (liveness stays ok, readiness
+// says "recovering") until the recovered state is queryable.
+//
 // Usage:
 //
 //	graphd -graph road=road.bin -graph social=social.wel -addr :8090 -mutable
@@ -44,12 +51,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"graphit"
 	"graphit/internal/graph"
 	"graphit/internal/server"
+	"graphit/internal/wal"
 )
 
 func main() {
@@ -78,6 +87,10 @@ func main() {
 		maxBatch   = flag.Int("max-batch-ops", 0, "max ops per /update batch (0 = livegraph default, 8192)")
 		maxOverlay = flag.Int("max-overlay-ops", 0, "un-compacted ops that trigger 429 backpressure (0 = default, 1048576)")
 		compactAt  = flag.Int("compact-threshold", 0, "overlay size that wakes the background compactor (0 = default, 16384)")
+		dataDir    = flag.String("data-dir", "", "durability root: each mutable graph gets a WAL + checkpoint store under <data-dir>/<name> (requires -mutable; empty disables durability)")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync before ack), interval (background fsync every -wal-sync-every), none (OS page cache only)")
+		walEvery   = flag.Duration("wal-sync-every", 100*time.Millisecond, "background fsync period for -wal-sync=interval")
+		ckptOps    = flag.Int("checkpoint-ops", 0, "applied ops between checkpoints, independent of compaction (0 = default, 65536)")
 	)
 	// Graph specs are collected during parse and loaded afterwards, so the
 	// -symmetrize flag applies regardless of flag order.
@@ -116,6 +129,31 @@ func main() {
 		log.Printf("loaded %s: %v", name, g)
 	}
 
+	syncMode, err := wal.ParseSyncMode(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphd:", err)
+		os.Exit(2)
+	}
+	if *dataDir != "" && !*mutable {
+		fmt.Fprintln(os.Stderr, "graphd: -data-dir requires -mutable (durability logs mutations; a read-only server has none)")
+		os.Exit(2)
+	}
+
+	// Bind the listener before recovery so a restarting graphd is reachable
+	// immediately: /healthz answers ok (don't kill the pod), /readyz answers
+	// 503 "recovering" (don't route traffic). server.New replays the WAL
+	// synchronously; when it returns, the real handler swaps in atomically.
+	var handler atomic.Value
+	handler.Store(server.RecoveringHandler())
+	hs := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	if *dataDir != "" {
+		log.Printf("graphd listening on %s (recovering %d graphs from %s)", *addr, len(graphs), *dataDir)
+	}
+
 	srv, err := server.New(server.Config{
 		Graphs:           graphs,
 		MaxConcurrent:    *maxConc,
@@ -139,15 +177,20 @@ func main() {
 		MaxBatchOps:      *maxBatch,
 		MaxOverlayOps:    *maxOverlay,
 		CompactThreshold: *compactAt,
+		DataDir:          *dataDir,
+		WALSync:          syncMode,
+		WALSyncEvery:     *walEvery,
+		CheckpointOps:    *ckptOps,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphd:", err)
 		os.Exit(1)
 	}
-
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
+	for name, info := range srv.Recovery() {
+		log.Printf("recovered %s: epoch %d (checkpoint %d, %d batches replayed, %v)",
+			name, info.Epoch, info.CheckpointEpoch, info.Replayed, info.Duration.Round(time.Microsecond))
+	}
+	handler.Store(srv.Handler())
 	log.Printf("graphd listening on %s (%d graphs)", *addr, len(graphs))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

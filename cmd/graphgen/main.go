@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -67,18 +68,23 @@ func main() {
 	}
 	fatal(err)
 
-	f, err := os.Create(*out)
-	fatal(err)
-	defer f.Close()
+	// Both paths check Sync and Close: a generator whose output vanishes in
+	// a lost page-cache flush produces corrupt benchmark inputs silently.
 	switch {
 	case strings.HasSuffix(*out, ".bin"):
-		fatal(graph.WriteBinary(f, g))
+		fatal(graph.WriteBinaryFile(*out, g))
 	case strings.HasSuffix(*out, ".wel"):
+		f, err := os.Create(*out)
+		fatal(err)
+		bw := bufio.NewWriter(f)
 		for _, e := range g.Edges() {
-			if _, err := fmt.Fprintf(f, "%d %d %d\n", e.Src, e.Dst, e.W); err != nil {
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.Src, e.Dst, e.W); err != nil {
 				fatal(err)
 			}
 		}
+		fatal(bw.Flush())
+		fatal(f.Sync())
+		fatal(f.Close())
 	default:
 		fatal(fmt.Errorf("unsupported output extension (want .bin or .wel): %s", *out))
 	}

@@ -120,7 +120,10 @@ func main() {
 		} else {
 			f, err := os.Create(*tracePath)
 			fatal(err)
-			defer f.Close()
+			// Close is checked: the JSON tracer writes through this handle
+			// for the whole run, and a failed close is the only signal that
+			// the tail of the trace never made it to disk.
+			defer func() { fatal(f.Close()) }()
 			w = f
 		}
 		ctx = graphit.WithTracer(ctx, graphit.NewJSONTracer(w))

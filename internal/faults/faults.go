@@ -55,6 +55,10 @@ type Trigger struct {
 	// Repeat keeps the trigger live after it fires, firing again on every
 	// later matching checkpoint.
 	Repeat bool
+	// Times caps how many times a Repeat trigger fires in total; 0 means
+	// unlimited. "Fail the first two fsyncs, then heal" is Repeat with
+	// Times: 2. Ignored when Repeat is false (such triggers fire once).
+	Times int
 
 	// PanicValue, when non-nil, is panicked at the checkpoint (contained by
 	// the engine and reported as a *core.PanicError).
@@ -162,6 +166,9 @@ func (in *Injector) fire(phase string, round int64, worker int) {
 	var hit *Trigger
 	for i, tr := range in.triggers {
 		if in.fired[i] > 0 && !tr.Repeat {
+			continue
+		}
+		if tr.Repeat && tr.Times > 0 && in.fired[i] >= tr.Times {
 			continue
 		}
 		if !tr.matches(phase, round) {

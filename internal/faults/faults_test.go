@@ -69,6 +69,35 @@ func TestOccurrenceAndRepeat(t *testing.T) {
 	}
 }
 
+func TestRepeatTimesCapsFiring(t *testing.T) {
+	// Repeat with Times: "fail the first 2 fsyncs, then heal".
+	in := New(Trigger{Phase: "p", Repeat: true, Times: 2, PanicValue: "z"})
+	hook := in.Hook()
+	for i := 0; i < 2; i++ {
+		if v := catchPanic(func() { hook("p", int64(i+1), 0) }); v != "z" {
+			t.Fatalf("capped trigger missed firing %d: %v", i, v)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if v := catchPanic(func() { hook("p", int64(i+1), 0) }); v != nil {
+			t.Fatalf("trigger fired past Times cap at checkpoint %d: %v", i, v)
+		}
+	}
+	if got := in.Fired("p"); got != 2 {
+		t.Fatalf("Fired = %d, want 2 (Times cap)", got)
+	}
+
+	// Times without Repeat is ignored: still one-shot.
+	one := New(Trigger{Phase: "p", Times: 3, PanicValue: "w"})
+	oh := one.Hook()
+	if v := catchPanic(func() { oh("p", 1, 0) }); v != "w" {
+		t.Fatalf("one-shot did not fire: %v", v)
+	}
+	if v := catchPanic(func() { oh("p", 2, 0) }); v != nil {
+		t.Fatalf("one-shot fired twice: %v", v)
+	}
+}
+
 func TestSeededPanicDeterminism(t *testing.T) {
 	rounds := func(seed uint64) []int64 {
 		in := New(SeededPanic("p", seed, 4, "s"))

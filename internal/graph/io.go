@@ -179,6 +179,30 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// WriteBinaryFile writes g's binary snapshot to path with the full
+// durability dance a write deserves: flush, fsync, and a checked Close. A
+// bare "defer f.Close()" on a write path silently loses the error that
+// tells you the kernel never accepted the last buffer — this helper exists
+// so callers don't re-create that bug (cmd/closecheck enforces it).
+func WriteBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("graph: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("graph: closing %s: %w", path, err)
+	}
+	return nil
+}
+
 // ReadBinary reads a snapshot written by WriteBinary. The header and every
 // CSR section are validated — dimension bounds, section sizes against the
 // stream length (when r is seekable), offset monotonicity, and neighbor id

@@ -172,6 +172,10 @@ func (l *Live) compactOnce() (err error) {
 	if l.cfg.OnCompact != nil {
 		l.cfg.OnCompact(nil)
 	}
+	// A compaction is the natural checkpoint moment: the overlay just
+	// folded, so the snapshot is pristine and the WAL prefix it covers is
+	// maximal.
+	l.kickCkpt()
 	return nil
 }
 

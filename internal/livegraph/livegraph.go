@@ -36,6 +36,7 @@ import (
 	"graphit/internal/graph"
 	"graphit/internal/histogram"
 	"graphit/internal/obs"
+	"graphit/internal/wal"
 )
 
 // Sentinel errors, ordered roughly by how the transport maps them:
@@ -49,6 +50,10 @@ var (
 	ErrOverlayFull   = errors.New("livegraph: overlay full, retry after compaction")
 	ErrImmutable     = errors.New("livegraph: graph is immutable")
 	ErrClosed        = errors.New("livegraph: closed")
+	// ErrDurability means the write-ahead log could not make the batch
+	// durable (failed append or fsync). The store is poisoned fail-stop:
+	// reads keep serving, every further mutation is refused (503).
+	ErrDurability = errors.New("livegraph: durability failure")
 )
 
 // Compaction checkpoint phases, fired through the configured
@@ -109,6 +114,11 @@ type Config struct {
 	// failed compaction (defaults 100ms / 5s).
 	CompactBackoff    time.Duration
 	CompactMaxBackoff time.Duration
+	// CheckpointOps is how many applied ops may accumulate after the last
+	// checkpoint before a new one is cut (default 65536). Checkpoints are
+	// also cut after every successful compaction. Only meaningful for
+	// Lives opened through Recover.
+	CheckpointOps int
 	// Metrics, when non-nil, receives livegraph_* series labeled by graph.
 	Metrics *obs.Registry
 	// FaultHook, when non-nil, is fired at the Phase* checkpoints; tests
@@ -137,6 +147,9 @@ func (c *Config) fill() {
 	}
 	if c.CompactMaxBackoff <= 0 {
 		c.CompactMaxBackoff = 5 * time.Second
+	}
+	if c.CheckpointOps <= 0 {
+		c.CheckpointOps = 1 << 16
 	}
 }
 
@@ -206,6 +219,18 @@ type Live struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 
+	// Durability (nil/zero on non-durable Lives). store is written once
+	// by Recover before the Live is shared, then read-only.
+	store         *wal.Store
+	lastPos       wal.Pos // position after the last appended/replayed record (under mu)
+	opsSinceCkpt  int     // ops applied since the last checkpoint (under mu)
+	lastCkptEpoch uint64  // epoch of the newest persisted checkpoint (under mu)
+	ckptOnce      sync.Once
+	ckptKick      chan struct{}
+	replayed      int64 // batches replayed from the WAL at boot
+	ckptFailures  atomic.Int64
+	lastCkptErr   atomic.Value // string
+
 	batches         atomic.Int64
 	opsApplied      atomic.Int64
 	compactAttempts atomic.Int64
@@ -222,16 +247,24 @@ type Live struct {
 // read-only (ApplyBatch returns ErrImmutable): a single-direction edit
 // would silently break the symmetry invariant kcore/setcover rely on.
 func New(name string, g *graph.Graph, cfg Config) *Live {
+	return newLive(name, g, 0, cfg)
+}
+
+// newLive is New starting from an arbitrary epoch — the recovery path
+// resumes at the checkpoint's epoch rather than 0.
+func newLive(name string, g *graph.Graph, epoch uint64, cfg Config) *Live {
 	cfg.fill()
 	l := &Live{
-		name:    name,
-		mutable: !g.Symmetric(),
-		cfg:     cfg,
-		kick:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		pinned:  make(map[uint64]int),
+		name:     name,
+		mutable:  !g.Symmetric(),
+		cfg:      cfg,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		ckptKick: make(chan struct{}, 1),
+		pinned:   make(map[uint64]int),
+		epoch:    epoch,
 	}
-	l.cur = l.newSnapshot(0, g)
+	l.cur = l.newSnapshot(epoch, g)
 	if r := cfg.Metrics; r != nil {
 		lbl := obs.L("graph", name)
 		r.GaugeFunc("livegraph_epoch", "Current graph epoch (advances on every mutation batch).",
@@ -307,10 +340,16 @@ type BatchResult struct {
 	Applied int
 	// OverlayOps is the overlay size after the batch.
 	OverlayOps int
+	// DurableWait is how long the batch waited for its WAL fsync (zero on
+	// non-durable Lives and in interval/none sync modes).
+	DurableWait time.Duration
 }
 
 // ApplyBatch validates and applies one mutation batch atomically: either
-// every op lands and the epoch advances by one, or nothing changes.
+// every op lands and the epoch advances by one, or nothing changes. On a
+// durable Live the batch is written to the WAL before the epoch commits
+// and ApplyBatch does not return success until the record is durable
+// under the configured sync mode — an acked batch survives kill -9.
 // Queries running against previously acquired snapshots are unaffected.
 func (l *Live) ApplyBatch(ops []Op) (BatchResult, error) {
 	if len(ops) == 0 {
@@ -345,11 +384,28 @@ func (l *Live) ApplyBatch(ops []Op) (BatchResult, error) {
 		l.mu.Unlock()
 		return BatchResult{}, fmt.Errorf("%w: %v", ErrValidation, err)
 	}
+	// WAL-before-commit: the record for epoch+1 must be in the log before
+	// any reader can observe epoch+1. An append failure rejects the batch
+	// with no state change at all.
+	var pos wal.Pos
+	if l.store != nil {
+		pos, err = l.store.Append(l.epoch+1, EncodeOps(ops))
+		if err != nil {
+			l.mu.Unlock()
+			return BatchResult{}, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		l.lastPos = pos
+	}
 	l.epoch++
 	l.log = append(l.log, ops...)
 	l.cur = l.newSnapshot(l.epoch, ng)
 	res := BatchResult{Epoch: l.epoch, Applied: len(ops), OverlayOps: len(l.log)}
 	wake := len(l.log) >= l.cfg.CompactThreshold
+	ckpt := false
+	if l.store != nil {
+		l.opsSinceCkpt += len(ops)
+		ckpt = l.opsSinceCkpt >= l.cfg.CheckpointOps
+	}
 	l.mu.Unlock()
 
 	old.Release() // drop the owner reference; readers may still hold it
@@ -364,6 +420,21 @@ func (l *Live) ApplyBatch(ops []Op) (BatchResult, error) {
 	}
 	if wake {
 		l.wake()
+	}
+	if ckpt {
+		l.kickCkpt()
+	}
+	// The group-commit wait runs outside l.mu so concurrent batches share
+	// one fsync. On failure the batch is already visible in memory but NOT
+	// acked — the caller must treat the mutation as lost (it may or may
+	// not survive a restart) and the poisoned store refuses all further
+	// mutations, so the un-acked state can never diverge further.
+	if l.store != nil {
+		start := time.Now()
+		if err := l.store.WaitDurable(pos); err != nil {
+			return BatchResult{}, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		res.DurableWait = time.Since(start)
 	}
 	return res, nil
 }
@@ -453,27 +524,37 @@ func buildDelta(base *graph.Graph, ops []Op) (graph.Delta, error) {
 	return d, nil
 }
 
+// DurabilityStatus is the per-graph durability section of /statusz.
+type DurabilityStatus struct {
+	wal.Stats
+	CheckpointEpoch    uint64 `json:"checkpoint_epoch"`
+	CheckpointFailures int64  `json:"checkpoint_failures"`
+	LastCkptError      string `json:"last_checkpoint_error,omitempty"`
+	ReplayedBatches    int64  `json:"replayed_batches"`
+}
+
 // Status is a point-in-time summary for /statusz.
 type Status struct {
-	Name               string `json:"name"`
-	Mutable            bool   `json:"mutable"`
-	Epoch              uint64 `json:"epoch"`
-	OverlayOps         int    `json:"overlay_ops"`
-	ActiveSnapshots    int64  `json:"active_snapshots"`
-	Batches            int64  `json:"batches"`
-	OpsApplied         int64  `json:"ops_applied"`
-	Compactions        int64  `json:"compactions"`
-	CompactionFailures int64  `json:"compaction_failures"`
-	LastCompactError   string `json:"last_compact_error,omitempty"`
+	Name               string            `json:"name"`
+	Mutable            bool              `json:"mutable"`
+	Epoch              uint64            `json:"epoch"`
+	OverlayOps         int               `json:"overlay_ops"`
+	ActiveSnapshots    int64             `json:"active_snapshots"`
+	Batches            int64             `json:"batches"`
+	OpsApplied         int64             `json:"ops_applied"`
+	Compactions        int64             `json:"compactions"`
+	CompactionFailures int64             `json:"compaction_failures"`
+	LastCompactError   string            `json:"last_compact_error,omitempty"`
+	Durability         *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // Status returns a snapshot of the live graph's counters.
 func (l *Live) Status() Status {
 	l.mu.Lock()
-	epoch, overlay := l.epoch, len(l.log)
+	epoch, overlay, ckptEpoch := l.epoch, len(l.log), l.lastCkptEpoch
 	l.mu.Unlock()
 	lastErr, _ := l.lastCompactErr.Load().(string)
-	return Status{
+	st := Status{
 		Name:               l.name,
 		Mutable:            l.mutable,
 		Epoch:              epoch,
@@ -485,10 +566,22 @@ func (l *Live) Status() Status {
 		CompactionFailures: l.compactFailures.Load(),
 		LastCompactError:   lastErr,
 	}
+	if l.store != nil {
+		ckptErr, _ := l.lastCkptErr.Load().(string)
+		st.Durability = &DurabilityStatus{
+			Stats:              l.store.Stats(),
+			CheckpointEpoch:    ckptEpoch,
+			CheckpointFailures: l.ckptFailures.Load(),
+			LastCkptError:      ckptErr,
+			ReplayedBatches:    l.replayed,
+		}
+	}
+	return st
 }
 
-// Close stops the compactor and drops the owner reference on the current
-// snapshot. In-flight queries holding acquired snapshots keep them until
+// Close stops the compactor and checkpointer, drops the owner reference
+// on the current snapshot, and (on durable Lives) flushes and closes the
+// WAL store. In-flight queries holding acquired snapshots keep them until
 // they Release; Acquire returns nil afterwards. Close is idempotent.
 func (l *Live) Close() {
 	l.mu.Lock()
@@ -505,4 +598,7 @@ func (l *Live) Close() {
 		cur.Release()
 	}
 	l.wg.Wait()
+	if l.store != nil {
+		_ = l.store.Close() // sticky errors were already surfaced to callers
+	}
 }

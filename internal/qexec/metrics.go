@@ -31,6 +31,7 @@ type pipeMetrics struct {
 	stageBatch    *obs.Histogram
 	stageQueue    *obs.Histogram
 	stageRun      *obs.Histogram
+	stageDurable  *obs.Histogram
 
 	outcomes  [len(codeNames)]*obs.Counter
 	cacheHits *obs.Counter
@@ -60,7 +61,7 @@ type pipeMetrics struct {
 const maxBreakerGaugeKeys = 64
 
 const (
-	helpStage = "Wall time of one pipeline stage for one request (stage label: plan, cache, coalesce_wait, batch_wait, queue_wait, run)."
+	helpStage = "Wall time of one pipeline stage for one request (stage label: plan, cache, coalesce_wait, batch_wait, queue_wait, run, durable)."
 	helpRound = "Engine round wall time by (algo, strategy, graph)."
 )
 
@@ -79,6 +80,7 @@ func newPipeMetrics(reg *obs.Registry, p *Pipeline) *pipeMetrics {
 		{&m.stageBatch, "batch_wait"},
 		{&m.stageQueue, "queue_wait"},
 		{&m.stageRun, "run"},
+		{&m.stageDurable, "durable"},
 	} {
 		*s.h = reg.Histogram("qexec_stage_duration_seconds", helpStage, latencyBounds, obs.L("stage", s.stage))
 	}
@@ -159,6 +161,13 @@ func (m *pipeMetrics) observeRun(d time.Duration) {
 		return
 	}
 	m.stageRun.Observe(d.Seconds())
+}
+
+func (m *pipeMetrics) observeDurableWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stageDurable.Observe(d.Seconds())
 }
 
 // observeOutcome folds one finished request's markers into the counters —

@@ -537,6 +537,15 @@ func (p *Pipeline) execute(ctx context.Context, pl *Plan, detached bool, et *exe
 	return out
 }
 
+// ObserveDurableWait records how long one mutation waited for its WAL
+// group-commit fsync under qexec_stage_duration_seconds{stage="durable"}.
+// The durability stage runs in the transport's update path (mutations
+// don't flow through Do), so the transport reports its latency here to
+// keep all stage timings in one series. Nil-safe when metrics are off.
+func (p *Pipeline) ObserveDurableWait(d time.Duration) {
+	p.met.observeDurableWait(d)
+}
+
 // InFlight returns the number of queries currently executing
 // (post-admission). Exposed for drain logic and tests.
 func (p *Pipeline) InFlight() int {

@@ -1,0 +1,199 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"graphit"
+	"graphit/internal/faults"
+	"graphit/internal/server"
+	"graphit/internal/wal"
+)
+
+// durableConfig is the smallest durable server: one mutable line graph,
+// fsync-per-ack, stores rooted at dir.
+func durableConfig(t testing.TB, dir string) server.Config {
+	return server.Config{
+		Graphs:  map[string]*graphit.Graph{"line": lineGraph(t)},
+		Mutable: true,
+		DataDir: dir,
+		WALSync: wal.SyncAlways,
+		Metrics: true,
+	}
+}
+
+// TestDurableUpdateSurvivesRestart is the end-to-end acceptance drill over
+// HTTP: an acked POST /update must still be answered by queries after the
+// server restarts over the same data dir with the original (pre-mutation)
+// base graph.
+func TestDurableUpdateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := startServer(t, durableConfig(t, dir))
+
+	code, up := postUpdate(t, ts, `{"graph":"line","ops":[{"op":"reweight","src":1,"dst":2,"w":2}]}`)
+	if code != 200 || up.Epoch != 1 {
+		t.Fatalf("update: code %d %+v", code, up)
+	}
+	q := server.Query{Algo: "sssp", Graph: "line", Src: 0, Vertices: []uint32{2}}
+	if code, resp := postQuery(t, ts, q); code != 200 || resp.Values["2"] != 7 || resp.Epoch != 1 {
+		t.Fatalf("pre-restart query: code %d %+v", code, resp)
+	}
+	shutdown(t, srv)
+	ts.Close()
+
+	// Restart: same data dir, fresh base graph — the mutation must come
+	// back from the checkpoint/WAL, not from memory.
+	srv2, ts2 := startServer(t, durableConfig(t, dir))
+	defer shutdown(t, srv2)
+
+	info, ok := srv2.Recovery()["line"]
+	if !ok || info.Epoch != 1 || info.Replayed+boolToInt64(info.FromCheckpoint) < 1 {
+		t.Fatalf("recovery info = %+v ok=%v, want epoch 1", info, ok)
+	}
+	if code, resp := postQuery(t, ts2, q); code != 200 || resp.Values["2"] != 7 || resp.Epoch != 1 {
+		t.Fatalf("post-restart query: code %d %+v", code, resp)
+	}
+
+	// The restarted server keeps accepting durable batches past the
+	// recovered epoch.
+	code, up = postUpdate(t, ts2, `{"graph":"line","ops":[{"op":"add","src":0,"dst":2,"w":1}]}`)
+	if code != 200 || up.Epoch != 2 {
+		t.Fatalf("post-restart update: code %d %+v", code, up)
+	}
+	if code, resp := postQuery(t, ts2, q); code != 200 || resp.Values["2"] != 1 || resp.Epoch != 2 {
+		t.Fatalf("query after post-restart update: code %d %+v", code, resp)
+	}
+
+	// Observability: /statusz carries recovery + per-graph durability, and
+	// /metrics exports the WAL series.
+	st := statusOf(t, ts2)
+	if st.Recovery == nil || st.Recovery["line"].Epoch != 1 {
+		t.Fatalf("statusz recovery section: %+v", st.Recovery)
+	}
+	if len(st.Live) != 1 || st.Live[0].Durability == nil || st.Live[0].Durability.Appends < 1 {
+		t.Fatalf("statusz durability section: %+v", st.Live)
+	}
+	mr, err := ts2.Client().Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	body, _ := io.ReadAll(mr.Body)
+	for _, want := range []string{
+		`wal_appends_total{graph="line"}`,
+		`recovered_epoch{graph="line"} 1`,
+		`wal_fsync_duration_seconds_count{graph="line"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestDurabilityFaultMapsTo503: a WAL fsync failure on the ack path nacks
+// the batch with 503 (no Retry-After — a poisoned store does not heal) and
+// keeps refusing subsequent batches while queries continue to serve.
+func TestDurabilityFaultMapsTo503(t *testing.T) {
+	inj := faults.New(faults.PanicAt(wal.PhaseFsync, 0, "injected EIO"))
+	cfg := durableConfig(t, t.TempDir())
+	cfg.WALFaultHook = inj.Hook()
+	srv, ts := startServer(t, cfg)
+	defer shutdown(t, srv)
+
+	resp, err := ts.Client().Post(ts.URL+"/update", "application/json",
+		strings.NewReader(`{"graph":"line","ops":[{"op":"reweight","src":1,"dst":2,"w":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var up server.UpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 503 || !strings.Contains(up.Error, "durab") {
+		t.Fatalf("faulted update: code %d error %q, want 503 durability error", resp.StatusCode, up.Error)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Fatalf("durability 503 carries Retry-After %q; poisoned stores do not heal", ra)
+	}
+	// Poisoned: the next batch is refused too.
+	if code, up := postUpdate(t, ts, `{"graph":"line","ops":[{"op":"reweight","src":1,"dst":2,"w":3}]}`); code != 503 {
+		t.Fatalf("post-poison update: code %d %+v, want 503", code, up)
+	}
+	// Reads keep serving. The nacked batch is visible in memory (commit
+	// precedes the durable wait) — the client was told "not durable", not
+	// "not applied"; a nack is indeterminate, exactly like a timed-out
+	// write to any replicated store. What poisoning guarantees is that no
+	// FURTHER batch widens the gap between memory and the log.
+	q := server.Query{Algo: "sssp", Graph: "line", Src: 0, Vertices: []uint32{2}}
+	if code, resp := postQuery(t, ts, q); code != 200 || resp.Epoch != 1 {
+		t.Fatalf("query on poisoned store: code %d %+v", code, resp)
+	}
+}
+
+// TestRecoveringHandler pins the boot-gating contract graphd relies on:
+// liveness ok, readiness 503 "recovering", everything else 503 JSON.
+func TestRecoveringHandler(t *testing.T) {
+	ts := httptest.NewServer(server.RecoveringHandler())
+	defer ts.Close()
+	defer ts.Client().CloseIdleConnections()
+
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("/healthz during recovery: %d, want 200", hr.StatusCode)
+	}
+	rr, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != 503 || !strings.Contains(string(body), "recovering") {
+		t.Fatalf("/readyz during recovery: %d %q, want 503 recovering", rr.StatusCode, body)
+	}
+	qr, err := ts.Client().Post(ts.URL+"/query", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr.Body.Close()
+	if qr.StatusCode != 503 {
+		t.Fatalf("/query during recovery: %d, want 503", qr.StatusCode)
+	}
+}
+
+// TestReadOnlyServerHasNoDurabilityState: with -mutable off, DataDir is
+// ignored — no WAL files appear and /statusz carries no durability or
+// recovery sections (the zero-overhead guarantee).
+func TestReadOnlyServerHasNoDurabilityState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(t, dir)
+	cfg.Mutable = false
+	srv, ts := startServer(t, cfg)
+	defer shutdown(t, srv)
+
+	st := statusOf(t, ts)
+	if st.Recovery != nil {
+		t.Fatalf("read-only server reports recovery: %+v", st.Recovery)
+	}
+	if len(st.Live) != 1 || st.Live[0].Durability != nil {
+		t.Fatalf("read-only server reports durability: %+v", st.Live)
+	}
+	if ents, err := os.ReadDir(dir); err != nil || len(ents) != 0 {
+		t.Fatalf("read-only server created files under DataDir: %v (%v)", ents, err)
+	}
+}

@@ -15,14 +15,17 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"graphit"
+	"graphit/internal/core"
 	"graphit/internal/livegraph"
 	"graphit/internal/obs"
 	"graphit/internal/qexec"
+	"graphit/internal/wal"
 )
 
 // Config parameterizes a Server. It mirrors qexec.Config field for field
@@ -82,6 +85,27 @@ type Config struct {
 	MaxBatchOps      int
 	MaxOverlayOps    int
 	CompactThreshold int
+	// DataDir, when set on a Mutable server, makes every mutable graph
+	// durable: each gets a WAL + checkpoint store under DataDir/<name>,
+	// New recovers it (checkpoint load + replay) before serving, and
+	// POST /update acks only after the batch is durable under WALSync.
+	// Empty DataDir keeps PR 8's in-memory behavior; read-only servers
+	// (-mutable=false) never touch the durability path at all.
+	DataDir string
+	// WALSync is the fsync policy for acked mutations (default SyncAlways).
+	WALSync wal.SyncMode
+	// WALSyncEvery is the background fsync period for wal.SyncInterval.
+	WALSyncEvery time.Duration
+	// WALSegmentBytes overrides the WAL segment rotation threshold
+	// (0 = wal default; tests use tiny segments to exercise rotation).
+	WALSegmentBytes int64
+	// CheckpointOps is how many applied ops trigger a checkpoint between
+	// compactions (0 = livegraph default).
+	CheckpointOps int
+	// WALFaultHook, when non-nil, fires at the wal.Phase* checkpoints of
+	// every graph's store — the seam recovery drills use to inject fsync,
+	// rotate, and checkpoint faults.
+	WALFaultHook core.FaultHook
 	// BaseContext, if set, wraps every query's context before execution —
 	// the seam tests use to install fault injectors.
 	BaseContext func(context.Context) context.Context
@@ -96,6 +120,7 @@ type Server struct {
 	reg      *obs.Registry              // nil: metrics disabled
 	mux      *http.ServeMux
 	draining atomic.Bool
+	recovery map[string]livegraph.RecoverInfo // per-graph boot recovery (durable graphs only)
 }
 
 // New builds a Server over cfg.
@@ -111,13 +136,47 @@ func New(cfg Config) (*Server, error) {
 	// can reach them directly and Shutdown can sequence their close after
 	// the query drain.
 	lives := make(map[string]*livegraph.Live, len(cfg.Graphs))
+	closeLives := func() {
+		for _, l := range lives {
+			l.Close()
+		}
+	}
+	recovery := make(map[string]livegraph.RecoverInfo)
 	for name, g := range cfg.Graphs {
-		lives[name] = livegraph.New(name, g, livegraph.Config{
+		lcfg := livegraph.Config{
 			MaxBatchOps:      cfg.MaxBatchOps,
 			MaxOverlayOps:    cfg.MaxOverlayOps,
 			CompactThreshold: cfg.CompactThreshold,
+			CheckpointOps:    cfg.CheckpointOps,
 			Metrics:          reg,
-		})
+		}
+		// Durability is opt-in twice over: the server must be mutable AND
+		// have a data dir, and the graph itself must accept mutations.
+		// Read-only serving paths take zero durability overhead.
+		if cfg.Mutable && cfg.DataDir != "" && !g.Symmetric() {
+			store, err := wal.Open(filepath.Join(cfg.DataDir, name), wal.Options{
+				Sync:         cfg.WALSync,
+				SyncEvery:    cfg.WALSyncEvery,
+				SegmentBytes: cfg.WALSegmentBytes,
+				Name:         name,
+				Metrics:      reg,
+				FaultHook:    cfg.WALFaultHook,
+			})
+			if err != nil {
+				closeLives()
+				return nil, fmt.Errorf("server: opening wal for %q: %w", name, err)
+			}
+			live, info, err := livegraph.Recover(name, g, store, lcfg)
+			if err != nil {
+				_ = store.Close()
+				closeLives()
+				return nil, fmt.Errorf("server: recovering %q: %w", name, err)
+			}
+			lives[name] = live
+			recovery[name] = info
+			continue
+		}
+		lives[name] = livegraph.New(name, g, lcfg)
 	}
 	pipe, err := qexec.New(qexec.Config{
 		Live:             lives,
@@ -147,7 +206,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s := &Server{cfg: cfg, pipe: pipe, lives: lives, reg: reg}
+	s := &Server{cfg: cfg, pipe: pipe, lives: lives, reg: reg, recovery: recovery}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -214,16 +273,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // Status is the /statusz document: the pipeline's per-stage counters plus
 // the serving-level drain flag and graph inventory.
 type Status struct {
-	Draining  bool                  `json:"draining"`
-	Mutable   bool                  `json:"mutable"`
-	Graphs    map[string]int        `json:"graphs"` // name -> vertex count
-	Live      []livegraph.Status    `json:"live_graphs"`
-	Admission qexec.AdmissionStatus `json:"admission"`
-	Breakers  []qexec.BreakerStatus `json:"breakers"`
-	Cache     qexec.CacheStatus     `json:"cache"`
-	Coalesce  qexec.CoalesceStatus  `json:"coalesce"`
-	Batch     qexec.BatchStatus     `json:"batch"`
-	Runs      int64                 `json:"runs"`
+	Draining  bool                             `json:"draining"`
+	Mutable   bool                             `json:"mutable"`
+	Graphs    map[string]int                   `json:"graphs"` // name -> vertex count
+	Live      []livegraph.Status               `json:"live_graphs"`
+	Recovery  map[string]livegraph.RecoverInfo `json:"recovery,omitempty"` // durable graphs: boot recovery outcome
+	Admission qexec.AdmissionStatus            `json:"admission"`
+	Breakers  []qexec.BreakerStatus            `json:"breakers"`
+	Cache     qexec.CacheStatus                `json:"cache"`
+	Coalesce  qexec.CoalesceStatus             `json:"coalesce"`
+	Batch     qexec.BatchStatus                `json:"batch"`
+	Runs      int64                            `json:"runs"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
@@ -239,6 +299,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Coalesce:  ps.Coalesce,
 		Batch:     ps.Batch,
 		Runs:      ps.Runs,
+	}
+	if len(s.recovery) > 0 {
+		st.Recovery = s.recovery
 	}
 	for name, g := range s.cfg.Graphs {
 		st.Graphs[name] = g.NumVertices()
@@ -312,6 +375,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	return err
 }
+
+// RecoveringHandler is the handler graphd serves while New is still
+// recovering durable graphs (checkpoint load + WAL replay): liveness
+// answers ok, readiness and everything else answer 503, so load
+// balancers hold traffic without declaring the process dead. graphd
+// binds its listener with this handler immediately and atomically swaps
+// in the real one when recovery completes.
+func RecoveringHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, &Response{Error: "recovering: replaying mutation log"})
+	})
+	return mux
+}
+
+// Recovery returns each durable graph's boot-recovery outcome.
+func (s *Server) Recovery() map[string]livegraph.RecoverInfo { return s.recovery }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -120,6 +120,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := live.ApplyBatch(ops)
+	if res.DurableWait > 0 {
+		s.pipe.ObserveDurableWait(res.DurableWait)
+	}
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
@@ -131,6 +134,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, livegraph.ErrClosed):
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", s.retryAfter())
+		case errors.Is(err, livegraph.ErrDurability):
+			// The WAL could not make the batch durable. No Retry-After: a
+			// poisoned store does not heal; the operator must intervene.
+			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, &UpdateResponse{Graph: req.Graph, Error: err.Error()})
 		return

@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"graphit/internal/graph"
+)
+
+// Checkpoint atomically persists g (the CSR live at epoch) plus a
+// manifest pointing at pos, the log position just after epoch's record.
+// Sequence: snapshot → tmp, fsync, rename, fsync dir; then the manifest
+// the same way. A crash at any point leaves either the previous
+// checkpoint fully intact or the new one fully committed — the
+// in-between states (a *.tmp, a snapshot without a manifest) are exactly
+// what Open's sweep removes. On success, checkpoints older than
+// Options.Retain and log segments wholly below the oldest retained
+// manifest are reclaimed.
+func (s *Store) Checkpoint(g *graph.Graph, epoch uint64, pos Pos) (err error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	defer func() {
+		if err != nil && s.mCkptFail != nil {
+			s.mCkptFail.Inc()
+		}
+	}()
+	if err := s.hook(PhaseCkptWrite, epoch); err != nil {
+		return err
+	}
+	binName := ckptBin(epoch)
+	tmp := filepath.Join(s.dir, binName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	err = graph.WriteBinary(f, g)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	// A fault here models a crash between the snapshot write and its
+	// rename: the .tmp is deliberately left behind for Open's sweep.
+	if err := s.hook(PhaseCkptRename, epoch); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, binName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	// The manifest commits the checkpoint: until it lands, recovery still
+	// picks the previous one and the snapshot above is just an orphan.
+	m := manifest{Epoch: epoch, Pos: pos}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	err = atomicWriteFile(s.dir, ckptMF(epoch), func(w io.Writer) error {
+		_, werr := w.Write(appendRecord(nil, epoch, body))
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	s.ckpts.Add(1)
+	if s.mCkpts != nil {
+		s.mCkpts.Inc()
+	}
+	return s.reclaim()
+}
+
+// manifests lists committed checkpoint epochs, sorted ascending.
+func (s *Store) manifests() ([]uint64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var epochs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		var ep uint64
+		if n, _ := fmt.Sscanf(name, "ckpt-%016x.mf", &ep); n == 1 && name == ckptMF(ep) {
+			epochs = append(epochs, ep)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// LoadCheckpoint returns the newest checkpoint that fully decodes —
+// manifest frame, CRC, snapshot CSR — falling back epoch by epoch past
+// corrupt ones. A nil graph with a nil error means no usable checkpoint
+// exists: recover from the base graph at epoch 0 and replay from the
+// start of the log.
+func (s *Store) LoadCheckpoint() (*graph.Graph, uint64, Pos, error) {
+	epochs, err := s.manifests()
+	if err != nil {
+		return nil, 0, Pos{}, err
+	}
+	for i := len(epochs) - 1; i >= 0; i-- {
+		ep := epochs[i]
+		m, err := readManifest(filepath.Join(s.dir, ckptMF(ep)), s.opts.MaxRecordBytes)
+		if err != nil {
+			continue // corrupt manifest: fall back
+		}
+		g, err := loadSnapshot(filepath.Join(s.dir, ckptBin(ep)))
+		if err != nil {
+			continue // corrupt or missing snapshot: fall back
+		}
+		return g, m.Epoch, m.Pos, nil
+	}
+	return nil, 0, Pos{}, nil
+}
+
+func loadSnapshot(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.ReadBinary(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return g, err
+}
+
+// reclaim deletes checkpoints beyond the newest Options.Retain and every
+// log segment wholly below the oldest retained manifest's position. The
+// active segment is never deleted.
+func (s *Store) reclaim() error {
+	epochs, err := s.manifests()
+	if err != nil {
+		return err
+	}
+	if len(epochs) > s.opts.Retain {
+		for _, ep := range epochs[:len(epochs)-s.opts.Retain] {
+			if err := os.Remove(filepath.Join(s.dir, ckptMF(ep))); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("wal: reclaim: %w", err)
+			}
+			if err := os.Remove(filepath.Join(s.dir, ckptBin(ep))); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("wal: reclaim: %w", err)
+			}
+		}
+		epochs = epochs[len(epochs)-s.opts.Retain:]
+	}
+	// Replay may start from any retained manifest (the newest could be
+	// the corrupt one), so only segments below ALL of them are dead.
+	minSeg := uint64(0)
+	for i, ep := range epochs {
+		m, err := readManifest(filepath.Join(s.dir, ckptMF(ep)), s.opts.MaxRecordBytes)
+		if err != nil {
+			return nil // can't bound safely; keep everything
+		}
+		if i == 0 || m.Pos.Seg < minSeg {
+			minSeg = m.Pos.Seg
+		}
+	}
+	if len(epochs) == 0 {
+		return nil
+	}
+	segs, err := s.segments()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	active := s.seg
+	s.mu.Unlock()
+	for _, idx := range segs {
+		if idx >= minSeg || idx == active {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, segName(idx))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: reclaim: %w", err)
+		}
+	}
+	return nil
+}
+
+// RecordRecovery publishes the boot-recovery outcome gauges.
+func (s *Store) RecordRecovery(epoch uint64, dur time.Duration) {
+	if s.gRecoveredEpoch != nil {
+		s.gRecoveredEpoch.Set(float64(epoch))
+	}
+	if s.gRecoveryDur != nil {
+		s.gRecoveryDur.Set(dur.Seconds())
+	}
+}

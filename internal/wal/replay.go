@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt reports an undecodable record in a non-tail segment — real
+// corruption that replay will not paper over (unlike a torn tail, which
+// is truncated and survived).
+var ErrCorrupt = errors.New("wal: corrupt record before log tail")
+
+// Replay reads every record after from (a checkpoint manifest position,
+// or the zero Pos for the whole log), calling fn for each in order.
+// Decode failures in the newest segment are a torn tail: the segment is
+// physically truncated back to its valid prefix, the truncation is
+// counted, and replay succeeds. Decode failures anywhere else return
+// ErrCorrupt. A fn error aborts replay as-is.
+//
+// On success the store is positioned for writing — the tail segment is
+// reopened for append (or segment from.Seg is created on a fresh log),
+// everything replayed is marked durable, the interval ticker starts, and
+// Append/WaitDurable become usable. Replay must be called exactly once,
+// before any Append.
+func (s *Store) Replay(from Pos, fn func(Record) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ready {
+		return errors.New("wal: Replay called twice")
+	}
+	if s.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, s.broken)
+	}
+	segs, err := s.segments()
+	if err != nil {
+		return err
+	}
+	// Drop segments below the replay window (retained only because an
+	// older checkpoint still references them).
+	for len(segs) > 0 && segs[0] < from.Seg {
+		segs = segs[1:]
+	}
+	if len(segs) == 0 {
+		// Fresh log (or fully reclaimed up to the checkpoint): start a
+		// new segment at the watermark index.
+		if err := s.openSegmentLocked(from.Seg); err != nil {
+			return err
+		}
+		s.ready = true
+		s.startTicker()
+		return nil
+	}
+	if segs[0] != from.Seg {
+		return fmt.Errorf("%w: segment %d (replay start) missing, oldest on disk is %d", ErrCorrupt, from.Seg, segs[0])
+	}
+	var tail Pos
+	for i, idx := range segs {
+		if i > 0 && idx != segs[i-1]+1 {
+			return fmt.Errorf("%w: segment gap: %d then %d", ErrCorrupt, segs[i-1], idx)
+		}
+		last := i == len(segs)-1
+		start := int64(segHeaderSize)
+		if idx == from.Seg && from.Off > start {
+			start = from.Off
+		}
+		end, err := s.replaySegment(idx, start, last, fn)
+		if err != nil {
+			return err
+		}
+		tail = Pos{Seg: idx, Off: end}
+	}
+	// Reopen the tail for appending at its valid end.
+	path := filepath.Join(s.dir, segName(tail.Seg))
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopening tail: %w", err)
+	}
+	if _, err := f.Seek(tail.Off, io.SeekStart); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: reopening tail: %w", err)
+	}
+	s.f, s.seg, s.off = f, tail.Seg, tail.Off
+	s.markSynced(tail)
+	s.ready = true
+	s.startTicker()
+	return nil
+}
+
+// replaySegment scans one segment from offset start, returning the byte
+// offset just past the last valid record. When the segment is the log
+// tail, an undecodable suffix is truncated away; otherwise it is
+// ErrCorrupt.
+func (s *Store) replaySegment(idx uint64, start int64, isTail bool, fn func(Record) error) (int64, error) {
+	path := filepath.Join(s.dir, segName(idx))
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if isTail {
+			// A crash can leave a just-created tail with a partial
+			// header: nothing in it was ever acked, truncate to empty.
+			return segHeaderSize, s.truncateTail(path, idx, 0)
+		}
+		return 0, fmt.Errorf("%w: segment %d: short header", ErrCorrupt, idx)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[0:8]); got != segMagic {
+		return 0, fmt.Errorf("%w: segment %d: bad magic %#x", ErrCorrupt, idx, got)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[8:16]); got != idx {
+		return 0, fmt.Errorf("%w: segment %d: header claims index %d", ErrCorrupt, idx, got)
+	}
+	if start > segHeaderSize {
+		if _, err := f.Seek(start, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+	}
+	wrapped := fn
+	if s.opts.FaultHook != nil {
+		wrapped = func(rec Record) error {
+			if err := s.hook(PhaseReplay, rec.Epoch); err != nil {
+				return err
+			}
+			if fn == nil {
+				return nil
+			}
+			return fn(rec)
+		}
+	}
+	valid, err := scanRecords(f, s.opts.MaxRecordBytes, wrapped)
+	end := start + valid
+	if err == nil {
+		return end, nil
+	}
+	if !errors.Is(err, errTorn) {
+		return 0, err // fn error: propagate untouched
+	}
+	if !isTail {
+		return 0, fmt.Errorf("%w: segment %d at offset %d: %v", ErrCorrupt, idx, end, err)
+	}
+	return end, s.truncateTail(path, idx, end)
+}
+
+// truncateTail cuts the tail segment back to end bytes (segment header
+// included). A tail whose own 16-byte header is partial (end below
+// segHeaderSize) is reset to a fresh header-only segment instead.
+func (s *Store) truncateTail(path string, idx uint64, end int64) error {
+	if end < segHeaderSize {
+		// Partial header: rewrite a whole fresh one.
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		var hdr [segHeaderSize]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], segMagic)
+		binary.LittleEndian.PutUint64(hdr[8:16], idx)
+		_, werr := f.Write(hdr[:])
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); cerr != nil && werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", werr)
+		}
+	} else {
+		if err := os.Truncate(path, end); err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := fsyncFile(path); err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	s.torn.Add(1)
+	if s.mTorn != nil {
+		s.mTorn.Inc()
+	}
+	return nil
+}
+
+func fsyncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,666 @@
+// Package wal is graphd's durability subsystem: a segment-based,
+// CRC32C-checksummed, length-prefixed append log for livegraph mutation
+// batches, with checkpoints layered on top and a recovery path that
+// tolerates every crash window the design admits.
+//
+// One Store owns one directory and serves one graph. The directory holds:
+//
+//	seg-%016x.wal   — log segments, appended in index order
+//	ckpt-%016x.bin  — graph CSR snapshots (graph.WriteBinary), epoch-named
+//	ckpt-%016x.mf   — checkpoint manifests: a record-framed (length + CRC)
+//	                  JSON {epoch, wal segment, wal offset}
+//	*.tmp           — in-flight atomic writes; swept on every Open
+//
+// Write path: Append serializes records into the active segment under the
+// store lock (rotating when the segment fills); WaitDurable then blocks
+// until the record's bytes are fsynced. Durability is group-committed:
+// concurrent waiters elect one leader whose single fsync covers every
+// record written before it started, and the rest just observe the durable
+// high-water mark advance. -wal-sync=interval replaces the per-commit
+// fsync with a background ticker; -wal-sync=none leaves flushing to the
+// OS. A failed fsync permanently poisons the store (the page cache state
+// is unknowable after fsync fails — retrying would silently drop writes),
+// so every later Append and WaitDurable returns the sticky error and the
+// serving layer degrades to read-only.
+//
+// Recovery path: LoadCheckpoint picks the newest manifest whose snapshot
+// loads and validates, falling back to the previous one when the newest
+// is corrupt; Replay then re-reads the log from the manifest's position.
+// A torn tail — any undecodable suffix of the newest segment — is
+// physically truncated and counted, never fatal; an undecodable record in
+// any older segment is real corruption and fails recovery loudly.
+//
+// Fault hooks fire at the Phase* checkpoints so internal/faults can
+// inject panics and delays at append, fsync, rotate, checkpoint-write,
+// checkpoint-rename, and replay time; injected panics are contained into
+// errors at the phase boundary, exactly like a real I/O failure.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphit/internal/core"
+	"graphit/internal/histogram"
+	"graphit/internal/obs"
+)
+
+// Fault-injection phases. The round argument carries the epoch (append,
+// checkpoint, replay) or the segment index (fsync, rotate).
+const (
+	PhaseAppend     = "wal_append"
+	PhaseFsync      = "wal_fsync"
+	PhaseRotate     = "wal_rotate"
+	PhaseCkptWrite  = "wal_ckpt_write"
+	PhaseCkptRename = "wal_ckpt_rename"
+	PhaseReplay     = "wal_replay"
+)
+
+// SyncMode selects when appended records are fsynced.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs before WaitDurable returns: an acked batch is on
+	// disk. Group commit amortizes the fsync across concurrent waiters.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs on a background ticker: a crash loses at most
+	// the last interval's batches (all ackable before durable — the
+	// operator opted into the window).
+	SyncInterval
+	// SyncNone never fsyncs; the OS flushes when it pleases.
+	SyncNone
+)
+
+var syncModeNames = map[SyncMode]string{
+	SyncAlways: "always", SyncInterval: "interval", SyncNone: "none",
+}
+
+func (m SyncMode) String() string {
+	if s, ok := syncModeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("sync(%d)", int(m))
+}
+
+// ParseSyncMode maps the -wal-sync flag values.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync mode %q (want always, interval, or none)", s)
+}
+
+// ErrBroken is wrapped by every error returned after the store has been
+// poisoned by a failed write or fsync.
+var ErrBroken = errors.New("wal: store poisoned by earlier I/O failure")
+
+// errNotReady guards Append before Replay has established the tail.
+var errNotReady = errors.New("wal: Replay must complete before Append")
+
+// Options tunes a Store. Zero values take the documented defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 64 MiB). A segment
+	// may exceed it by one record: records never split across segments.
+	SegmentBytes int64
+	// MaxRecordBytes bounds one record's epoch+payload bytes (default
+	// 16 MiB); the reader rejects larger length claims as torn.
+	MaxRecordBytes int
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncMode
+	// SyncEvery is the SyncInterval ticker period (default 100ms).
+	SyncEvery time.Duration
+	// Retain is how many checkpoints survive reclamation (default 2: the
+	// newest plus the fallback).
+	Retain int
+	// Name labels this store's metric series (default: base of dir).
+	Name string
+	// Metrics, when non-nil, receives the wal_* series.
+	Metrics *obs.Registry
+	// FaultHook, when non-nil, fires at the Phase* checkpoints.
+	FaultHook core.FaultHook
+}
+
+func (o *Options) fill(dir string) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = 16 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.Retain < 2 {
+		o.Retain = 2
+	}
+	if o.Name == "" {
+		o.Name = filepath.Base(dir)
+	}
+}
+
+// Pos addresses the byte immediately after a record: segment index plus
+// offset within that segment. The zero Pos means "start of the log".
+type Pos struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// less orders positions log-wise.
+func (p Pos) less(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// Segment file layout: a 16-byte header (magic, index) then records.
+const (
+	segMagic      = uint64(0x677257414c303031) // "grWAL001"
+	segHeaderSize = 16
+)
+
+func segName(idx uint64) string   { return fmt.Sprintf("seg-%016x.wal", idx) }
+func ckptBin(epoch uint64) string { return fmt.Sprintf("ckpt-%016x.bin", epoch) }
+func ckptMF(epoch uint64) string  { return fmt.Sprintf("ckpt-%016x.mf", epoch) }
+
+// Store is one graph's durability directory. Append/WaitDurable are safe
+// for concurrent use; Checkpoint serializes internally.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File // active segment
+	seg    uint64   // active segment index
+	off    int64    // next write offset within the active segment
+	ready  bool     // Replay finished; Append allowed
+	broken error    // sticky write/fsync failure
+	buf    []byte   // append scratch, reused
+
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   Pos // durable high-water mark
+	written  Pos // last appended byte (mirrors seg/off for waiters)
+	syncing  bool
+
+	tickStop chan struct{}
+	tickWG   sync.WaitGroup
+	ckptMu   sync.Mutex
+
+	closed atomic.Bool
+
+	appends atomic.Int64
+	bytes   atomic.Int64
+	torn    atomic.Int64
+	ckpts   atomic.Int64
+
+	mAppends, mBytes, mTorn, mCkpts, mCkptFail *obs.Counter
+	mFsync                                     *obs.Histogram
+	gRecoveredEpoch, gRecoveryDur              *obs.Gauge
+}
+
+// Open prepares dir: creates it, sweeps the debris a crash can leave
+// (*.tmp in-flight atomic writes, checkpoint snapshots whose manifest was
+// never renamed in), and registers metrics. It does not touch the log
+// itself — call LoadCheckpoint then Replay to establish the tail, after
+// which Append may be used.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.fill(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+	s.syncCond = sync.NewCond(&s.syncMu)
+	if err := s.sweep(); err != nil {
+		return nil, err
+	}
+	if r := opts.Metrics; r != nil {
+		lbl := obs.L("graph", opts.Name)
+		s.mAppends = r.Counter("wal_appends_total", "Records appended to the write-ahead log.", lbl)
+		s.mBytes = r.Counter("wal_bytes_total", "Bytes appended to the write-ahead log (headers included).", lbl)
+		s.mTorn = r.Counter("wal_torn_tail_truncations_total", "Recoveries that truncated a torn tail from the newest segment.", lbl)
+		s.mCkpts = r.Counter("wal_checkpoints_total", "Checkpoints persisted.", lbl)
+		s.mCkptFail = r.Counter("wal_checkpoint_failures_total", "Checkpoint attempts that failed or panicked.", lbl)
+		s.mFsync = r.Histogram("wal_fsync_duration_seconds", "Wall time of one log fsync.",
+			histogram.ExpBounds(10e-6, 2, 24), lbl)
+		s.gRecoveredEpoch = r.Gauge("recovered_epoch", "Epoch the graph recovered to at boot.", lbl)
+		s.gRecoveryDur = r.Gauge("recovery_duration_seconds", "Wall time of the boot recovery (checkpoint load + replay).", lbl)
+		r.GaugeFunc("wal_segments", "Log segments on disk.", func() float64 {
+			segs, err := s.segments()
+			if err != nil {
+				return -1
+			}
+			return float64(len(segs))
+		}, lbl)
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Sync returns the configured sync mode.
+func (s *Store) Sync() SyncMode { return s.opts.Sync }
+
+// sweep removes crash debris: every *.tmp (an atomic write that never
+// reached its rename) and every checkpoint snapshot without a manifest (a
+// crash between the snapshot rename and the manifest write — the snapshot
+// is unreferenced and recovery could never pick it).
+func (s *Store) sweep() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	manifests := make(map[string]bool)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".mf") {
+			manifests[strings.TrimSuffix(e.Name(), ".mf")] = true
+		}
+	}
+	for _, e := range ents {
+		name := e.Name()
+		stale := strings.HasSuffix(name, ".tmp") ||
+			(strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".bin") &&
+				!manifests[strings.TrimSuffix(name, ".bin")])
+		if stale {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("wal: sweeping %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// segments lists the on-disk segment indices, sorted ascending.
+func (s *Store) segments() ([]uint64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unparseable segment name %s", name)
+		}
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs, nil
+}
+
+// hook fires the configured fault hook at phase, containing an injected
+// panic into an error — the same shape a real I/O failure at that point
+// would have.
+func (s *Store) hook(phase string, n uint64) (err error) {
+	if s.opts.FaultHook == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("wal: injected fault at %s: %v", phase, r)
+		}
+	}()
+	s.opts.FaultHook(phase, int64(n), 0)
+	return nil
+}
+
+// Append serializes one record into the active segment and returns the
+// position after it. The bytes are in the OS (or page cache) when Append
+// returns; call WaitDurable(pos) before acking. Concurrent Appends are
+// ordered by the store lock.
+func (s *Store) Append(epoch uint64, payload []byte) (Pos, error) {
+	if len(payload)+8 > s.opts.MaxRecordBytes {
+		return Pos{}, fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload)+8, s.opts.MaxRecordBytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return Pos{}, fmt.Errorf("%w: %v", ErrBroken, s.broken)
+	}
+	if !s.ready {
+		return Pos{}, errNotReady
+	}
+	if err := s.hook(PhaseAppend, epoch); err != nil {
+		return Pos{}, err
+	}
+	if s.off+recordSize(payload) > s.opts.SegmentBytes && s.off > segHeaderSize {
+		if err := s.rotateLocked(); err != nil {
+			return Pos{}, err
+		}
+	}
+	s.buf = appendRecord(s.buf[:0], epoch, payload)
+	if _, err := s.f.Write(s.buf); err != nil {
+		// The segment may now hold a partial record; recovery reads it as
+		// a torn tail. Poison the store: the next record would interleave
+		// with the partial one.
+		s.broken = err
+		return Pos{}, fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	s.off += int64(len(s.buf))
+	pos := Pos{Seg: s.seg, Off: s.off}
+	s.syncMu.Lock()
+	s.written = pos
+	s.syncMu.Unlock()
+	s.appends.Add(1)
+	s.bytes.Add(int64(len(s.buf)))
+	if s.mAppends != nil {
+		s.mAppends.Inc()
+		s.mBytes.Add(int64(len(s.buf)))
+	}
+	return pos, nil
+}
+
+// rotateLocked fsyncs and closes the active segment and opens the next.
+// The old segment is durable before the new one takes writes, so a torn
+// tail can only ever live in the newest segment.
+func (s *Store) rotateLocked() error {
+	if err := s.hook(PhaseRotate, s.seg); err != nil {
+		return err
+	}
+	if err := s.fsyncLocked(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		s.broken = err
+		return fmt.Errorf("%w: closing segment %d: %v", ErrBroken, s.seg, err)
+	}
+	return s.openSegmentLocked(s.seg + 1)
+}
+
+// openSegmentLocked creates segment idx, writes its header, and makes it
+// the active segment. The header and the directory entry are fsynced
+// before any record lands in it.
+func (s *Store) openSegmentLocked(idx uint64) error {
+	path := filepath.Join(s.dir, segName(idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		s.broken = err
+		return fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], idx)
+	if _, err := f.Write(hdr[:]); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		_ = f.Close()
+		s.broken = err
+		return fmt.Errorf("%w: initializing segment %d: %v", ErrBroken, idx, err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		_ = f.Close()
+		s.broken = err
+		return fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	s.f, s.seg, s.off = f, idx, segHeaderSize
+	s.markSynced(Pos{Seg: idx, Off: segHeaderSize})
+	return nil
+}
+
+// markSynced advances the durable high-water mark (monotone).
+func (s *Store) markSynced(p Pos) {
+	s.syncMu.Lock()
+	if s.synced.less(p) {
+		s.synced = p
+	}
+	if s.written.less(p) {
+		s.written = p
+	}
+	s.syncMu.Unlock()
+	s.syncCond.Broadcast()
+}
+
+// fsyncLocked syncs the active segment (caller holds s.mu) and advances
+// the durable mark to everything written so far.
+func (s *Store) fsyncLocked() error {
+	if err := s.hook(PhaseFsync, s.seg); err != nil {
+		s.broken = err
+		return fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	target := Pos{Seg: s.seg, Off: s.off}
+	start := time.Now()
+	if err := s.f.Sync(); err != nil {
+		s.broken = err
+		return fmt.Errorf("%w: fsync: %v", ErrBroken, err)
+	}
+	if s.mFsync != nil {
+		s.mFsync.Observe(time.Since(start).Seconds())
+	}
+	s.markSynced(target)
+	return nil
+}
+
+// WaitDurable blocks until the record ending at pos is durable under the
+// configured sync policy. SyncAlways group-commits: one waiter becomes
+// the fsync leader and its sync covers every concurrent waiter whose
+// record was written before the leader started. SyncInterval and SyncNone
+// return immediately — the operator chose the weaker guarantee.
+func (s *Store) WaitDurable(pos Pos) error {
+	if s.opts.Sync != SyncAlways {
+		s.mu.Lock()
+		err := s.broken
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBroken, err)
+		}
+		return nil
+	}
+	s.syncMu.Lock()
+	for s.synced.less(pos) {
+		if s.syncing {
+			// A leader's fsync is in flight; it covers every record
+			// written before it started. If ours raced in after, the
+			// loop elects us leader on the next pass.
+			s.syncCond.Wait()
+			continue
+		}
+		s.syncing = true
+		s.syncMu.Unlock()
+
+		s.mu.Lock()
+		var err error
+		switch {
+		case s.broken != nil:
+			err = fmt.Errorf("%w: %v", ErrBroken, s.broken)
+		case !s.ready:
+			err = errNotReady
+		default:
+			err = s.fsyncLocked()
+		}
+		s.mu.Unlock()
+
+		s.syncMu.Lock()
+		s.syncing = false
+		s.syncCond.Broadcast()
+		if err != nil {
+			s.syncMu.Unlock()
+			return err
+		}
+	}
+	s.syncMu.Unlock()
+	return nil
+}
+
+// startTicker launches the SyncInterval background fsync loop.
+func (s *Store) startTicker() {
+	if s.opts.Sync != SyncInterval {
+		return
+	}
+	s.tickStop = make(chan struct{})
+	s.tickWG.Add(1)
+	go func() {
+		defer s.tickWG.Done()
+		t := time.NewTicker(s.opts.SyncEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.tickStop:
+				return
+			case <-t.C:
+			}
+			s.mu.Lock()
+			if s.broken == nil && s.ready {
+				dirty := false
+				s.syncMu.Lock()
+				dirty = s.synced.less(s.written)
+				s.syncMu.Unlock()
+				if dirty {
+					_ = s.fsyncLocked() // poisons on failure; Appends surface it
+				}
+			}
+			s.mu.Unlock()
+		}
+	}()
+}
+
+// Written returns the position just after the last appended (or
+// replayed) record — the value a checkpoint manifest should reference
+// when it snapshots the state those records produced.
+func (s *Store) Written() Pos {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	return s.written
+}
+
+// Stats is a point-in-time summary for /statusz.
+type Stats struct {
+	Sync     string `json:"sync"`
+	Segments int    `json:"segments"`
+	Appends  int64  `json:"appends"`
+	Bytes    int64  `json:"bytes"`
+	Torn     int64  `json:"torn_tail_truncations"`
+	Ckpts    int64  `json:"checkpoints"`
+	Broken   bool   `json:"broken,omitempty"`
+}
+
+// Stats summarizes the store.
+func (s *Store) Stats() Stats {
+	segs, _ := s.segments()
+	s.mu.Lock()
+	broken := s.broken != nil
+	s.mu.Unlock()
+	return Stats{
+		Sync:     s.opts.Sync.String(),
+		Segments: len(segs),
+		Appends:  s.appends.Load(),
+		Bytes:    s.bytes.Load(),
+		Torn:     s.torn.Load(),
+		Ckpts:    s.ckpts.Load(),
+		Broken:   broken,
+	}
+}
+
+// Close flushes (best effort on a healthy store) and closes the active
+// segment. Idempotent.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.tickStop != nil {
+		close(s.tickStop)
+		s.tickWG.Wait()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	var err error
+	if s.broken == nil && s.ready && s.opts.Sync != SyncNone {
+		err = s.fsyncLocked()
+	}
+	if cerr := s.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// atomicWriteFile writes name via name.tmp → fsync → rename → fsync dir.
+// write receives the open temp file.
+func atomicWriteFile(dir, name string, write func(io.Writer) error) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// manifest is the checkpoint manifest payload (record-framed JSON on
+// disk, so it carries the same CRC armor as a log record).
+type manifest struct {
+	Epoch uint64 `json:"epoch"`
+	Pos   Pos    `json:"pos"` // replay starts here: just after epoch's record
+}
+
+func readManifest(path string, maxRecord int) (manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return manifest{}, err
+	}
+	defer f.Close()
+	rec, err := readRecord(f, maxRecord)
+	if err != nil {
+		return manifest{}, fmt.Errorf("wal: manifest %s: %w", filepath.Base(path), err)
+	}
+	var m manifest
+	if err := json.Unmarshal(rec.Payload, &m); err != nil {
+		return manifest{}, fmt.Errorf("wal: manifest %s: %w", filepath.Base(path), err)
+	}
+	if m.Epoch != rec.Epoch {
+		return manifest{}, fmt.Errorf("wal: manifest %s: frame epoch %d != body epoch %d", filepath.Base(path), rec.Epoch, m.Epoch)
+	}
+	return m, nil
+}

@@ -1,0 +1,667 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"graphit/internal/faults"
+	"graphit/internal/graph"
+	"graphit/internal/testutil"
+)
+
+// testPayload is fixed-length so record offsets are computable in the
+// corruption tables: each record is 8 (frame) + 8 (epoch) + 9 = 25 bytes.
+func testPayload(i int) []byte { return []byte(fmt.Sprintf("batch-%03d", i)) }
+
+const testRecSize = 25
+
+func openStore(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// replayAll replays from `from` collecting (epoch, payload) pairs.
+func replayAll(t *testing.T, s *Store, from Pos) []Record {
+	t.Helper()
+	var recs []Record
+	err := s.Replay(from, func(r Record) error {
+		recs = append(recs, Record{Epoch: r.Epoch, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs
+}
+
+// buildLog writes a fresh log of n records (epochs 1..n) and closes the
+// store, returning each record's end position.
+func buildLog(t *testing.T, dir string, n int, opts Options) []Pos {
+	t.Helper()
+	s := openStore(t, dir, opts)
+	replayAll(t, s, Pos{})
+	poss := make([]Pos, n)
+	for i := 1; i <= n; i++ {
+		pos, err := s.Append(uint64(i), testPayload(i))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if err := s.WaitDurable(pos); err != nil {
+			t.Fatalf("WaitDurable %d: %v", i, err)
+		}
+		poss[i-1] = pos
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return poss
+}
+
+func checkRecords(t *testing.T, recs []Record, firstEpoch, lastEpoch uint64) {
+	t.Helper()
+	want := int(lastEpoch-firstEpoch) + 1
+	if lastEpoch < firstEpoch {
+		want = 0
+	}
+	if len(recs) != want {
+		t.Fatalf("replayed %d records, want %d", len(recs), want)
+	}
+	for i, r := range recs {
+		ep := firstEpoch + uint64(i)
+		if r.Epoch != ep {
+			t.Fatalf("record %d: epoch %d, want %d", i, r.Epoch, ep)
+		}
+		if want := string(testPayload(int(ep))); string(r.Payload) != want {
+			t.Fatalf("record %d: payload %q, want %q", i, r.Payload, want)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			buildLog(t, dir, 10, Options{Sync: mode})
+			s := openStore(t, dir, Options{Sync: mode})
+			recs := replayAll(t, s, Pos{})
+			checkRecords(t, recs, 1, 10)
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+func TestAppendBeforeReplayFails(t *testing.T) {
+	s := openStore(t, t.TempDir(), Options{})
+	defer s.Close()
+	if _, err := s.Append(1, []byte("x")); err == nil {
+		t.Fatal("Append before Replay succeeded")
+	}
+}
+
+// lastSeg returns the path and size of the newest segment.
+func lastSeg(t *testing.T, dir string) (string, int64) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	path := names[len(names)-1]
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, fi.Size()
+}
+
+func patchByte(t *testing.T, path string, off int64, xor byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= xor
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTailRecoversExactPrefix is the torn-tail table test: every way
+// a crash can mangle the newest segment's suffix must recover exactly
+// the records before the mangled byte, truncate the tail, and leave the
+// store appendable.
+func TestTornTailRecoversExactPrefix(t *testing.T) {
+	const n = 5
+	lastStart := func(size int64) int64 { return size - testRecSize }
+	cases := []struct {
+		name     string
+		mangle   func(t *testing.T, path string, size int64)
+		wantLast uint64 // highest surviving epoch
+		wantTorn int64
+	}{
+		{"truncate_mid_header", func(t *testing.T, p string, sz int64) {
+			if err := os.Truncate(p, lastStart(sz)+4); err != nil {
+				t.Fatal(err)
+			}
+		}, n - 1, 1},
+		{"truncate_mid_body", func(t *testing.T, p string, sz int64) {
+			if err := os.Truncate(p, sz-3); err != nil {
+				t.Fatal(err)
+			}
+		}, n - 1, 1},
+		{"bitflip_body", func(t *testing.T, p string, sz int64) {
+			patchByte(t, p, sz-2, 0x40)
+		}, n - 1, 1},
+		{"bitflip_crc", func(t *testing.T, p string, sz int64) {
+			patchByte(t, p, lastStart(sz)+5, 0x01)
+		}, n - 1, 1},
+		{"length_overflow", func(t *testing.T, p string, sz int64) {
+			// Set the length field's high byte: claims ~4 GiB record.
+			patchByte(t, p, lastStart(sz)+3, 0xff)
+		}, n - 1, 1},
+		{"garbage_appended", func(t *testing.T, p string, sz int64) {
+			f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}, n, 1},
+		{"clean_tail", func(t *testing.T, p string, sz int64) {}, n, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildLog(t, dir, n, Options{})
+			path, size := lastSeg(t, dir)
+			tc.mangle(t, path, size)
+
+			s := openStore(t, dir, Options{})
+			recs := replayAll(t, s, Pos{})
+			checkRecords(t, recs, 1, tc.wantLast)
+			if got := s.Stats().Torn; got != tc.wantTorn {
+				t.Fatalf("torn truncations = %d, want %d", got, tc.wantTorn)
+			}
+			// The truncated store must accept appends at the cut point...
+			pos, err := s.Append(tc.wantLast+1, testPayload(int(tc.wantLast)+1))
+			if err != nil {
+				t.Fatalf("Append after truncation: %v", err)
+			}
+			if err := s.WaitDurable(pos); err != nil {
+				t.Fatalf("WaitDurable after truncation: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// ...and a second recovery sees the prefix plus the new record.
+			s2 := openStore(t, dir, Options{})
+			checkRecords(t, replayAll(t, s2, Pos{}), 1, tc.wantLast+1)
+			if err := s2.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+func TestCorruptionInOldSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	// ~2 records per segment: force several segments.
+	buildLog(t, dir, 8, Options{SegmentBytes: 64})
+	first := filepath.Join(dir, segName(0))
+	fi, err := os.Stat(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patchByte(t, first, fi.Size()-2, 0x20)
+
+	s := openStore(t, dir, Options{SegmentBytes: 64})
+	defer s.Close()
+	err = s.Replay(Pos{}, nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over corrupt old segment: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 20, Options{SegmentBytes: 64})
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(names) < 5 {
+		t.Fatalf("expected many segments, got %d", len(names))
+	}
+	s := openStore(t, dir, Options{SegmentBytes: 64})
+	checkRecords(t, replayAll(t, s, Pos{}), 1, 20)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{Sync: SyncAlways})
+	replayAll(t, s, Pos{})
+	const (
+		writers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	epoch := uint64(0)
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				mu.Lock()
+				epoch++
+				ep := epoch
+				mu.Unlock()
+				pos, err := s.Append(ep, testPayload(int(ep)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := s.WaitDurable(pos); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("writer: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2 := openStore(t, dir, Options{})
+	recs := replayAll(t, s2, Pos{})
+	if len(recs) != writers*each {
+		t.Fatalf("recovered %d records, want %d", len(recs), writers*each)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func testGraph(t *testing.T, w3 int32) *graph.Graph {
+	t.Helper()
+	g, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1, W: 5},
+		{Src: 1, Dst: 2, W: graph.Weight(w3)},
+	}, graph.BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCheckpointRecoveryAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 64}
+	s := openStore(t, dir, opts)
+	replayAll(t, s, Pos{})
+	g5 := testGraph(t, 50)
+	g8 := testGraph(t, 80)
+	var poss [11]Pos
+	for i := 1; i <= 10; i++ {
+		pos, err := s.Append(uint64(i), testPayload(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WaitDurable(pos); err != nil {
+			t.Fatal(err)
+		}
+		poss[i] = pos
+		if i == 5 {
+			if err := s.Checkpoint(g5, 5, pos); err != nil {
+				t.Fatalf("Checkpoint(5): %v", err)
+			}
+		}
+		if i == 8 {
+			if err := s.Checkpoint(g8, 8, pos); err != nil {
+				t.Fatalf("Checkpoint(8): %v", err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy recovery: newest checkpoint (8) + records 9..10.
+	s2 := openStore(t, dir, opts)
+	g, ep, pos, err := s2.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if g == nil || ep != 8 {
+		t.Fatalf("recovered epoch %d (g=%v), want 8", ep, g != nil)
+	}
+	if graph.Fingerprint(g) != graph.Fingerprint(g8) {
+		t.Fatal("recovered snapshot != checkpointed graph")
+	}
+	checkRecords(t, replayAll(t, s2, pos), 9, 10)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest snapshot: recovery must fall back to 5 and
+	// replay 6..10.
+	binPath := filepath.Join(dir, ckptBin(8))
+	fi, err := os.Stat(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patchByte(t, binPath, fi.Size()/2, 0xff)
+	s3 := openStore(t, dir, opts)
+	g, ep, pos, err = s3.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint with corrupt newest: %v", err)
+	}
+	if g == nil || ep != 5 {
+		t.Fatalf("fallback epoch %d (g=%v), want 5", ep, g != nil)
+	}
+	if graph.Fingerprint(g) != graph.Fingerprint(g5) {
+		t.Fatal("fallback snapshot != checkpointed graph")
+	}
+	checkRecords(t, replayAll(t, s3, pos), 6, 10)
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt manifest variant: a mangled .mf frame also falls back.
+	mfPath := filepath.Join(dir, ckptMF(8))
+	patchByte(t, mfPath, 9, 0x01)
+	s4 := openStore(t, dir, opts)
+	_, ep, _, err = s4.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint with corrupt manifest: %v", err)
+	}
+	if ep != 5 {
+		t.Fatalf("fallback epoch %d, want 5", ep)
+	}
+	if err := s4.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReclaimRetainsTwoCheckpointsAndLiveSegments(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 64}
+	s := openStore(t, dir, opts)
+	replayAll(t, s, Pos{})
+	g := testGraph(t, 30)
+	var ckptPos [11]Pos
+	for i := 1; i <= 10; i++ {
+		pos, err := s.Append(uint64(i), testPayload(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WaitDurable(pos); err != nil {
+			t.Fatal(err)
+		}
+		ckptPos[i] = pos
+		if i == 4 || i == 7 || i == 10 {
+			if err := s.Checkpoint(g, uint64(i), pos); err != nil {
+				t.Fatalf("Checkpoint(%d): %v", i, err)
+			}
+		}
+	}
+	// Retain=2: checkpoint 4 must be gone, 7 and 10 present.
+	if _, err := os.Stat(filepath.Join(dir, ckptMF(4))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint 4 manifest still present (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckptBin(4))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint 4 snapshot still present (err=%v)", err)
+	}
+	for _, ep := range []uint64{7, 10} {
+		if _, err := os.Stat(filepath.Join(dir, ckptMF(ep))); err != nil {
+			t.Fatalf("checkpoint %d manifest missing: %v", ep, err)
+		}
+	}
+	// Segments below the oldest retained manifest (7) are reclaimed;
+	// everything at or above stays.
+	segs, err := s.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0] != ckptPos[7].Seg {
+		t.Fatalf("oldest segment %v, want %d (checkpoint 7's)", segs, ckptPos[7].Seg)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery from the reclaimed log still works end to end.
+	s2 := openStore(t, dir, opts)
+	_, ep, pos, err := s2.LoadCheckpoint()
+	if err != nil || ep != 10 {
+		t.Fatalf("LoadCheckpoint: epoch %d err %v, want 10", ep, err)
+	}
+	checkRecords(t, replayAll(t, s2, pos), 11, 10) // zero records after 10
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepRemovesStaleDebris is the boot-sweep unit test: *.tmp files
+// and orphaned checkpoint snapshots vanish on Open; committed
+// checkpoints and segments survive.
+func TestSweepRemovesStaleDebris(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 3, Options{})
+	// Committed checkpoint (bin + manifest pair) — must survive.
+	s := openStore(t, dir, Options{})
+	replayAll(t, s, Pos{})
+	pos, err := s.Append(4, testPayload(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitDurable(pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(testGraph(t, 30), 4, pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash debris.
+	stale := []string{
+		ckptBin(9) + ".tmp", // crash before snapshot rename
+		ckptMF(9) + ".tmp",  // crash before manifest rename
+		ckptBin(7),          // snapshot without manifest: orphan
+	}
+	for _, name := range stale {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := openStore(t, dir, Options{})
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stale %s survived sweep (err=%v)", name, err)
+		}
+	}
+	for _, name := range []string{ckptBin(4), ckptMF(4)} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("committed %s swept: %v", name, err)
+		}
+	}
+	g, ep, pos, err := s2.LoadCheckpoint()
+	if err != nil || g == nil || ep != 4 {
+		t.Fatalf("LoadCheckpoint after sweep: epoch %d err %v", ep, err)
+	}
+	checkRecords(t, replayAll(t, s2, pos), 5, 4)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCkptRenameFaultLeavesTmpForSweep(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(faults.PanicAt(PhaseCkptRename, 0, "crash between write and rename"))
+	s := openStore(t, dir, Options{FaultHook: inj.Hook()})
+	replayAll(t, s, Pos{})
+	pos, err := s.Append(1, testPayload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitDurable(pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(testGraph(t, 30), 1, pos); err == nil {
+		t.Fatal("Checkpoint with rename fault succeeded")
+	}
+	if inj.Fired(PhaseCkptRename) != 1 {
+		t.Fatal("rename fault never fired")
+	}
+	tmp := filepath.Join(dir, ckptBin(1)+".tmp")
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("simulated crash left no .tmp: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reboot sweeps the debris and recovery proceeds from the log alone.
+	s2 := openStore(t, dir, Options{})
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf(".tmp survived reopen sweep (err=%v)", err)
+	}
+	g, ep, _, err := s2.LoadCheckpoint()
+	if err != nil || g != nil || ep != 0 {
+		t.Fatalf("LoadCheckpoint: g=%v epoch=%d err=%v, want no checkpoint", g != nil, ep, err)
+	}
+	checkRecords(t, replayAll(t, s2, Pos{}), 1, 1)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsyncFaultPoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(faults.PanicAt(PhaseFsync, 0, "simulated EIO"))
+	s := openStore(t, dir, Options{Sync: SyncAlways, FaultHook: inj.Hook()})
+	defer s.Close()
+	replayAll(t, s, Pos{})
+	pos, err := s.Append(1, testPayload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitDurable(pos); !errors.Is(err, ErrBroken) {
+		t.Fatalf("WaitDurable after fsync fault: %v, want ErrBroken", err)
+	}
+	// Poisoning is sticky: later appends and waits fail fast.
+	if _, err := s.Append(2, testPayload(2)); !errors.Is(err, ErrBroken) {
+		t.Fatalf("Append on poisoned store: %v, want ErrBroken", err)
+	}
+	if err := s.WaitDurable(pos); !errors.Is(err, ErrBroken) {
+		t.Fatalf("WaitDurable on poisoned store: %v, want ErrBroken", err)
+	}
+	if !s.Stats().Broken {
+		t.Fatal("Stats().Broken = false on poisoned store")
+	}
+}
+
+func TestFsyncFaultHealsWithTimes(t *testing.T) {
+	// Repeat+Times: the first fsync fails, later ones heal — but the wal
+	// treats any fsync failure as fatal, so the store must STAY broken.
+	dir := t.TempDir()
+	inj := faults.New(faults.Trigger{Phase: PhaseFsync, Repeat: true, Times: 1, PanicValue: "EIO once"})
+	s := openStore(t, dir, Options{Sync: SyncAlways, FaultHook: inj.Hook()})
+	defer s.Close()
+	replayAll(t, s, Pos{})
+	pos, _ := s.Append(1, testPayload(1))
+	if err := s.WaitDurable(pos); !errors.Is(err, ErrBroken) {
+		t.Fatalf("first WaitDurable: %v, want ErrBroken", err)
+	}
+	if err := s.WaitDurable(pos); !errors.Is(err, ErrBroken) {
+		t.Fatalf("second WaitDurable (healed hook, poisoned store): %v, want ErrBroken", err)
+	}
+	if got := inj.Fired(PhaseFsync); got != 1 {
+		t.Fatalf("fsync fault fired %d times, want 1 (Times cap)", got)
+	}
+}
+
+func TestIntervalSyncEventuallyDurable(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{Sync: SyncInterval, SyncEvery: 5 * time.Millisecond})
+	replayAll(t, s, Pos{})
+	pos, err := s.Append(1, testPayload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval mode acks immediately...
+	if err := s.WaitDurable(pos); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the ticker makes it durable shortly after.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.syncMu.Lock()
+		synced := s.synced
+		s.syncMu.Unlock()
+		if !synced.less(pos) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never synced the appended record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayFnErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 3, Options{})
+	s := openStore(t, dir, Options{})
+	defer s.Close()
+	boom := errors.New("apply failed")
+	err := s.Replay(Pos{}, func(Record) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay: %v, want fn error", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("fn error misclassified as corruption")
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{MaxRecordBytes: 64})
+	defer s.Close()
+	replayAll(t, s, Pos{})
+	if _, err := s.Append(1, make([]byte, 128)); err == nil {
+		t.Fatal("oversize Append succeeded")
+	}
+	// The store is not poisoned by a rejected record.
+	if _, err := s.Append(1, []byte("ok")); err != nil {
+		t.Fatalf("Append after rejection: %v", err)
+	}
+}
